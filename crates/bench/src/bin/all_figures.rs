@@ -1,0 +1,16 @@
+//! Regenerates every figure of the paper in sequence.
+//! Flags: --quick (reduced sweep), --out <dir> (default results/).
+use locmps_bench::experiments as ex;
+
+fn main() {
+    let ctx = ex::ExperimentCtx::from_env();
+    let t0 = std::time::Instant::now();
+    ex::fig4(&ctx);
+    ex::fig5(&ctx);
+    ex::fig6(&ctx);
+    ex::fig8(&ctx);
+    ex::fig9(&ctx);
+    ex::fig10(&ctx);
+    ex::fig11(&ctx);
+    eprintln!("all figures regenerated in {:.1}s -> {}", t0.elapsed().as_secs_f64(), ctx.out_dir.display());
+}

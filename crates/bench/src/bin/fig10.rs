@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig10 tables. Flags: --quick, --out <dir>.
+fn main() {
+    let ctx = locmps_bench::experiments::ExperimentCtx::from_env();
+    locmps_bench::experiments::fig10(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig4 tables. Flags: --quick, --out <dir>.
+fn main() {
+    let ctx = locmps_bench::experiments::ExperimentCtx::from_env();
+    locmps_bench::experiments::fig4(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig5 tables. Flags: --quick, --out <dir>.
+fn main() {
+    let ctx = locmps_bench::experiments::ExperimentCtx::from_env();
+    locmps_bench::experiments::fig5(&ctx);
+}

@@ -1,0 +1,71 @@
+//! Online-scheduling experiment (future-work §VI(2), implemented in
+//! `locmps-runtime`): how the three run-time policies degrade as
+//! execution-time noise grows, on the two application workloads.
+//!
+//! ```sh
+//! cargo run --release -p locmps-bench --bin online [-- --quick] [--out DIR]
+//! ```
+
+use locmps_bench::experiments::ExperimentCtx;
+use locmps_bench::report::Table;
+use locmps_platform::Cluster;
+use locmps_runtime::{GreedyOneProc, OnlineConfig, OnlineLocbs, PlanFollower, RuntimeEngine};
+use locmps_taskgraph::TaskGraph;
+use locmps_workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps_workloads::tce::{ccsd_t1_graph, TceConfig};
+
+fn mean_makespan(
+    g: &TaskGraph,
+    cluster: &Cluster,
+    cv: f64,
+    seeds: u64,
+    mut policy_for: impl FnMut() -> Box<dyn locmps_runtime::OnlinePolicy>,
+) -> f64 {
+    let mut acc = 0.0;
+    for seed in 0..seeds {
+        let engine = RuntimeEngine::new(g, cluster, OnlineConfig { seed, exec_cv: cv });
+        acc += engine.run(policy_for().as_mut()).makespan;
+    }
+    acc / seeds as f64
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    let seeds: u64 = if ctx.quick { 3 } else { 15 };
+    let p = 32;
+    let cluster = Cluster::myrinet(p);
+
+    let apps: [(&str, &str, TaskGraph); 2] = [
+        ("online_ccsd", "CCSD T1", ccsd_t1_graph(&TceConfig::default())),
+        (
+            "online_strassen",
+            "Strassen 2048x2048",
+            strassen_graph(&StrassenConfig { n: 2048, ..Default::default() }),
+        ),
+    ];
+    for (stem, label, g) in apps {
+        let mut table = Table::new(
+            format!(
+                "Online execution — {label} on P={p}, mean makespan (s) over {seeds} noise \
+                 seeds per cell"
+            ),
+            &["noise cv", "plan-follower", "online-locbs", "greedy-1p"],
+        );
+        for cv in [0.0, 0.1, 0.25, 0.5] {
+            let plan = mean_makespan(&g, &cluster, cv, seeds, || Box::new(PlanFollower::locmps()));
+            let online =
+                mean_makespan(&g, &cluster, cv, seeds, || Box::new(OnlineLocbs::default()));
+            let greedy = mean_makespan(&g, &cluster, cv, seeds, || Box::new(GreedyOneProc));
+            table.push_row(vec![
+                format!("{cv:.2}"),
+                format!("{plan:.3}"),
+                format!("{online:.3}"),
+                format!("{greedy:.3}"),
+            ]);
+        }
+        println!("{table}");
+        if let Err(e) = table.save(&ctx.out_dir, stem) {
+            eprintln!("warning: could not save {stem}: {e}");
+        }
+    }
+}

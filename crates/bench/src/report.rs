@@ -1,0 +1,134 @@
+//! Plain-text/markdown/CSV tables for experiment output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table with markdown and CSV renderers.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption (figure id + description).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a titled table with the given headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "### {}\n", self.title).unwrap();
+        writeln!(out, "| {} |", self.header.join(" | ")).unwrap();
+        writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
+            .unwrap();
+        for row in &self.rows {
+            writeln!(out, "| {} |", row.join(" | ")).unwrap();
+        }
+        out
+    }
+
+    /// Renders CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# {}", self.title).unwrap();
+        writeln!(out, "{}", self.header.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", row.join(",")).unwrap();
+        }
+        out
+    }
+
+    /// Writes both renderings under `dir` as `<stem>.md` and `<stem>.csv`.
+    pub fn save(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.md")), self.to_markdown())?;
+        std::fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Column-aligned plain text for terminals.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", &["P", "LoC-MPS", "DATA"]);
+        t.push_row(vec!["4".into(), "1.00".into(), "0.80".into()]);
+        t.push_row(vec!["8".into(), "1.00".into(), "0.75".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let t = sample();
+        let md = t.to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| 4 | 1.00 | 0.80 |"));
+        let csv = t.to_csv();
+        assert!(csv.contains("P,LoC-MPS,DATA"));
+        assert!(csv.contains("8,1.00,0.75"));
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("LoC-MPS"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        sample().push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn save_writes_both_files() {
+        let dir = std::env::temp_dir().join("locmps_table_test");
+        sample().save(&dir, "fig_x").unwrap();
+        assert!(dir.join("fig_x.md").exists());
+        assert!(dir.join("fig_x.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal flag parsing (`--key value` pairs + positionals) so the CLI
+//! carries no argument-parsing dependency.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments plus `--key value` options
+/// (`--flag` with no value stores an empty string).
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Splits `argv` into positionals and options.
+    ///
+    /// # Errors
+    /// Rejects unknown syntax only (an option name without `--`).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                // A following token that is not itself an option is the value.
+                let value = match argv.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.clone()
+                    }
+                    _ => String::new(),
+                };
+                out.options.insert(key.to_string(), value);
+            } else {
+                out.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Raw option lookup.
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a flag was given (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.option(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{key}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options_mix() {
+        let a = parse(&["schedule", "g.json", "--procs", "32", "--gantt", "--algo", "cpr"]);
+        assert_eq!(a.positional(0), Some("schedule"));
+        assert_eq!(a.positional(1), Some("g.json"));
+        assert_eq!(a.option("procs"), Some("32"));
+        assert_eq!(a.option("algo"), Some("cpr"));
+        assert!(a.has("gantt"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse(&["--procs", "8"]);
+        assert_eq!(a.get_or("procs", 4usize).unwrap(), 8);
+        assert_eq!(a.get_or("seed", 42u64).unwrap(), 42);
+        assert!(a.get_or::<usize>("procs", 0).is_ok());
+        let bad = parse(&["--procs", "eight"]);
+        assert!(bad.get_or::<usize>("procs", 0).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_has_empty_value() {
+        let a = parse(&["--gantt", "--procs", "4"]);
+        assert_eq!(a.option("gantt"), Some(""));
+        assert_eq!(a.option("procs"), Some("4"));
+    }
+}

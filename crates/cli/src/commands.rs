@@ -1,0 +1,283 @@
+//! The CLI subcommands.
+
+use locmps_baselines::{Cpa, Cpr, DataParallel, TaskParallel, Tsas};
+use locmps_core::{GanttOptions, LocMps, LocMpsConfig, Scheduler};
+use locmps_platform::Cluster;
+use locmps_sim::{simulate, SimConfig};
+use locmps_taskgraph::{GraphStats, TaskGraph};
+use locmps_workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps_workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps_workloads::tce::{ccsd_t1_graph, TceConfig};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: locmps <command> [options]
+
+commands:
+  generate <synthetic|ccsd|strassen> [--tasks N] [--ccr X] [--seed S]
+           [--amax A] [--sigma S] [--n N(matrix)] [--levels L]
+                                  emit a task graph as JSON on stdout
+  stats    <graph.json>           print structural statistics
+  dot      <graph.json>           render Graphviz DOT on stdout
+  svg      <graph.json> --out F    render a layered SVG drawing to F
+  schedule <graph.json> --procs P [--algo locmps|icaslb|nobackfill|cpr|cpa|tsas|task|data]
+           [--bandwidth MB/s] [--no-overlap] [--gantt] [--svg F]
+                                  schedule and report makespans
+  compare  <graph.json> --procs P [--bandwidth MB/s] [--no-overlap]
+                                  run every scheme and compare
+";
+
+/// Dispatches one invocation.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.positional(0) {
+        Some("generate") => generate(&args),
+        Some("stats") => stats(&args),
+        Some("dot") => dot(&args),
+        Some("svg") => svg(&args),
+        Some("schedule") => schedule(&args),
+        Some("compare") => compare(&args),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn load_graph(args: &Args) -> Result<TaskGraph, String> {
+    let path = args.positional(1).ok_or("missing <graph.json> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    TaskGraph::from_json(&text)
+}
+
+fn cluster_from(args: &Args) -> Result<Cluster, String> {
+    let procs: usize = args.get_or("procs", 0)?;
+    if procs == 0 {
+        return Err("--procs is required (and must be >= 1)".into());
+    }
+    let bandwidth: f64 = args.get_or("bandwidth", 125.0)?;
+    if bandwidth <= 0.0 {
+        return Err("--bandwidth must be positive".into());
+    }
+    let c = Cluster::new(procs, bandwidth);
+    Ok(if args.has("no-overlap") { c.without_overlap() } else { c })
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.positional(1).ok_or("generate needs a workload kind")?;
+    let g = match kind {
+        "synthetic" => synthetic_graph(&SyntheticConfig {
+            n_tasks: args.get_or("tasks", 30usize)?,
+            ccr: args.get_or("ccr", 0.0)?,
+            a_max: args.get_or("amax", 64.0)?,
+            sigma: args.get_or("sigma", 1.0)?,
+            seed: args.get_or("seed", 0u64)?,
+            ..Default::default()
+        }),
+        "ccsd" => ccsd_t1_graph(&TceConfig {
+            n_occ: args.get_or("occ", 60usize)?,
+            n_virt: args.get_or("virt", 300usize)?,
+            ..Default::default()
+        }),
+        "strassen" => strassen_graph(&StrassenConfig {
+            n: args.get_or("n", 1024usize)?,
+            levels: args.get_or("levels", 1usize)?,
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    println!("{}", g.to_json());
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let s = GraphStats::compute(&g);
+    println!("tasks         : {}", s.n_tasks);
+    println!("data edges    : {}", s.n_data_edges);
+    println!("depth         : {}", s.depth);
+    println!("width         : {}", s.width);
+    println!("total work    : {:.2} s (sequential)", s.total_work);
+    println!("total volume  : {:.2} MB", s.total_volume);
+    println!("avg out-degree: {:.2}", s.avg_out_degree);
+    let bw: f64 = args.get_or("bandwidth", 125.0)?;
+    println!("CCR @{bw} MB/s : {:.3}", s.ccr(bw));
+    Ok(())
+}
+
+fn dot(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    print!("{}", g.to_dot());
+    Ok(())
+}
+
+fn svg(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let out = args.option("out").filter(|o| !o.is_empty()).ok_or("svg needs --out <file>")?;
+    let doc = locmps_viz::dag_svg(&g, locmps_viz::DagStyle::default());
+    std::fs::write(out, doc).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "locmps" => Box::new(LocMps::default()),
+        "icaslb" => Box::new(LocMps::new(LocMpsConfig::icaslb())),
+        "nobackfill" => Box::new(LocMps::new(LocMpsConfig::no_backfill())),
+        "cpr" => Box::new(Cpr),
+        "cpa" => Box::new(Cpa),
+        "tsas" => Box::new(Tsas::default()),
+        "task" => Box::new(TaskParallel),
+        "data" => Box::new(DataParallel),
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}
+
+/// CPR and CPA come from locality-oblivious runtimes; everything else
+/// reuses resident block-cyclic data (see `locmps-sim`).
+fn locality_aware(name: &str) -> bool {
+    !matches!(name, "cpr" | "cpa" | "tsas")
+}
+
+fn schedule(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let cluster = cluster_from(args)?;
+    let algo = args.option("algo").unwrap_or("locmps").to_string();
+    let s = scheduler_by_name(&algo)?;
+
+    let t0 = std::time::Instant::now();
+    let out = s.schedule(&g, &cluster).map_err(|e| e.to_string())?;
+    let took = t0.elapsed().as_secs_f64();
+    let rep = simulate(
+        &g,
+        &cluster,
+        &out,
+        SimConfig { locality_aware: locality_aware(&algo), ..Default::default() },
+    );
+
+    println!("scheduler          : {}", s.name());
+    println!("planned makespan   : {:.3} s", out.makespan());
+    println!("executed makespan  : {:.3} s", rep.makespan);
+    println!("total redistribution: {:.3} s", rep.total_comm_time);
+    println!("utilization        : {:.1} %", 100.0 * rep.utilization);
+    println!("scheduling took    : {took:.4} s");
+    if args.has("gantt") {
+        println!();
+        print!("{}", rep.executed.gantt(&g, cluster.n_procs, GanttOptions::default()));
+    }
+    if let Some(path) = args.option("svg").filter(|o| !o.is_empty()) {
+        let doc = locmps_viz::gantt_svg(
+            &rep.executed,
+            &g,
+            cluster.n_procs,
+            locmps_viz::GanttStyle::default(),
+        );
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let cluster = cluster_from(args)?;
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>8}",
+        "scheme", "planned (s)", "executed (s)", "sched (s)", "rel"
+    );
+    let mut reference: Option<f64> = None;
+    for name in ["locmps", "icaslb", "cpr", "cpa", "tsas", "task", "data"] {
+        let s = scheduler_by_name(name)?;
+        let t0 = std::time::Instant::now();
+        let out = s.schedule(&g, &cluster).map_err(|e| e.to_string())?;
+        let took = t0.elapsed().as_secs_f64();
+        let rep = simulate(
+            &g,
+            &cluster,
+            &out,
+            SimConfig { locality_aware: locality_aware(name), ..Default::default() },
+        );
+        let reference_ms = *reference.get_or_insert(rep.makespan);
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>10.4} {:>8.3}",
+            s.name(),
+            out.makespan(),
+            rep.makespan,
+            took,
+            reference_ms / rep.makespan
+        );
+    }
+    println!("\n(rel = makespan(LoC-MPS)/makespan(scheme); < 1 trails LoC-MPS)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(words: &[&str]) -> Result<(), String> {
+        dispatch(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn graph_file() -> std::path::PathBuf {
+        let g = synthetic_graph(&SyntheticConfig { n_tasks: 8, ccr: 0.3, seed: 1, ..Default::default() });
+        let path = std::env::temp_dir().join(format!("locmps_cli_test_{}.json", std::process::id()));
+        std::fs::write(&path, g.to_json()).unwrap();
+        path
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn stats_and_dot_and_schedule_run() {
+        let path = graph_file();
+        let p = path.to_str().unwrap();
+        run(&["stats", p]).unwrap();
+        run(&["dot", p]).unwrap();
+        run(&["schedule", p, "--procs", "4"]).unwrap();
+        run(&["schedule", p, "--procs", "4", "--algo", "cpa", "--no-overlap"]).unwrap();
+        run(&["compare", p, "--procs", "4"]).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn schedule_requires_procs() {
+        let path = graph_file();
+        let p = path.to_str().unwrap();
+        assert!(run(&["schedule", p]).is_err());
+        assert!(run(&["schedule", p, "--procs", "0"]).is_err());
+        assert!(run(&["schedule", p, "--procs", "4", "--algo", "nope"]).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn svg_outputs_render() {
+        let path = graph_file();
+        let p = path.to_str().unwrap();
+        let dag_out = std::env::temp_dir().join("locmps_cli_dag.svg");
+        run(&["svg", p, "--out", dag_out.to_str().unwrap()]).unwrap();
+        assert!(std::fs::read_to_string(&dag_out).unwrap().starts_with("<svg"));
+        let gantt_out = std::env::temp_dir().join("locmps_cli_gantt.svg");
+        run(&["schedule", p, "--procs", "4", "--svg", gantt_out.to_str().unwrap()]).unwrap();
+        assert!(std::fs::read_to_string(&gantt_out).unwrap().contains("makespan"));
+        assert!(run(&["svg", p]).is_err(), "--out is required");
+        for f in [dag_out, gantt_out, path] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn generate_emits_parseable_graphs() {
+        // Exercise the generator paths directly (stdout goes to the test
+        // harness, we only check success).
+        run(&["generate", "synthetic", "--tasks", "12", "--ccr", "0.5"]).unwrap();
+        run(&["generate", "strassen", "--n", "256"]).unwrap();
+        run(&["generate", "ccsd", "--occ", "10", "--virt", "40"]).unwrap();
+        assert!(run(&["generate", "unknown"]).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! `locmps` — command-line front end for the LoC-MPS scheduling library.
+//!
+//! ```text
+//! locmps generate synthetic --tasks 30 --ccr 0.5 --seed 7   > g.json
+//! locmps stats g.json
+//! locmps schedule g.json --procs 32 --algo locmps --gantt
+//! locmps compare g.json --procs 32
+//! locmps dot g.json > g.dot
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Simple makespan lower bounds.
+//!
+//! No heuristic can beat these; the test-suite uses them as oracles for
+//! every scheduler, and the experiment reports print them for context.
+
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+/// Critical-path lower bound: the longest path where every task takes its
+/// best possible time over `1..=p` processors and communication is free.
+pub fn critical_path_bound(g: &TaskGraph, p: usize) -> f64 {
+    let best_time = |t: TaskId| {
+        let prof = &g.task(t).profile;
+        prof.time(prof.pbest(p))
+    };
+    g.critical_path(best_time, |_| 0.0).length
+}
+
+/// Area lower bound: total work cannot be processed faster than `P`
+/// processors allow. Work is minimized at one processor for non-increasing
+/// efficiency, but a task never takes less area than `et(t,1)·1`... in
+/// general the minimum area over allocations bounds the makespan:
+/// `max_t min_p (p·et(t,p)) / P` summed over tasks.
+pub fn area_bound(g: &TaskGraph, p: usize) -> f64 {
+    let total: f64 = g
+        .task_ids()
+        .map(|t| {
+            let prof = &g.task(t).profile;
+            (1..=p.max(1)).map(|n| prof.area(n)).fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / p.max(1) as f64
+}
+
+/// The tighter of the two bounds.
+pub fn makespan_lower_bound(g: &TaskGraph, p: usize) -> f64 {
+    critical_path_bound(g, p).max(area_bound(g, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::{ExecutionProfile, SpeedupModel};
+
+    #[test]
+    fn chain_cp_bound() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(20.0));
+        g.add_edge(a, b, 0.0).unwrap();
+        // Linear speedup on 4 procs: 2.5 + 5.0.
+        assert!((critical_path_bound(&g, 4) - 7.5).abs() < 1e-12);
+        // Area: both tasks have constant area 30; 30/4.
+        assert!((area_bound(&g, 4) - 7.5).abs() < 1e-12);
+        assert!((makespan_lower_bound(&g, 4) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_bound_uses_cheapest_allocation() {
+        // Sub-linear speedup: wider is wasteful, so the cheapest area is at
+        // one processor.
+        let m = SpeedupModel::downey(4.0, 2.0).unwrap();
+        let mut g = TaskGraph::new();
+        g.add_task("t", ExecutionProfile::new(12.0, m).unwrap());
+        assert!((area_bound(&g, 4) - 12.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_bounded_by_area() {
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            g.add_task(format!("t{i}"), ExecutionProfile::linear(10.0));
+        }
+        // 80 units of work on 2 processors: at least 40.
+        assert!((area_bound(&g, 2) - 40.0).abs() < 1e-12);
+        // CP bound is a single task at its best: 5.
+        assert!((critical_path_bound(&g, 2) - 5.0).abs() < 1e-12);
+        assert!((makespan_lower_bound(&g, 2) - 40.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Locality scoring: which processors already hold a task's input data?
+//!
+//! Algorithm 2, step 9 chooses "the subset of processors in `p` that have
+//! maximum locality for `tp`". A task's input data lives block-cyclically
+//! spread over each parent's processor group, so the value of placing the
+//! task on processor `x` is the input volume resident on `x`:
+//! `score(x) = Σ_{e=(s,t)} volume(e) · share_s(x)` where `share_s(x)` is
+//! `1/np(s)` if `x` is in `s`'s group and 0 otherwise.
+
+use locmps_platform::{ProcId, ProcSet};
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+/// Per-processor resident input volume for task `t`, given each parent's
+/// placement (`parent_procs` returns the processor set a scheduled parent
+/// runs on).
+pub fn input_locality_scores(
+    g: &TaskGraph,
+    t: TaskId,
+    n_procs: usize,
+    parent_procs: impl Fn(TaskId) -> ProcSet,
+) -> Vec<f64> {
+    let mut scores = vec![0.0; n_procs];
+    for e in g.in_edges(t) {
+        let edge = g.edge(e);
+        if edge.volume <= 0.0 {
+            continue;
+        }
+        let procs = parent_procs(edge.src);
+        let np = procs.len();
+        if np == 0 {
+            continue;
+        }
+        let share = edge.volume / np as f64;
+        for p in procs.iter() {
+            if (p as usize) < n_procs {
+                scores[p as usize] += share;
+            }
+        }
+    }
+    scores
+}
+
+/// Picks the `np` highest-scoring processors out of `free` (ties broken
+/// toward lower ids for determinism). Returns `None` when `free` has fewer
+/// than `np` members.
+pub fn select_max_locality(free: &ProcSet, np: usize, scores: &[f64]) -> Option<ProcSet> {
+    if free.len() < np {
+        return None;
+    }
+    let mut procs: Vec<ProcId> = free.iter().collect();
+    procs.sort_by(|&a, &b| {
+        let sa = scores.get(a as usize).copied().unwrap_or(0.0);
+        let sb = scores.get(b as usize).copied().unwrap_or(0.0);
+        sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+    });
+    Some(procs.into_iter().take(np).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    fn set(ids: &[u32]) -> ProcSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn scores_follow_parent_shares() {
+        // Two parents: a on {0,1} sending 40 MB, b on {1,2} sending 20 MB.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(1.0));
+        let b = g.add_task("b", ExecutionProfile::linear(1.0));
+        let t = g.add_task("t", ExecutionProfile::linear(1.0));
+        g.add_edge(a, t, 40.0).unwrap();
+        g.add_edge(b, t, 20.0).unwrap();
+        let placement = |p: TaskId| if p == a { set(&[0, 1]) } else { set(&[1, 2]) };
+        let scores = input_locality_scores(&g, t, 4, placement);
+        assert_eq!(scores, vec![20.0, 30.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_volume_edges_do_not_score() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(1.0));
+        let t = g.add_task("t", ExecutionProfile::linear(1.0));
+        g.add_edge(a, t, 0.0).unwrap();
+        let scores = input_locality_scores(&g, t, 2, |_| set(&[0]));
+        assert_eq!(scores, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn selection_prefers_high_scores_then_low_ids() {
+        let free = set(&[0, 1, 2, 3]);
+        let scores = vec![5.0, 9.0, 5.0, 0.0];
+        let picked = select_max_locality(&free, 2, &scores).unwrap();
+        assert_eq!(picked.to_vec(), vec![0, 1], "9.0 first, then tie 5.0 -> lower id");
+        let picked3 = select_max_locality(&free, 3, &scores).unwrap();
+        assert_eq!(picked3.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn selection_requires_enough_free_procs() {
+        let free = set(&[4]);
+        assert!(select_max_locality(&free, 2, &[]).is_none());
+        assert_eq!(select_max_locality(&free, 1, &[]).unwrap().to_vec(), vec![4]);
+    }
+}

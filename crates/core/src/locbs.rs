@@ -1,0 +1,523 @@
+//! **LoCBS** — Locality Conscious Backfill Scheduling (Algorithm 2).
+//!
+//! Given a task graph and a processor allocation `np(t)`, LoCBS decides
+//! *which* processors each task runs on and *when*:
+//!
+//! 1. ready tasks are served in priority order — highest
+//!    `bottomL(t) + max_{e into t} wt(e)` first;
+//! 2. for the chosen task, every *hole* of the 2-D resource chart that can
+//!    hold `np(t)` processors is examined (backfilling); within each hole
+//!    the processor subset with **maximum locality** for the task's input
+//!    data is selected, the redistribution completion time is computed with
+//!    the exact block-cyclic single-port model, and the placement with the
+//!    **minimum finish time** wins;
+//! 3. if the task starts later than its earliest (data-ready) start time,
+//!    zero-weight *pseudo-edges* from the tasks that block it are added to
+//!    a copy of the graph — the resulting *schedule-DAG* `G'` is what
+//!    LoC-MPS computes critical paths on.
+//!
+//! The *no-backfill* variant (Figure 6's ablation) keeps only the last free
+//! time of each processor instead of enumerating holes.
+
+use locmps_platform::CommOverlap;
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+use crate::allocation::Allocation;
+use crate::commcost::CommModel;
+use crate::locality::{input_locality_scores, select_max_locality};
+use crate::schedule::{time_eps, Schedule, ScheduledTask};
+use crate::scheduler::SchedError;
+use crate::timeline::Timeline;
+
+/// LoCBS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LocbsOptions {
+    /// `true`: full backfilling over schedule holes (the paper's default).
+    /// `false`: the cheaper last-free-time variant of Figure 6.
+    pub backfill: bool,
+}
+
+impl Default for LocbsOptions {
+    fn default() -> Self {
+        Self { backfill: true }
+    }
+}
+
+/// Output of one LoCBS run.
+#[derive(Debug, Clone)]
+pub struct LocbsResult {
+    /// Placement and timing for every task.
+    pub schedule: Schedule,
+    /// `G'`: the input graph plus pseudo-edges for induced dependences.
+    pub schedule_dag: TaskGraph,
+    /// The schedule length (== `schedule.makespan()`).
+    pub makespan: f64,
+}
+
+/// The LoCBS scheduler: maps an (graph, allocation) pair to a schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Locbs<'a> {
+    model: CommModel<'a>,
+    opts: LocbsOptions,
+}
+
+/// One candidate placement under evaluation.
+struct Placement {
+    start: f64,
+    compute_start: f64,
+    finish: f64,
+    procs: locmps_platform::ProcSet,
+}
+
+impl<'a> Locbs<'a> {
+    /// Creates a scheduler over the given communication model.
+    pub fn new(model: CommModel<'a>, opts: LocbsOptions) -> Self {
+        Self { model, opts }
+    }
+
+    /// Runs Algorithm 2.
+    ///
+    /// # Errors
+    /// Fails when the graph is invalid, the allocation vector does not
+    /// cover the graph, or some `np(t)` exceeds the cluster size.
+    pub fn run(&self, g: &TaskGraph, alloc: &Allocation) -> Result<LocbsResult, SchedError> {
+        g.validate().map_err(SchedError::Graph)?;
+        let p_total = self.model.cluster().n_procs;
+        if alloc.len() != g.n_tasks() {
+            return Err(SchedError::AllocationMismatch { expected: g.n_tasks(), got: alloc.len() });
+        }
+        for t in g.task_ids() {
+            if alloc.np(t) > p_total {
+                return Err(SchedError::AllocationTooWide { task: t, np: alloc.np(t), p: p_total });
+            }
+        }
+
+        // Static priorities: bottom level + heaviest in-edge estimate
+        // (Algorithm 2, step 4).
+        let levels = g.levels(
+            |t| g.task(t).profile.time(alloc.np(t)),
+            |e| self.model.edge_estimate(g, alloc, e),
+        );
+        let priority: Vec<f64> = g
+            .task_ids()
+            .map(|t| {
+                let heaviest_in = g
+                    .in_edges(t)
+                    .map(|e| self.model.edge_estimate(g, alloc, e))
+                    .fold(0.0f64, f64::max);
+                levels.bottom[t.index()] + heaviest_in
+            })
+            .collect();
+
+        let mut schedule_dag = g.clone();
+        let mut timeline = Timeline::new(p_total);
+        let mut placed: Vec<Option<ScheduledTask>> = vec![None; g.n_tasks()];
+        let mut remaining_preds: Vec<usize> =
+            g.task_ids().map(|t| g.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> =
+            g.task_ids().filter(|&t| remaining_preds[t.index()] == 0).collect();
+
+        while let Some(pos) = pick_highest_priority(&ready, &priority) {
+            let t = ready.swap_remove(pos);
+            let placement = self.place(g, alloc, t, &placed, &timeline);
+            timeline.occupy(&placement.procs, placement.start, placement.finish);
+
+            // Pseudo-edges: the task is resource-blocked when it occupies
+            // its processors later than its earliest start time (est).
+            let est = self.earliest_start(g, t, &placed, &placement);
+            if placement.start > est + time_eps(placement.start) {
+                for (other_idx, other) in placed.iter().enumerate() {
+                    if let Some(o) = other {
+                        if (o.finish - placement.start).abs() <= time_eps(placement.start)
+                            && !o.procs.is_disjoint(&placement.procs)
+                        {
+                            schedule_dag
+                                .add_pseudo_edge(TaskId(other_idx as u32), t)
+                                .expect("pseudo edge endpoints exist");
+                        }
+                    }
+                }
+            }
+
+            placed[t.index()] = Some(ScheduledTask {
+                task: t,
+                procs: placement.procs,
+                start: placement.start,
+                compute_start: placement.compute_start,
+                finish: placement.finish,
+            });
+            for s in g.successors(t) {
+                remaining_preds[s.index()] -= 1;
+                if remaining_preds[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+
+        let entries: Vec<ScheduledTask> =
+            placed.into_iter().map(|e| e.expect("DAG guarantees all tasks schedule")).collect();
+        let schedule = Schedule::from_entries(entries);
+        let makespan = schedule.makespan();
+        debug_assert!(schedule_dag.validate().is_ok(), "pseudo edges must keep G' acyclic");
+        Ok(LocbsResult { schedule, schedule_dag, makespan })
+    }
+
+    /// The earliest start time `est(t) = max(ft(t0) + ct(t0, t))` given the
+    /// *chosen* placement (used only for the pseudo-edge test).
+    fn earliest_start(
+        &self,
+        g: &TaskGraph,
+        t: TaskId,
+        placed: &[Option<ScheduledTask>],
+        placement: &Placement,
+    ) -> f64 {
+        let mut est = 0.0f64;
+        for e in g.in_edges(t) {
+            let edge = g.edge(e);
+            let src = placed[edge.src.index()].as_ref().expect("parents are scheduled first");
+            let ct = match self.model.cluster().overlap {
+                CommOverlap::Full => {
+                    self.model.transfer_time(&src.procs, &placement.procs, edge.volume)
+                }
+                // Under no-overlap the transfer happens inside the task's
+                // own occupancy window, so data readiness is parent finish.
+                CommOverlap::None => 0.0,
+            };
+            est = est.max(src.finish + ct);
+        }
+        est
+    }
+
+    /// Finds the minimum-finish-time placement for `t` (Algorithm 2, steps
+    /// 5–16), backfilling over holes or, in the no-backfill variant, after
+    /// the last free times only.
+    fn place(
+        &self,
+        g: &TaskGraph,
+        alloc: &Allocation,
+        t: TaskId,
+        placed: &[Option<ScheduledTask>],
+        timeline: &Timeline,
+    ) -> Placement {
+        let np = alloc.np(t);
+        let et = g.task(t).profile.time(np);
+        let p_total = self.model.cluster().n_procs;
+        let data_ready = g
+            .in_edges(t)
+            .map(|e| placed[g.edge(e).src.index()].as_ref().expect("parents first").finish)
+            .fold(0.0f64, f64::max);
+        let scores = input_locality_scores(g, t, p_total, |p| {
+            placed[p.index()].as_ref().expect("parents first").procs.clone()
+        });
+
+        let candidates: Vec<f64> = if self.opts.backfill {
+            timeline.candidate_times(data_ready)
+        } else {
+            // No-backfill: the only start considered is after the last free
+            // time of the selected processors; seed with the global horizon
+            // candidates computed from last-free-times.
+            let mut times: Vec<f64> = (0..p_total as u32)
+                .map(|p| timeline.last_free_time(p).max(data_ready))
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            times.dedup_by(|a, b| (*a - *b).abs() <= time_eps(*a));
+            times
+        };
+
+        let mut best: Option<Placement> = None;
+        for &s in &candidates {
+            if let Some(b) = &best {
+                if s >= b.finish {
+                    break; // no later hole can finish earlier
+                }
+            }
+            let free = if self.opts.backfill {
+                timeline.free_set(s, s + et)
+            } else {
+                // Only processors whose last booking has ended are eligible
+                // — holes are invisible to this variant.
+                (0..p_total as u32).filter(|&p| timeline.last_free_time(p) <= s + time_eps(s)).collect()
+            };
+            if free.len() < np {
+                continue;
+            }
+            let Some(procs) = select_max_locality(&free, np, &scores) else { continue };
+
+            let (start, compute_start, finish) = match self.model.cluster().overlap {
+                CommOverlap::Full => {
+                    // Redistribution completion time on this subset.
+                    let mut rct = data_ready;
+                    for e in g.in_edges(t) {
+                        let edge = g.edge(e);
+                        let src = placed[edge.src.index()].as_ref().expect("parents first");
+                        let ct = self.model.transfer_time(&src.procs, &procs, edge.volume);
+                        rct = rct.max(src.finish + ct);
+                    }
+                    let st = s.max(rct);
+                    (st, st, st + et)
+                }
+                CommOverlap::None => {
+                    // Inbound transfers serialize inside the occupancy
+                    // window (single-port at the receiver).
+                    let mut comm_total = 0.0;
+                    for e in g.in_edges(t) {
+                        let edge = g.edge(e);
+                        let src = placed[edge.src.index()].as_ref().expect("parents first");
+                        comm_total += self.model.transfer_time(&src.procs, &procs, edge.volume);
+                    }
+                    let st = s.max(data_ready);
+                    (st, st + comm_total, st + comm_total + et)
+                }
+            };
+
+            // The window guess was [s, s+et); the real occupancy may have
+            // shifted or grown — verify it on the actual interval.
+            let feasible = procs.iter().all(|p| {
+                if self.opts.backfill {
+                    timeline.is_free(p, start, finish)
+                } else {
+                    timeline.last_free_time(p) <= start + time_eps(start)
+                }
+            });
+            if !feasible {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    finish < b.finish - time_eps(finish)
+                        || ((finish - b.finish).abs() <= time_eps(finish) && start < b.start)
+                }
+            };
+            if better {
+                best = Some(Placement { start, compute_start, finish, procs });
+            }
+        }
+        best.expect("the all-free horizon candidate always fits")
+    }
+}
+
+/// Index of the highest-priority ready task (ties toward lower task id).
+fn pick_highest_priority(ready: &[TaskId], priority: &[f64]) -> Option<usize> {
+    ready
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            priority[a.index()]
+                .partial_cmp(&priority[b.index()])
+                .unwrap()
+                .then(b.cmp(a)) // lower id wins ties
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_platform::Cluster;
+    use locmps_speedup::{ExecutionProfile, ProfiledSpeedup, SpeedupModel};
+    use locmps_taskgraph::EdgeKind;
+
+    fn profiled(times: &[f64]) -> ExecutionProfile {
+        ExecutionProfile::new(times[0], SpeedupModel::Table(ProfiledSpeedup::from_times(times).unwrap()))
+            .unwrap()
+    }
+
+    /// Figure 1: T1 -> {T2, T3} -> T4 on 4 processors with the allocation
+    /// of Fig 1(b); T2 and T3 get serialized, yielding makespan 30 and a
+    /// pseudo-edge between them.
+    #[test]
+    fn fig1_pseudo_edges_and_makespan() {
+        let mut g = TaskGraph::new();
+        // et on the allocated counts: T1: 10 on 4, T2: 7 on 3, T3: 5 on 2,
+        // T4: 8 on 4. Fill profiles so time(np) matches.
+        let t1 = g.add_task("T1", profiled(&[40.0, 20.0, 13.3, 10.0]));
+        let t2 = g.add_task("T2", profiled(&[21.0, 10.5, 7.0]));
+        let t3 = g.add_task("T3", profiled(&[10.0, 5.0]));
+        let t4 = g.add_task("T4", profiled(&[32.0, 16.0, 10.7, 8.0]));
+        g.add_edge(t1, t2, 0.0).unwrap();
+        g.add_edge(t1, t3, 0.0).unwrap();
+        g.add_edge(t2, t4, 0.0).unwrap();
+        g.add_edge(t3, t4, 0.0).unwrap();
+        let cluster = Cluster::new(4, 12.5);
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        let alloc = Allocation::from_vec(vec![4, 3, 2, 4]);
+        let res = locbs.run(&g, &alloc).unwrap();
+        assert!((res.makespan - 30.0).abs() < 1e-9, "paper reports 30, got {}", res.makespan);
+        // T2 (3 procs) and T3 (2 procs) cannot coexist on 4 processors:
+        // exactly one pseudo-edge between them must appear in G'.
+        let pseudo: Vec<_> = res
+            .schedule_dag
+            .edges()
+            .filter(|(_, e)| e.kind == EdgeKind::Pseudo)
+            .map(|(_, e)| (e.src, e.dst))
+            .collect();
+        assert_eq!(pseudo, vec![(t2, t3)]);
+        res.schedule.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn independent_tasks_run_concurrently() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        g.add_task("b", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let res = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::ones(2))
+            .unwrap();
+        assert!((res.makespan - 10.0).abs() < 1e-9);
+        res.schedule.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn backfill_uses_holes_that_no_backfill_wastes() {
+        // Wide task W (2 procs) forced to wait for chain head H; a small
+        // independent task S fits in the hole next to H under backfill.
+        //   H(1p, 10s) -> W(2p, 10s);  S(1p, 8s) independent.
+        let mut g = TaskGraph::new();
+        let h = g.add_task("H", ExecutionProfile::linear(10.0));
+        let w = g.add_task("W", profiled(&[20.0, 10.0]));
+        let s = g.add_task("S", ExecutionProfile::linear(8.0));
+        g.add_edge(h, w, 0.0).unwrap();
+        let _ = s;
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let alloc = Allocation::from_vec(vec![1, 2, 1]);
+        let with = Locbs::new(model, LocbsOptions { backfill: true }).run(&g, &alloc).unwrap();
+        let without = Locbs::new(model, LocbsOptions { backfill: false }).run(&g, &alloc).unwrap();
+        // Backfill: S runs beside H during [0,8); W at [10,20): makespan 20.
+        assert!((with.makespan - 20.0).abs() < 1e-9, "got {}", with.makespan);
+        // Priorities put H (bottom level 20) first, then W, then S; the
+        // no-backfill variant can only append S after W: makespan 28.
+        assert!(without.makespan >= 27.9, "got {}", without.makespan);
+        with.schedule.validate(&g, &model).unwrap();
+        without.schedule.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn locality_pulls_consumer_onto_producer_procs() {
+        // a on some proc produces 100 MB for b; placing b on a's processor
+        // avoids the transfer entirely.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0));
+        let c = g.add_task("c", ExecutionProfile::linear(10.0));
+        g.add_edge(a, b, 100.0).unwrap();
+        let _ = c;
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let res = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::ones(3))
+            .unwrap();
+        let pa = &res.schedule.get(a).unwrap().procs;
+        let pb = &res.schedule.get(b).unwrap().procs;
+        assert_eq!(pa, pb, "consumer should follow its data");
+        assert!((res.makespan - 20.0).abs() < 1e-9);
+        res.schedule.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn no_overlap_reserves_comm_window() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0));
+        // Force a transfer by occupying a's processor with a filler chain so
+        // locality can't collapse them... simpler: two procs, volume large,
+        // but locality makes b land on a's proc and transfer vanishes. To
+        // exercise the window we pin np(b)=2 so b must span both procs.
+        g.add_edge(a, b, 125.0).unwrap();
+        let cluster = Cluster::new(2, 12.5).without_overlap();
+        let model = CommModel::new(&cluster);
+        let res = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::from_vec(vec![1, 2]))
+            .unwrap();
+        let eb = res.schedule.get(b).unwrap();
+        assert!(eb.compute_start > eb.start, "comm window must be reserved");
+        res.schedule.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn priority_includes_heaviest_in_edge() {
+        // Two consumers with identical bottom levels; y's inbound transfer
+        // is far heavier, so Algorithm 2's priority (bottomL + heaviest
+        // in-edge) must serve y first — it lands on the single free
+        // processor at its data-ready time, x queues behind it.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let x = g.add_task("x", ExecutionProfile::linear(10.0));
+        let y = g.add_task("y", ExecutionProfile::linear(10.0));
+        g.add_edge(a, x, 1.0).unwrap();
+        g.add_edge(a, y, 500.0).unwrap();
+        let cluster = Cluster::new(1, 12.5);
+        let model = CommModel::new(&cluster);
+        let res = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::ones(3))
+            .unwrap();
+        let sx = res.schedule.get(x).unwrap().compute_start;
+        let sy = res.schedule.get(y).unwrap().compute_start;
+        assert!(
+            sy < sx,
+            "heavy-in-edge task must be prioritized: y at {sy}, x at {sx}"
+        );
+        res.schedule.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn multiple_blockers_all_get_pseudo_edges() {
+        // Two independent 1-proc tasks finish simultaneously and jointly
+        // release the 2 processors a waiting wide task needs: both must be
+        // recorded as pseudo-predecessors in G'.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0));
+        let w = g.add_task("w", profiled(&[20.0, 10.0]));
+        let _ = (a, b);
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let res = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::from_vec(vec![1, 1, 2]))
+            .unwrap();
+        let pseudo: Vec<_> = res
+            .schedule_dag
+            .edges()
+            .filter(|(_, e)| e.kind == EdgeKind::Pseudo)
+            .map(|(_, e)| (e.src, e.dst))
+            .collect();
+        assert_eq!(pseudo.len(), 2, "both finishers block w: {pseudo:?}");
+        assert!(pseudo.iter().all(|&(_, dst)| dst == w));
+        assert!((res.makespan - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(1.0));
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        assert!(matches!(
+            locbs.run(&g, &Allocation::ones(5)),
+            Err(SchedError::AllocationMismatch { .. })
+        ));
+        assert!(matches!(
+            locbs.run(&g, &Allocation::from_vec(vec![3])),
+            Err(SchedError::AllocationTooWide { task, np: 3, p: 2 }) if task == a
+        ));
+    }
+
+    #[test]
+    fn comm_blind_schedule_ignores_volumes() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0));
+        g.add_edge(a, b, 10_000.0).unwrap();
+        let cluster = Cluster::new(2, 12.5);
+        let blind = CommModel::blind(&cluster);
+        let res = Locbs::new(blind, LocbsOptions::default())
+            .run(&g, &Allocation::ones(2))
+            .unwrap();
+        assert!((res.makespan - 20.0).abs() < 1e-9, "blind model sees no transfer");
+    }
+}

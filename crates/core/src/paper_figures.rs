@@ -1,0 +1,79 @@
+//! Cross-cutting tests that replay the worked examples of the paper's
+//! Figures 1–3 end-to-end (the per-module tests cover the pieces; these
+//! exercise the full pipeline and the claims the paper attaches to each
+//! figure).
+
+use locmps_platform::Cluster;
+use locmps_speedup::{ExecutionProfile, ProfiledSpeedup, SpeedupModel};
+use locmps_taskgraph::TaskGraph;
+
+use crate::allocation::Allocation;
+use crate::bounds::makespan_lower_bound;
+use crate::commcost::CommModel;
+use crate::locbs::{Locbs, LocbsOptions};
+use crate::locmps::{LocMps, LocMpsConfig};
+use crate::scheduler::Scheduler;
+
+fn profiled(times: &[f64]) -> ExecutionProfile {
+    ExecutionProfile::new(
+        times[0],
+        SpeedupModel::Table(ProfiledSpeedup::from_times(times).unwrap()),
+    )
+    .unwrap()
+}
+
+/// Figure 1's diamond with the allocation table of Fig 1(b).
+fn fig1_graph() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let t1 = g.add_task("T1", profiled(&[40.0, 20.0, 13.3, 10.0]));
+    let t2 = g.add_task("T2", profiled(&[21.0, 10.5, 7.0]));
+    let t3 = g.add_task("T3", profiled(&[10.0, 5.0]));
+    let t4 = g.add_task("T4", profiled(&[32.0, 16.0, 10.7, 8.0]));
+    g.add_edge(t1, t2, 0.0).unwrap();
+    g.add_edge(t1, t3, 0.0).unwrap();
+    g.add_edge(t2, t4, 0.0).unwrap();
+    g.add_edge(t3, t4, 0.0).unwrap();
+    g
+}
+
+#[test]
+fn fig1_schedule_dag_critical_path_is_the_makespan() {
+    let g = fig1_graph();
+    let cluster = Cluster::new(4, 12.5);
+    let model = CommModel::new(&cluster);
+    let alloc = Allocation::from_vec(vec![4, 3, 2, 4]);
+    let res = Locbs::new(model, LocbsOptions::default()).run(&g, &alloc).unwrap();
+    // The paper's claim: "The makespan of the schedule G', which is the
+    // critical path length of G', is 30."
+    let cp = res.schedule_dag.critical_path(
+        |t| g.task(t).profile.time(alloc.np(t)),
+        |_| 0.0,
+    );
+    assert!((cp.length - 30.0).abs() < 1e-9);
+    assert!((res.makespan - cp.length).abs() < 1e-9);
+}
+
+#[test]
+fn fig3_lookahead_beats_greedy_and_matches_data_parallel() {
+    let mut g = TaskGraph::new();
+    g.add_task("T1", ExecutionProfile::linear(40.0));
+    g.add_task("T2", ExecutionProfile::linear(80.0));
+    let cluster = Cluster::new(4, 12.5);
+    let full = LocMps::default().schedule(&g, &cluster).unwrap();
+    let greedy = LocMps::new(LocMpsConfig::greedy()).schedule(&g, &cluster).unwrap();
+    // Data-parallel reference: both tasks on all 4 procs in sequence.
+    let data_parallel = 40.0 / 4.0 + 80.0 / 4.0;
+    assert!((full.makespan() - data_parallel).abs() < 1e-6);
+    assert!(greedy.makespan() > full.makespan() + 1.0);
+    // And the bound machinery agrees nothing better was possible.
+    assert!(full.makespan() >= makespan_lower_bound(&g, 4) - 1e-9);
+}
+
+#[test]
+fn lower_bounds_hold_on_all_figure_graphs() {
+    let cluster = Cluster::new(4, 12.5);
+    let g = fig1_graph();
+    let out = LocMps::default().schedule(&g, &cluster).unwrap();
+    assert!(out.makespan() + 1e-9 >= makespan_lower_bound(&g, 4));
+    out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+}

@@ -1,0 +1,133 @@
+//! Property tests: every schedule LoCBS/LoC-MPS produces is valid, bounded
+//! below by the makespan lower bounds, and deterministic.
+
+use locmps_platform::Cluster;
+use locmps_speedup::{DowneyParams, ExecutionProfile, SpeedupModel};
+use locmps_taskgraph::{TaskGraph, TaskId};
+use proptest::prelude::*;
+
+use crate::allocation::Allocation;
+use crate::bounds::makespan_lower_bound;
+use crate::commcost::CommModel;
+use crate::locbs::{Locbs, LocbsOptions};
+use crate::locmps::{LocMps, LocMpsConfig};
+use crate::scheduler::Scheduler;
+
+/// Random DAG with Downey-profiled tasks and volume-carrying edges.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..12, any::<u64>(), 0.1..0.4f64).prop_map(|(n, seed, density)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let work = 5.0 + 25.0 * next();
+            let a = 1.0 + 31.0 * next();
+            let sigma = 2.0 * next();
+            let model = SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap());
+            g.add_task(format!("t{i}"), ExecutionProfile::new(work, model).unwrap());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 100.0 * next()).unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    (1usize..12, prop_oneof![Just(true), Just(false)]).prop_map(|(p, overlap)| {
+        let c = Cluster::new(p, 12.5);
+        if overlap {
+            c
+        } else {
+            c.without_overlap()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn locbs_schedules_are_valid(g in arb_graph(), cluster in arb_cluster(), backfill in any::<bool>()) {
+        let model = CommModel::new(&cluster);
+        let alloc = Allocation::ones(g.n_tasks());
+        let res = Locbs::new(model, LocbsOptions { backfill }).run(&g, &alloc).unwrap();
+        prop_assert!(res.schedule.validate(&g, &model).is_ok(),
+            "invalid schedule: {:?}", res.schedule.validate(&g, &model));
+        prop_assert!((res.makespan - res.schedule.makespan()).abs() < 1e-9);
+        // G' must still be a DAG containing all original edges.
+        prop_assert!(res.schedule_dag.validate().is_ok());
+        prop_assert!(res.schedule_dag.n_edges() >= g.n_edges());
+    }
+
+    #[test]
+    fn locmps_schedules_are_valid_and_bounded(g in arb_graph(), cluster in arb_cluster()) {
+        let out = LocMps::default().schedule(&g, &cluster).unwrap();
+        let model = CommModel::new(&cluster);
+        prop_assert!(out.schedule.validate(&g, &model).is_ok(),
+            "invalid: {:?}", out.schedule.validate(&g, &model));
+        let lb = makespan_lower_bound(&g, cluster.n_procs);
+        prop_assert!(out.makespan() + 1e-6 >= lb,
+            "makespan {} below lower bound {lb}", out.makespan());
+        // Allocation within limits.
+        for t in g.task_ids() {
+            let np = out.allocation.np(t);
+            prop_assert!(np >= 1 && np <= cluster.n_procs);
+            prop_assert_eq!(out.schedule.get(t).unwrap().np(), np);
+        }
+    }
+
+    #[test]
+    fn locmps_never_worse_than_task_parallel(g in arb_graph(), p in 1usize..10) {
+        let cluster = Cluster::new(p, 12.5);
+        let model = CommModel::new(&cluster);
+        let task = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::ones(g.n_tasks()))
+            .unwrap();
+        let out = LocMps::default().schedule(&g, &cluster).unwrap();
+        prop_assert!(out.makespan() <= task.makespan * (1.0 + 1e-9),
+            "LoC-MPS {} worse than its own starting point {}", out.makespan(), task.makespan);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs(g in arb_graph(), p in 1usize..8) {
+        let cluster = Cluster::new(p, 12.5);
+        let a = LocMps::default().schedule(&g, &cluster).unwrap();
+        let b = LocMps::default().schedule(&g, &cluster).unwrap();
+        prop_assert_eq!(a.schedule, b.schedule);
+        prop_assert_eq!(a.allocation, b.allocation);
+    }
+
+    #[test]
+    fn no_backfill_variant_is_valid_and_comparable(g in arb_graph(), p in 2usize..8) {
+        // Backfill dominance is NOT a theorem (per-task greedy choices
+        // diverge after the first difference), but both variants must be
+        // valid and every task's finish must be at least the per-task lower
+        // bound; the aggregate Figure 6 comparison lives in the bench crate.
+        let cluster = Cluster::new(p, 12.5);
+        let model = CommModel::new(&cluster);
+        let alloc = Allocation::ones(g.n_tasks());
+        let with = Locbs::new(model, LocbsOptions { backfill: true }).run(&g, &alloc).unwrap();
+        let without = Locbs::new(model, LocbsOptions { backfill: false }).run(&g, &alloc).unwrap();
+        prop_assert!(with.schedule.validate(&g, &model).is_ok());
+        prop_assert!(without.schedule.validate(&g, &model).is_ok());
+        let lb = makespan_lower_bound(&g, p);
+        prop_assert!(with.makespan + 1e-6 >= lb);
+        prop_assert!(without.makespan + 1e-6 >= lb);
+    }
+
+    #[test]
+    fn icaslb_valid_under_its_own_model(g in arb_graph(), p in 1usize..8) {
+        let cluster = Cluster::new(p, 12.5);
+        let out = LocMps::new(LocMpsConfig::icaslb()).schedule(&g, &cluster).unwrap();
+        let blind = CommModel::blind(&cluster);
+        prop_assert!(out.schedule.validate(&g, &blind).is_ok());
+    }
+}

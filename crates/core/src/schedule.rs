@@ -1,0 +1,422 @@
+//! Schedules: the common output type of every scheduler in this workspace,
+//! with an independent validity checker and a text Gantt renderer.
+
+use locmps_platform::{CommOverlap, ProcSet};
+use locmps_taskgraph::{TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+use crate::commcost::CommModel;
+
+/// Relative tolerance for floating-point time comparisons.
+pub(crate) const TIME_EPS: f64 = 1e-6;
+
+/// Scale-aware closeness test for schedule times.
+#[inline]
+pub(crate) fn time_eps(scale: f64) -> f64 {
+    TIME_EPS * scale.abs().max(1.0)
+}
+
+/// Placement and timing of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledTask {
+    /// The task.
+    pub task: TaskId,
+    /// The processors it occupies.
+    pub procs: ProcSet,
+    /// When the task begins occupying its processors. Under the no-overlap
+    /// communication regime this is when inbound redistribution starts.
+    pub start: f64,
+    /// When computation proper begins (`start` plus inbound redistribution
+    /// under no-overlap; equal to `start` under full overlap).
+    pub compute_start: f64,
+    /// When the task completes and releases its processors.
+    pub finish: f64,
+}
+
+impl ScheduledTask {
+    /// Number of processors allocated, `np(t)`.
+    pub fn np(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// Why a schedule failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// A task was never placed.
+    Unscheduled(TaskId),
+    /// A task uses a processor id outside the cluster.
+    ProcOutOfRange(TaskId),
+    /// A task has an empty processor set.
+    EmptyProcSet(TaskId),
+    /// Timing fields are inconsistent (`start ≤ compute_start ≤ finish`
+    /// violated, or `finish ≠ compute_start + et`).
+    BadTiming(TaskId),
+    /// A precedence or redistribution constraint is violated on an edge.
+    PrecedenceViolated {
+        /// Producer task.
+        src: TaskId,
+        /// Consumer task.
+        dst: TaskId,
+        /// Earliest legal value for the violated field.
+        required: f64,
+        /// The actual value found in the schedule.
+        actual: f64,
+    },
+    /// Two tasks occupy the same processor at the same time.
+    Overlap(TaskId, TaskId),
+    /// The consumer's communication window is too short for its inbound
+    /// redistribution under the no-overlap regime.
+    CommWindowTooShort(TaskId),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Unscheduled(t) => write!(f, "task {t} was never scheduled"),
+            ScheduleError::ProcOutOfRange(t) => write!(f, "task {t} uses an out-of-range processor"),
+            ScheduleError::EmptyProcSet(t) => write!(f, "task {t} has an empty processor set"),
+            ScheduleError::BadTiming(t) => write!(f, "task {t} has inconsistent timing"),
+            ScheduleError::PrecedenceViolated { src, dst, required, actual } => write!(
+                f,
+                "edge {src} -> {dst} violated: needs {required:.6}, got {actual:.6}"
+            ),
+            ScheduleError::Overlap(a, b) => write!(f, "tasks {a} and {b} overlap on a processor"),
+            ScheduleError::CommWindowTooShort(t) => {
+                write!(f, "task {t}'s communication window is too short")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Options for the text Gantt chart.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Character columns used for the time axis.
+    pub width: usize,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        Self { width: 72 }
+    }
+}
+
+/// A complete schedule: one [`ScheduledTask`] per task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    entries: Vec<ScheduledTask>,
+}
+
+impl Schedule {
+    /// Builds a schedule from per-task entries (any order; re-sorted by
+    /// task id).
+    ///
+    /// # Panics
+    /// Panics if two entries describe the same task.
+    pub fn from_entries(mut entries: Vec<ScheduledTask>) -> Self {
+        entries.sort_by_key(|e| e.task);
+        for w in entries.windows(2) {
+            assert!(w[0].task != w[1].task, "duplicate entry for {}", w[0].task);
+        }
+        Self { entries }
+    }
+
+    /// The entry for task `t`, if present.
+    pub fn get(&self, t: TaskId) -> Option<&ScheduledTask> {
+        self.entries.binary_search_by_key(&t, |e| e.task).ok().map(|i| &self.entries[i])
+    }
+
+    /// All entries in task-id order.
+    pub fn entries(&self) -> &[ScheduledTask] {
+        &self.entries
+    }
+
+    /// Number of scheduled tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no task is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The makespan: latest finish time (0 for an empty schedule).
+    pub fn makespan(&self) -> f64 {
+        self.entries.iter().map(|e| e.finish).fold(0.0, f64::max)
+    }
+
+    /// Fraction of the processors × makespan rectangle filled with task
+    /// occupancy.
+    pub fn utilization(&self, n_procs: usize) -> f64 {
+        let ms = self.makespan();
+        if ms <= 0.0 || n_procs == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.entries.iter().map(|e| (e.finish - e.start) * e.np() as f64).sum();
+        busy / (ms * n_procs as f64)
+    }
+
+    /// Checks that this schedule is *valid* for `g` on `cluster` under
+    /// `model`'s communication semantics:
+    ///
+    /// 1. every task placed once, on in-range, non-empty processor sets;
+    /// 2. `finish = compute_start + et(t, np(t))` and
+    ///    `start ≤ compute_start`;
+    /// 3. every edge respected: under full overlap the consumer's
+    ///    computation starts no earlier than producer finish plus the exact
+    ///    transfer time; under no-overlap the consumer's occupancy starts
+    ///    no earlier than producer finish and its communication window
+    ///    covers the sum of its inbound transfers;
+    /// 4. no processor is double-booked.
+    pub fn validate(&self, g: &TaskGraph, model: &CommModel<'_>) -> Result<(), ScheduleError> {
+        let cluster = model.cluster();
+        // 1 & 2: per-task checks.
+        for t in g.task_ids() {
+            let e = self.get(t).ok_or(ScheduleError::Unscheduled(t))?;
+            if e.procs.is_empty() {
+                return Err(ScheduleError::EmptyProcSet(t));
+            }
+            if e.procs.iter().any(|p| p as usize >= cluster.n_procs) {
+                return Err(ScheduleError::ProcOutOfRange(t));
+            }
+            let et = g.task(t).profile.time(e.np());
+            let eps = time_eps(e.finish);
+            if e.start > e.compute_start + eps
+                || e.compute_start > e.finish + eps
+                || (e.finish - (e.compute_start + et)).abs() > eps
+            {
+                return Err(ScheduleError::BadTiming(t));
+            }
+        }
+        // 3: edges.
+        for t in g.task_ids() {
+            let dst = self.get(t).expect("checked above");
+            let mut inbound = 0.0;
+            for eid in g.in_edges(t) {
+                let edge = g.edge(eid);
+                let src = self.get(edge.src).expect("checked above");
+                let eps = time_eps(src.finish.max(dst.finish));
+                match cluster.overlap {
+                    CommOverlap::Full => {
+                        let ct = model.transfer_time(&src.procs, &dst.procs, edge.volume);
+                        let required = src.finish + ct;
+                        if dst.compute_start + eps < required {
+                            return Err(ScheduleError::PrecedenceViolated {
+                                src: edge.src,
+                                dst: t,
+                                required,
+                                actual: dst.compute_start,
+                            });
+                        }
+                    }
+                    CommOverlap::None => {
+                        if dst.start + eps < src.finish {
+                            return Err(ScheduleError::PrecedenceViolated {
+                                src: edge.src,
+                                dst: t,
+                                required: src.finish,
+                                actual: dst.start,
+                            });
+                        }
+                        inbound += model.transfer_time(&src.procs, &dst.procs, edge.volume);
+                    }
+                }
+            }
+            if cluster.overlap == CommOverlap::None {
+                let window = dst.compute_start - dst.start;
+                if window + time_eps(dst.finish) < inbound {
+                    return Err(ScheduleError::CommWindowTooShort(t));
+                }
+            }
+        }
+        // 4: double-booking, per processor sweep.
+        let mut by_proc: Vec<Vec<(f64, f64, TaskId)>> = vec![Vec::new(); cluster.n_procs];
+        for e in &self.entries {
+            for p in e.procs.iter() {
+                by_proc[p as usize].push((e.start, e.finish, e.task));
+            }
+        }
+        for intervals in &mut by_proc {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                let eps = time_eps(w[1].1);
+                if w[1].0 + eps < w[0].1 {
+                    return Err(ScheduleError::Overlap(w[0].2, w[1].2));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders an ASCII Gantt chart: one row per processor, `#`-shaded task
+    /// boxes labelled by task index, `.` for idle and `~` for a task's
+    /// inbound-communication window.
+    pub fn gantt(&self, g: &TaskGraph, n_procs: usize, opts: GanttOptions) -> String {
+        use std::fmt::Write as _;
+        let ms = self.makespan();
+        let width = opts.width.max(8);
+        let scale = if ms > 0.0 { width as f64 / ms } else { 0.0 };
+        let mut rows = vec![vec!['.'; width]; n_procs];
+        for e in &self.entries {
+            let label = label_char(e.task.index());
+            let c0 = ((e.start * scale) as usize).min(width - 1);
+            let cc = ((e.compute_start * scale) as usize).min(width);
+            let c1 = (((e.finish * scale).ceil()) as usize).clamp(c0 + 1, width);
+            for p in e.procs.iter() {
+                let row = &mut rows[p as usize];
+                for (i, cell) in row.iter_mut().enumerate().take(c1).skip(c0) {
+                    *cell = if i < cc { '~' } else { label };
+                }
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "makespan = {ms:.2}  (one column ≈ {:.2})", if scale > 0.0 { 1.0 / scale } else { 0.0 }).unwrap();
+        for (p, row) in rows.iter().enumerate() {
+            writeln!(out, "p{p:>3} |{}|", row.iter().collect::<String>()).unwrap();
+        }
+        let mut legend: Vec<(TaskId, char)> =
+            self.entries.iter().map(|e| (e.task, label_char(e.task.index()))).collect();
+        legend.truncate(26);
+        write!(out, "tasks:").unwrap();
+        for (t, c) in legend {
+            write!(out, " {c}={}", g.task(t).name).unwrap();
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn label_char(i: usize) -> char {
+    const LABELS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    LABELS[i % LABELS.len()] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_platform::Cluster;
+    use locmps_speedup::ExecutionProfile;
+
+    fn set(ids: &[u32]) -> ProcSet {
+        ids.iter().copied().collect()
+    }
+
+    fn chain_graph(volume: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0));
+        g.add_edge(a, b, volume).unwrap();
+        g
+    }
+
+    fn entry(t: u32, procs: &[u32], start: f64, cstart: f64, finish: f64) -> ScheduledTask {
+        ScheduledTask { task: TaskId(t), procs: set(procs), start, compute_start: cstart, finish }
+    }
+
+    #[test]
+    fn valid_chain_schedule_passes() {
+        let g = chain_graph(0.0);
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let s = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 10.0),
+            entry(1, &[0], 10.0, 10.0, 20.0),
+        ]);
+        s.validate(&g, &model).unwrap();
+        assert_eq!(s.makespan(), 20.0);
+        assert!((s.utilization(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_precedence_violation_with_transfer() {
+        let g = chain_graph(125.0); // 10 s at 12.5 MB/s between disjoint procs
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let s = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 10.0),
+            entry(1, &[1], 10.0, 10.0, 20.0), // starts before transfer done
+        ]);
+        match s.validate(&g, &model).unwrap_err() {
+            ScheduleError::PrecedenceViolated { required, .. } => {
+                assert!((required - 20.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Blind model accepts the same schedule (iCASLB's own view).
+        let blind = CommModel::blind(&cluster);
+        s.validate(&g, &blind).unwrap();
+    }
+
+    #[test]
+    fn detects_double_booking() {
+        let g = {
+            let mut g = TaskGraph::new();
+            g.add_task("a", ExecutionProfile::linear(10.0));
+            g.add_task("b", ExecutionProfile::linear(10.0));
+            g
+        };
+        let cluster = Cluster::new(1, 12.5);
+        let model = CommModel::new(&cluster);
+        let s = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 10.0),
+            entry(1, &[0], 5.0, 5.0, 15.0),
+        ]);
+        assert!(matches!(s.validate(&g, &model), Err(ScheduleError::Overlap(_, _))));
+    }
+
+    #[test]
+    fn detects_missing_and_malformed_tasks() {
+        let g = chain_graph(0.0);
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let missing = Schedule::from_entries(vec![entry(0, &[0], 0.0, 0.0, 10.0)]);
+        assert!(matches!(missing.validate(&g, &model), Err(ScheduleError::Unscheduled(_))));
+        let out_of_range = Schedule::from_entries(vec![
+            entry(0, &[5], 0.0, 0.0, 10.0),
+            entry(1, &[0], 10.0, 10.0, 20.0),
+        ]);
+        assert!(matches!(out_of_range.validate(&g, &model), Err(ScheduleError::ProcOutOfRange(_))));
+        let bad_timing = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 99.0), // finish != start + et
+            entry(1, &[0], 99.0, 99.0, 109.0),
+        ]);
+        assert!(matches!(bad_timing.validate(&g, &model), Err(ScheduleError::BadTiming(_))));
+    }
+
+    #[test]
+    fn no_overlap_requires_comm_window() {
+        let g = chain_graph(125.0);
+        let cluster = Cluster::new(2, 12.5).without_overlap();
+        let model = CommModel::new(&cluster);
+        // Transfer takes 10 s; window of zero is rejected.
+        let bad = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 10.0),
+            entry(1, &[1], 10.0, 10.0, 20.0),
+        ]);
+        assert!(matches!(bad.validate(&g, &model), Err(ScheduleError::CommWindowTooShort(_))));
+        // With the window, it passes.
+        let good = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 10.0),
+            entry(1, &[1], 10.0, 20.0, 30.0),
+        ]);
+        good.validate(&g, &model).unwrap();
+    }
+
+    #[test]
+    fn gantt_renders_all_processors() {
+        let g = chain_graph(0.0);
+        let s = Schedule::from_entries(vec![
+            entry(0, &[0], 0.0, 0.0, 10.0),
+            entry(1, &[1], 10.0, 10.0, 20.0),
+        ]);
+        let txt = s.gantt(&g, 2, GanttOptions::default());
+        assert!(txt.contains("p  0"));
+        assert!(txt.contains("p  1"));
+        assert!(txt.contains("makespan = 20.00"));
+        assert!(txt.contains("A=a"));
+    }
+}

@@ -1,0 +1,75 @@
+//! The common scheduler interface implemented by LoC-MPS and every baseline.
+
+use locmps_platform::Cluster;
+use locmps_taskgraph::{GraphError, TaskGraph, TaskId};
+
+use crate::allocation::Allocation;
+use crate::schedule::Schedule;
+
+/// Errors any scheduler can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The input graph is invalid (cyclic or empty).
+    Graph(GraphError),
+    /// The allocation vector does not match the task count.
+    AllocationMismatch {
+        /// Tasks in the graph.
+        expected: usize,
+        /// Entries in the allocation.
+        got: usize,
+    },
+    /// A task was allocated more processors than the cluster has.
+    AllocationTooWide {
+        /// The offending task.
+        task: TaskId,
+        /// Its allocation.
+        np: usize,
+        /// The cluster size.
+        p: usize,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Graph(e) => write!(f, "invalid task graph: {e}"),
+            SchedError::AllocationMismatch { expected, got } => {
+                write!(f, "allocation covers {got} tasks, graph has {expected}")
+            }
+            SchedError::AllocationTooWide { task, np, p } => {
+                write!(f, "task {task} allocated {np} > {p} processors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// What a scheduler returns: the schedule, the allocation behind it, and —
+/// for LoCBS-based schedulers — the pseudo-edge schedule-DAG `G'`.
+#[derive(Debug, Clone)]
+pub struct SchedulerOutput {
+    /// Placement and timing of every task.
+    pub schedule: Schedule,
+    /// The processor counts the scheduler settled on.
+    pub allocation: Allocation,
+    /// `G'` when the scheduler constructs one (`None` for e.g. DATA).
+    pub schedule_dag: Option<TaskGraph>,
+}
+
+impl SchedulerOutput {
+    /// The schedule length.
+    pub fn makespan(&self) -> f64 {
+        self.schedule.makespan()
+    }
+}
+
+/// A mixed-parallel scheduler: decides allocation, mapping and timing for a
+/// task graph on a cluster.
+pub trait Scheduler {
+    /// Short identifier used in reports ("LoC-MPS", "CPR", …).
+    fn name(&self) -> &'static str;
+
+    /// Computes a complete schedule.
+    fn schedule(&self, g: &TaskGraph, cluster: &Cluster) -> Result<SchedulerOutput, SchedError>;
+}

@@ -1,0 +1,172 @@
+//! The 2-D (processors × time) resource chart behind backfill scheduling
+//! (§III.F).
+//!
+//! Parallel job scheduling "can be viewed as a 2D chart with time along one
+//! axis and the processors along the other"; backfilling finds *holes* in
+//! that chart. [`Timeline`] tracks the busy intervals of every processor and
+//! enumerates the candidate start times at which the set of free processors
+//! changes — every minimal-finish-time placement starts either at the task's
+//! ready time or at some interval end, so scanning those candidates finds
+//! the optimal hole.
+
+use locmps_platform::{ProcId, ProcSet};
+
+use crate::schedule::time_eps;
+
+/// Per-processor busy intervals with hole queries.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    busy: Vec<Vec<(f64, f64)>>,
+}
+
+impl Timeline {
+    /// An all-idle chart for `n_procs` processors.
+    pub fn new(n_procs: usize) -> Self {
+        Self { busy: vec![Vec::new(); n_procs] }
+    }
+
+    /// Number of processors tracked.
+    pub fn n_procs(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Marks `[start, finish)` busy on every processor in `procs`.
+    ///
+    /// # Panics
+    /// Panics if the interval is inverted or overlaps an existing booking
+    /// (double-booking is a scheduler bug and must never be silent).
+    pub fn occupy(&mut self, procs: &ProcSet, start: f64, finish: f64) {
+        assert!(finish >= start, "inverted interval");
+        if finish <= start {
+            return; // zero-length bookings occupy nothing
+        }
+        for p in procs.iter() {
+            let intervals = &mut self.busy[p as usize];
+            let idx = intervals.partition_point(|iv| iv.0 < start);
+            let eps = time_eps(finish);
+            if idx > 0 {
+                assert!(intervals[idx - 1].1 <= start + eps, "double booking on p{p}");
+            }
+            if idx < intervals.len() {
+                assert!(intervals[idx].0 + eps >= finish, "double booking on p{p}");
+            }
+            intervals.insert(idx, (start, finish));
+        }
+    }
+
+    /// Whether processor `p` is idle throughout `[start, finish)`.
+    /// Touching interval endpoints do not conflict.
+    pub fn is_free(&self, p: ProcId, start: f64, finish: f64) -> bool {
+        let eps = time_eps(finish);
+        let intervals = &self.busy[p as usize];
+        // First interval that could intersect: the one before the partition
+        // point and the one at it.
+        let idx = intervals.partition_point(|iv| iv.1 <= start + eps);
+        match intervals.get(idx) {
+            Some(&(s, _)) => s + eps >= finish,
+            None => true,
+        }
+    }
+
+    /// The set of processors idle throughout `[start, finish)`.
+    pub fn free_set(&self, start: f64, finish: f64) -> ProcSet {
+        (0..self.busy.len() as ProcId).filter(|&p| self.is_free(p, start, finish)).collect()
+    }
+
+    /// The time at which processor `p` becomes permanently idle (its last
+    /// booking's end; 0 when never booked). This is the only availability
+    /// information the *no-backfill* scheduler variant keeps (Fig. 6).
+    pub fn last_free_time(&self, p: ProcId) -> f64 {
+        self.busy[p as usize].last().map_or(0.0, |iv| iv.1)
+    }
+
+    /// Candidate start times for a placement not before `after`: `after`
+    /// itself plus every booking end strictly later than `after`, sorted
+    /// and deduplicated.
+    pub fn candidate_times(&self, after: f64) -> Vec<f64> {
+        let mut times = vec![after];
+        for intervals in &self.busy {
+            for &(_, end) in intervals {
+                if end > after {
+                    times.push(end);
+                }
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup_by(|a, b| (*a - *b).abs() <= time_eps(*a));
+        times
+    }
+
+    /// All bookings on processor `p`, in time order (test/debug aid).
+    pub fn bookings(&self, p: ProcId) -> &[(f64, f64)] {
+        &self.busy[p as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ProcSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn occupy_and_query() {
+        let mut tl = Timeline::new(3);
+        tl.occupy(&set(&[0, 1]), 0.0, 10.0);
+        assert!(!tl.is_free(0, 5.0, 6.0));
+        assert!(tl.is_free(2, 0.0, 100.0));
+        assert!(tl.is_free(0, 10.0, 20.0), "touching endpoints are free");
+        assert_eq!(tl.free_set(0.0, 10.0).to_vec(), vec![2]);
+        assert_eq!(tl.free_set(10.0, 20.0).to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn holes_between_bookings_are_found() {
+        let mut tl = Timeline::new(1);
+        tl.occupy(&set(&[0]), 0.0, 5.0);
+        tl.occupy(&set(&[0]), 20.0, 30.0);
+        assert!(tl.is_free(0, 5.0, 20.0));
+        assert!(tl.is_free(0, 6.0, 19.0));
+        assert!(!tl.is_free(0, 4.0, 6.0));
+        assert!(!tl.is_free(0, 19.0, 21.0));
+        assert_eq!(tl.last_free_time(0), 30.0);
+    }
+
+    #[test]
+    fn out_of_order_occupation_stays_sorted() {
+        let mut tl = Timeline::new(1);
+        tl.occupy(&set(&[0]), 20.0, 30.0);
+        tl.occupy(&set(&[0]), 0.0, 5.0); // backfill into the earlier hole
+        tl.occupy(&set(&[0]), 5.0, 20.0);
+        assert_eq!(tl.bookings(0), &[(0.0, 5.0), (5.0, 20.0), (20.0, 30.0)]);
+        assert!(!tl.is_free(0, 0.0, 30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "double booking")]
+    fn double_booking_panics() {
+        let mut tl = Timeline::new(1);
+        tl.occupy(&set(&[0]), 0.0, 10.0);
+        tl.occupy(&set(&[0]), 5.0, 15.0);
+    }
+
+    #[test]
+    fn candidate_times_are_ready_time_plus_ends() {
+        let mut tl = Timeline::new(2);
+        tl.occupy(&set(&[0]), 0.0, 5.0);
+        tl.occupy(&set(&[1]), 0.0, 8.0);
+        tl.occupy(&set(&[0]), 5.0, 12.0);
+        assert_eq!(tl.candidate_times(2.0), vec![2.0, 5.0, 8.0, 12.0]);
+        assert_eq!(tl.candidate_times(8.0), vec![8.0, 12.0]);
+        assert_eq!(tl.candidate_times(50.0), vec![50.0]);
+    }
+
+    #[test]
+    fn zero_length_interval_is_fine() {
+        let mut tl = Timeline::new(1);
+        tl.occupy(&set(&[0]), 3.0, 3.0);
+        assert!(tl.is_free(0, 0.0, 10.0));
+    }
+}

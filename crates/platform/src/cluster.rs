@@ -1,0 +1,118 @@
+//! The homogeneous cluster model of §II.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether computation and communication overlap on this system.
+///
+/// The paper's primary model assumes full overlap ("most clusters today are
+/// equipped with high performance interconnects which provide asynchronous
+/// communication calls"); Figures 8(b)/11 evaluate the no-overlap case where
+/// communication involves I/O at the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommOverlap {
+    /// Transfers proceed concurrently with computation on the endpoints.
+    Full,
+    /// The receiving processors are busy during redistribution: transfer
+    /// time adds to the task's occupancy of its processor set.
+    None,
+}
+
+/// A homogeneous compute cluster: `P` identical nodes on a network of
+/// uniform per-link bandwidth, single-port model (each node participates in
+/// at most one transfer per time step).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of processors `P`.
+    pub n_procs: usize,
+    /// Per-link bandwidth in MB/s (the paper's synthetic setup uses a
+    /// 100 Mbit/s fast ethernet ⇒ 12.5 MB/s).
+    pub bandwidth: f64,
+    /// Computation/communication overlap regime.
+    pub overlap: CommOverlap,
+    /// Block size of the block-cyclic layouts, in MB of payload per block.
+    /// Only the *ratio* of volumes matters for redistribution patterns; the
+    /// default (1.0) keeps volumes and block counts aligned.
+    pub block_mb: f64,
+}
+
+impl Cluster {
+    /// A fully-overlapped cluster with the given size and bandwidth.
+    pub fn new(n_procs: usize, bandwidth: f64) -> Self {
+        assert!(n_procs >= 1, "a cluster needs at least one processor");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self { n_procs, bandwidth, overlap: CommOverlap::Full, block_mb: 1.0 }
+    }
+
+    /// Same cluster with the no-overlap communication regime.
+    pub fn without_overlap(mut self) -> Self {
+        self.overlap = CommOverlap::None;
+        self
+    }
+
+    /// The paper's synthetic-experiment network: 100 Mbps fast ethernet.
+    pub fn fast_ethernet(n_procs: usize) -> Self {
+        Self::new(n_procs, 12.5)
+    }
+
+    /// A 2 Gbps Myrinet-like interconnect (the paper's application testbed).
+    pub fn myrinet(n_procs: usize) -> Self {
+        Self::new(n_procs, 250.0)
+    }
+}
+
+/// The paper's aggregate communication-cost estimate for an edge (§III.B):
+///
+/// `wt(e_ij) = d_ij / bw_ij`, with `bw_ij = min(np(t_i), np(t_j)) ·
+/// bandwidth` — widening either endpoint raises the degree of parallel
+/// transfer.
+///
+/// `volume` in MB, result in seconds. Zero volume costs zero regardless of
+/// allocations.
+pub fn aggregate_edge_cost(volume: f64, np_src: usize, np_dst: usize, bandwidth: f64) -> f64 {
+    if volume <= 0.0 {
+        return 0.0;
+    }
+    let lanes = np_src.min(np_dst).max(1) as f64;
+    volume / (lanes * bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = Cluster::fast_ethernet(32);
+        assert_eq!(c.n_procs, 32);
+        assert_eq!(c.bandwidth, 12.5);
+        assert_eq!(c.overlap, CommOverlap::Full);
+        assert_eq!(Cluster::myrinet(8).bandwidth, 250.0);
+        assert_eq!(Cluster::new(4, 1.0).without_overlap().overlap, CommOverlap::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_panics() {
+        Cluster::new(0, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Cluster::fast_ethernet(64).without_overlap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cluster = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn aggregate_cost_matches_formula() {
+        // 100 MB between a 4-proc producer and a 2-proc consumer at 12.5
+        // MB/s: bw = 2 * 12.5 = 25 MB/s -> 4 s.
+        assert!((aggregate_edge_cost(100.0, 4, 2, 12.5) - 4.0).abs() < 1e-12);
+        // Widening the narrow side halves the cost.
+        assert!((aggregate_edge_cost(100.0, 4, 4, 12.5) - 2.0).abs() < 1e-12);
+        // Widening the wide side does nothing.
+        assert!((aggregate_edge_cost(100.0, 8, 2, 12.5) - 4.0).abs() < 1e-12);
+        assert_eq!(aggregate_edge_cost(0.0, 1, 1, 12.5), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The event-driven execution engine.
+//!
+//! Discrete events are task completions; at every event (and at time 0)
+//! the policy is offered the current ready set and free processors and
+//! returns launch decisions. Realized task durations are the profile time
+//! on the granted processor count multiplied by a seeded, per-task
+//! log-normal factor — identical across policies for fair comparison.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use locmps_core::{CommModel, Schedule, ScheduledTask};
+use locmps_platform::{Cluster, CommOverlap, ProcSet};
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+use crate::policy::OnlinePolicy;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Seed of the per-task duration perturbation.
+    pub seed: u64,
+    /// Coefficient of variation of the log-normal duration noise
+    /// (0 disables perturbation).
+    pub exec_cv: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self { seed: 0, exec_cv: 0.0 }
+    }
+}
+
+/// The outcome of one online execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// As-executed placements and times.
+    pub schedule: Schedule,
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Number of dispatch rounds the policy was consulted.
+    pub dispatch_rounds: usize,
+}
+
+/// SplitMix64: hash a task id into an independent uniform draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Per-task log-normal duration factor with unit mean, derived only from
+/// `(seed, task)` so every policy sees the same realized durations.
+fn duration_factor(seed: u64, task: TaskId, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let u1 = (splitmix64(seed ^ (task.0 as u64).wrapping_mul(0x9E37)) >> 11) as f64
+        / (1u64 << 53) as f64;
+    let u2 = (splitmix64(seed.rotate_left(17) ^ task.0 as u64) >> 11) as f64
+        / (1u64 << 53) as f64;
+    let sigma2 = (1.0 + cv * cv).ln();
+    let z = (-2.0 * u1.max(1e-15).ln()).sqrt()
+        * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma2.sqrt() * z - sigma2 / 2.0).exp()
+}
+
+/// Ordered f64 wrapper for the event heap.
+#[derive(PartialEq)]
+struct Time(f64);
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("times are finite")
+    }
+}
+
+/// The online execution engine.
+pub struct RuntimeEngine<'a> {
+    g: &'a TaskGraph,
+    cluster: &'a Cluster,
+    cfg: OnlineConfig,
+}
+
+impl<'a> RuntimeEngine<'a> {
+    /// Creates an engine for one application on one cluster.
+    pub fn new(g: &'a TaskGraph, cluster: &'a Cluster, cfg: OnlineConfig) -> Self {
+        Self { g, cluster, cfg }
+    }
+
+    /// Executes the application under `policy`.
+    ///
+    /// # Panics
+    /// Panics if the graph is invalid or the policy launches a task on an
+    /// empty/busy processor set (policy bugs must be loud).
+    pub fn run(&self, policy: &mut dyn OnlinePolicy) -> ExecutionTrace {
+        self.g.validate().expect("online execution needs a valid DAG");
+        let model = CommModel::new(self.cluster);
+        policy.prepare(self.g, self.cluster);
+
+        let n = self.g.n_tasks();
+        let mut remaining: Vec<usize> = self.g.task_ids().map(|t| self.g.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> =
+            self.g.task_ids().filter(|&t| remaining[t.index()] == 0).collect();
+        let mut free = ProcSet::all(self.cluster.n_procs);
+        let mut placed: Vec<Option<ScheduledTask>> = vec![None; n];
+        let mut finished = 0usize;
+        let mut events: BinaryHeap<Reverse<(Time, TaskId)>> = BinaryHeap::new();
+        let mut now = 0.0f64;
+        let mut dispatch_rounds = 0usize;
+
+        while finished < n {
+            // Offer the policy everything that is ready right now.
+            ready.sort(); // deterministic presentation order
+            let launches = policy.dispatch(now, &ready, &free, self.g, self.cluster);
+            dispatch_rounds += 1;
+            for (t, procs) in launches {
+                assert!(ready.contains(&t), "policy launched a non-ready task {t}");
+                assert!(!procs.is_empty(), "policy launched {t} on no processors");
+                assert!(procs.is_subset(&free), "policy launched {t} on busy processors");
+                ready.retain(|&r| r != t);
+                free = free.difference(&procs);
+
+                // Timing mirrors the simulator's model: transfers start at
+                // each parent's finish (full overlap) or serialize inside
+                // the occupancy window (no overlap).
+                let np = procs.len();
+                let et = self.g.task(t).profile.time(np)
+                    * duration_factor(self.cfg.seed, t, self.cfg.exec_cv);
+                let mut arrivals = now;
+                let mut comm_total = 0.0;
+                for e in self.g.in_edges(t) {
+                    let edge = self.g.edge(e);
+                    let src = placed[edge.src.index()]
+                        .as_ref()
+                        .expect("parents finished before the task became ready");
+                    let ct = model.transfer_time(&src.procs, &procs, edge.volume);
+                    comm_total += ct;
+                    arrivals = arrivals.max(src.finish + ct);
+                }
+                let (start, compute_start, finish) = match self.cluster.overlap {
+                    CommOverlap::Full => {
+                        let st = arrivals.max(now);
+                        (now, st, st + et)
+                    }
+                    CommOverlap::None => {
+                        let cs = now + comm_total;
+                        (now, cs, cs + et)
+                    }
+                };
+                placed[t.index()] = Some(ScheduledTask {
+                    task: t,
+                    procs: procs.clone(),
+                    start,
+                    compute_start,
+                    finish,
+                });
+                events.push(Reverse((Time(finish), t)));
+            }
+
+            // Advance to the next completion.
+            let Some(Reverse((Time(time), done))) = events.pop() else {
+                // Nothing in flight and nothing launched: the policy is
+                // stuck (e.g. waiting for more processors than exist).
+                panic!("deadlock: {} ready tasks, {} free procs", ready.len(), free.len());
+            };
+            now = time;
+            finished += 1;
+            free.union_with(&placed[done.index()].as_ref().expect("launched").procs);
+            for s in self.g.successors(done) {
+                remaining[s.index()] -= 1;
+                if remaining[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+            // Drain any completions at the exact same time.
+            while let Some(Reverse((Time(t2), _))) = events.peek() {
+                if *t2 > now {
+                    break;
+                }
+                let Reverse((_, done2)) = events.pop().expect("peeked");
+                finished += 1;
+                free.union_with(&placed[done2.index()].as_ref().expect("launched").procs);
+                for s in self.g.successors(done2) {
+                    remaining[s.index()] -= 1;
+                    if remaining[s.index()] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+
+        let schedule = Schedule::from_entries(
+            placed.into_iter().map(|e| e.expect("all tasks executed")).collect(),
+        );
+        let makespan = schedule.makespan();
+        ExecutionTrace { schedule, makespan, dispatch_rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyOneProc, OnlineLocbs, PlanFollower};
+    use locmps_core::{LocMps, Scheduler};
+    use locmps_speedup::ExecutionProfile;
+
+    fn chain2() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0));
+        g.add_edge(a, b, 0.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn greedy_executes_a_chain_sequentially() {
+        let g = chain2();
+        let cluster = Cluster::new(2, 12.5);
+        let engine = RuntimeEngine::new(&g, &cluster, OnlineConfig::default());
+        let trace = engine.run(&mut GreedyOneProc::default());
+        assert!((trace.makespan - 20.0).abs() < 1e-9);
+        assert!(trace.dispatch_rounds >= 2);
+    }
+
+    #[test]
+    fn duration_factor_properties() {
+        assert_eq!(duration_factor(1, TaskId(0), 0.0), 1.0);
+        let a = duration_factor(7, TaskId(3), 0.2);
+        let b = duration_factor(7, TaskId(3), 0.2);
+        assert_eq!(a, b, "deterministic per (seed, task)");
+        assert_ne!(a, duration_factor(8, TaskId(3), 0.2));
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| duration_factor(42, TaskId(i), 0.15))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "unit mean, got {mean}");
+    }
+
+    #[test]
+    fn plan_follower_matches_offline_without_noise() {
+        let g = locmps_workloads::synthetic::synthetic_graph(
+            &locmps_workloads::synthetic::SyntheticConfig {
+                n_tasks: 12,
+                ccr: 0.3,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let cluster = Cluster::new(6, 12.5);
+        let offline = LocMps::default().schedule(&g, &cluster).unwrap();
+        let engine = RuntimeEngine::new(&g, &cluster, OnlineConfig::default());
+        let trace = engine.run(&mut PlanFollower::locmps());
+        // Following the plan with exact durations reproduces its makespan
+        // (the engine may only ever do at least as well as the plan's
+        // timing on each step, and never better than its critical path).
+        assert!(
+            (trace.makespan - offline.makespan()).abs() < 1e-6 * offline.makespan()
+                || trace.makespan < offline.makespan(),
+            "online {} vs offline {}",
+            trace.makespan,
+            offline.makespan()
+        );
+    }
+
+    #[test]
+    fn online_locbs_executes_valid_schedules_under_noise() {
+        let g = locmps_workloads::tce::ccsd_t1_graph(&locmps_workloads::tce::TceConfig {
+            n_occ: 12,
+            n_virt: 48,
+            ..Default::default()
+        });
+        let cluster = Cluster::new(8, 50.0);
+        for seed in 0..5 {
+            let engine =
+                RuntimeEngine::new(&g, &cluster, OnlineConfig { seed, exec_cv: 0.2 });
+            let trace = engine.run(&mut OnlineLocbs::default());
+            assert!(trace.makespan.is_finite() && trace.makespan > 0.0);
+            // No processor is double-booked in the trace.
+            let mut by_proc: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cluster.n_procs];
+            for e in trace.schedule.entries() {
+                for p in e.procs.iter() {
+                    by_proc[p as usize].push((e.start, e.finish));
+                }
+            }
+            for list in &mut by_proc {
+                list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for w in list.windows(2) {
+                    assert!(w[1].0 + 1e-9 >= w[0].1, "overlapping intervals");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_for_each_policy() {
+        let g = chain2();
+        let cluster = Cluster::new(2, 12.5);
+        let cfg = OnlineConfig { seed: 9, exec_cv: 0.3 };
+        let a = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
+        let b = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,28 @@
+//! An **online (run-time) scheduling framework** for mixed-parallel
+//! applications — the paper's future-work item §VI(2): "incorporation of
+//! the scheduling strategy into a run-time framework for the on-line
+//! scheduling of mixed parallel applications."
+//!
+//! The offline algorithms in `locmps-core` assume exact execution times;
+//! at run time, tasks finish early or late. This crate provides an
+//! event-driven [`engine`] that executes a task graph with *perturbed*
+//! (seeded) task durations and lets a pluggable [`OnlinePolicy`] make the
+//! allocation/mapping decisions as tasks become ready:
+//!
+//! * [`policy::PlanFollower`] — compute a static LoC-MPS plan up front and
+//!   follow its allocation + mapping, letting only the *timing* adapt;
+//! * [`policy::OnlineLocbs`] — no precomputed plan: when a task becomes
+//!   ready it is moulded to the currently free processors (bounded by its
+//!   `Pbest` and an equal-share heuristic over the ready set) and placed
+//!   on the locality-maximal free subset — LoCBS's placement rule applied
+//!   greedily at run time;
+//! * [`policy::GreedyOneProc`] — the FCFS one-processor-per-task strawman.
+//!
+//! The same seeded perturbation is applied per *task*, independent of the
+//! policy, so policies can be compared on identical realized durations.
+
+pub mod engine;
+pub mod policy;
+
+pub use engine::{ExecutionTrace, OnlineConfig, RuntimeEngine};
+pub use policy::{GreedyOneProc, OnlineLocbs, OnlinePolicy, PlanFollower};

@@ -1,0 +1,211 @@
+//! Downey's speedup model, exactly as reproduced in §IV.A of the paper.
+//!
+//! A. B. Downey, *A model for speedup of parallel programs*, UC Berkeley
+//! Technical Report CSD-97-933, 1997. The model is a non-linear function of
+//! two parameters: `A`, the *average parallelism* of a task, and `sigma`, a
+//! measure of the *variation* of parallelism. `sigma = 0` means perfect
+//! scalability up to `A` processors; larger values denote poorer scalability.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelError;
+
+/// Parameters of Downey's speedup model.
+///
+/// The speedup on `n` processors is the piecewise function given in the
+/// paper (σ split at 1, processor count split at `A`, `2A − 1`, and
+/// `A + Aσ − σ` respectively):
+///
+/// ```text
+///          ⎧ An / (A + σ(n−1)/2)            σ ≤ 1, 1 ≤ n ≤ A
+///          ⎪ An / (σ(A − 1/2) + n(1 − σ/2)) σ ≤ 1, A ≤ n ≤ 2A − 1
+/// S(n) =   ⎨ A                              σ ≤ 1, n ≥ 2A − 1
+///          ⎪ nA(σ+1) / (σ(n + A − 1) + A)   σ ≥ 1, 1 ≤ n ≤ A + Aσ − σ
+///          ⎩ A                              σ ≥ 1, n ≥ A + Aσ − σ
+/// ```
+///
+/// # Examples
+/// ```
+/// use locmps_speedup::DowneyParams;
+///
+/// // Perfect scalability up to the average parallelism A = 8.
+/// let d = DowneyParams::new(8.0, 0.0).unwrap();
+/// assert_eq!(d.speedup(4), 4.0);
+/// assert_eq!(d.speedup(100), 8.0); // saturates at A
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DowneyParams {
+    /// Average parallelism `A ≥ 1`. The speedup saturates at `A`.
+    pub a: f64,
+    /// Variance of parallelism `σ ≥ 0`. Zero means linear speedup up to `A`.
+    pub sigma: f64,
+}
+
+impl DowneyParams {
+    /// Creates a validated parameter set.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidParameter`] when `a < 1`, `sigma < 0`, or
+    /// either parameter is not finite.
+    pub fn new(a: f64, sigma: f64) -> Result<Self, ModelError> {
+        if !a.is_finite() || a < 1.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "Downey average parallelism A must be finite and >= 1",
+                value: a,
+            });
+        }
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "Downey sigma must be finite and >= 0",
+                value: sigma,
+            });
+        }
+        Ok(Self { a, sigma })
+    }
+
+    /// Speedup `S(n)` on `n ≥ 1` processors.
+    ///
+    /// `n = 0` is treated as `n = 1` (a task always occupies at least one
+    /// processor); the model itself is only defined for `n ≥ 1`.
+    pub fn speedup(&self, n: usize) -> f64 {
+        let a = self.a;
+        let sigma = self.sigma;
+        let n = (n.max(1)) as f64;
+        if sigma <= 1.0 {
+            if n <= a {
+                // Low-variance, below average parallelism.
+                (a * n) / (a + sigma * (n - 1.0) / 2.0)
+            } else if n <= 2.0 * a - 1.0 {
+                // Low-variance, between A and 2A - 1.
+                (a * n) / (sigma * (a - 0.5) + n * (1.0 - sigma / 2.0))
+            } else {
+                a
+            }
+        } else if n <= a + a * sigma - sigma {
+            (n * a * (sigma + 1.0)) / (sigma * (n + a - 1.0) + a)
+        } else {
+            a
+        }
+    }
+
+    /// The saturation point: smallest `n` at which `S(n) = A` exactly.
+    ///
+    /// For `σ ≤ 1` this is `⌈2A − 1⌉`; for `σ > 1` it is `⌈A + Aσ − σ⌉`.
+    pub fn saturation_procs(&self) -> usize {
+        let point = if self.sigma <= 1.0 {
+            2.0 * self.a - 1.0
+        } else {
+            self.a + self.a * self.sigma - self.sigma
+        };
+        point.ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn one_processor_has_unit_speedup() {
+        for &(a, sigma) in &[(1.0, 0.0), (4.0, 0.5), (64.0, 1.0), (48.0, 2.0), (10.0, 5.0)] {
+            let d = DowneyParams::new(a, sigma).unwrap();
+            assert!(close(d.speedup(1), 1.0), "S(1) != 1 for A={a}, sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn sigma_zero_is_linear_up_to_a() {
+        let d = DowneyParams::new(16.0, 0.0).unwrap();
+        for n in 1..=16 {
+            assert!(close(d.speedup(n), n as f64), "S({n}) should be {n}");
+        }
+        // Beyond 2A-1 = 31 the speedup saturates at A.
+        assert!(close(d.speedup(31), 16.0));
+        assert!(close(d.speedup(1000), 16.0));
+    }
+
+    #[test]
+    fn saturates_at_average_parallelism() {
+        for &(a, sigma) in &[(64.0, 1.0), (48.0, 2.0), (7.0, 0.3)] {
+            let d = DowneyParams::new(a, sigma).unwrap();
+            let sat = d.saturation_procs();
+            assert!(close(d.speedup(sat), a));
+            assert!(close(d.speedup(sat + 100), a));
+        }
+    }
+
+    #[test]
+    fn non_decreasing_in_n() {
+        for &(a, sigma) in &[(64.0, 1.0), (48.0, 2.0), (5.0, 0.25), (12.0, 3.5), (1.0, 0.0)] {
+            let d = DowneyParams::new(a, sigma).unwrap();
+            let mut prev = 0.0;
+            for n in 1..=256 {
+                let s = d.speedup(n);
+                assert!(
+                    s >= prev - 1e-12,
+                    "S not monotone for A={a} sigma={sigma} at n={n}: {s} < {prev}"
+                );
+                assert!(s <= a + 1e-9, "S exceeds A for A={a} sigma={sigma} at n={n}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_branches_agree_at_sigma_one() {
+        // At sigma = 1 both halves of the definition describe the same curve;
+        // evaluate both branch formulas directly and compare.
+        let a = 20.0_f64;
+        for n in 1..=20 {
+            let nf = n as f64;
+            let low = (a * nf) / (a + 1.0 * (nf - 1.0) / 2.0);
+            let high = (nf * a * 2.0) / (1.0 * (nf + a - 1.0) + a);
+            assert!(close(low, high), "branch mismatch at n={n}: {low} vs {high}");
+        }
+    }
+
+    #[test]
+    fn branch_boundaries_are_continuous() {
+        // The piecewise definition must be continuous at n = A and n = 2A - 1
+        // (sigma <= 1) and at n = A + A*sigma - sigma (sigma >= 1).
+        let d = DowneyParams::new(10.0, 0.5).unwrap();
+        assert!(close(d.speedup(10), (10.0 * 10.0) / (0.5 * 9.5 + 10.0 * 0.75)));
+        let at_sat = d.speedup(19); // 2A - 1 = 19
+        assert!(close(at_sat, 10.0));
+
+        let d2 = DowneyParams::new(10.0, 2.0).unwrap();
+        let sat = 10.0 + 10.0 * 2.0 - 2.0; // 28
+        let s = d2.speedup(28);
+        assert!(close(s, 10.0), "at saturation n={sat}: {s}");
+    }
+
+    #[test]
+    fn higher_sigma_scales_worse() {
+        let lo = DowneyParams::new(32.0, 0.5).unwrap();
+        let hi = DowneyParams::new(32.0, 3.0).unwrap();
+        for n in 2..=32 {
+            assert!(
+                lo.speedup(n) > hi.speedup(n),
+                "sigma=0.5 should beat sigma=3.0 at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DowneyParams::new(0.5, 1.0).is_err());
+        assert!(DowneyParams::new(f64::NAN, 1.0).is_err());
+        assert!(DowneyParams::new(4.0, -0.1).is_err());
+        assert!(DowneyParams::new(4.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_procs_treated_as_one() {
+        let d = DowneyParams::new(8.0, 1.0).unwrap();
+        assert_eq!(d.speedup(0), d.speedup(1));
+    }
+}

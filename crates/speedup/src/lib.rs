@@ -1,0 +1,36 @@
+//! Speedup and execution-time models for moldable (data-parallel) tasks.
+//!
+//! In the mixed-parallel task model of the LoC-MPS paper (Vydyanathan et al.,
+//! CLUSTER 2006) every task is *moldable*: its execution time `et(t, p)` is a
+//! function of the number of processors `p` allocated to it. This crate
+//! provides the speedup functions used throughout the reproduction:
+//!
+//! * [`DowneyParams`] — A. B. Downey's empirical speedup model (the model the
+//!   paper uses to generate synthetic workloads), implemented exactly as the
+//!   five-case piecewise definition in §IV.A of the paper;
+//! * [`SpeedupModel::Amdahl`] — the classic serial-fraction law;
+//! * [`SpeedupModel::PowerLaw`] — `S(n) = n^alpha`, a simple sub-linear model;
+//! * [`SpeedupModel::Table`] — profiled speedups measured at discrete
+//!   processor counts with linear interpolation, mirroring how the paper
+//!   obtains curves for the TCE and Strassen tasks by profiling;
+//! * [`SpeedupModel::WithOverhead`] — wraps any model with a per-processor
+//!   fixed overhead, producing the non-monotone execution-time curves real
+//!   applications exhibit (and making `Pbest` a non-trivial bound).
+//!
+//! The central type is [`ExecutionProfile`]: a sequential time plus a speedup
+//! model, answering `time(p)`, `speedup(p)`, `efficiency(p)` and
+//! [`ExecutionProfile::pbest`] (the least processor count that minimizes the
+//! execution time, used by Algorithm 1 of the paper as the widening bound).
+
+mod downey;
+mod model;
+mod profile;
+mod table;
+
+pub use downey::DowneyParams;
+pub use model::{ModelError, SpeedupModel};
+pub use profile::ExecutionProfile;
+pub use table::ProfiledSpeedup;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,173 @@
+//! [`ExecutionProfile`]: a task's sequential time plus its speedup law.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ModelError, SpeedupModel};
+
+/// The execution-time profile of a moldable task: `et(t, p)` in the paper.
+///
+/// Combines the task's sequential execution time `et(t, 1)` with a
+/// [`SpeedupModel`]; all scheduler decisions in this workspace are driven by
+/// this type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    seq_time: f64,
+    model: SpeedupModel,
+}
+
+impl ExecutionProfile {
+    /// Creates a profile from a sequential time (seconds) and a model.
+    ///
+    /// # Errors
+    /// Rejects non-finite or non-positive sequential times.
+    pub fn new(seq_time: f64, model: SpeedupModel) -> Result<Self, ModelError> {
+        if !seq_time.is_finite() || seq_time <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "sequential time must be finite and positive",
+                value: seq_time,
+            });
+        }
+        Ok(Self { seq_time, model })
+    }
+
+    /// A profile with perfectly linear speedup — handy in tests and examples.
+    pub fn linear(seq_time: f64) -> Self {
+        Self::new(seq_time, SpeedupModel::Linear).expect("caller must pass positive time")
+    }
+
+    /// The sequential execution time `et(t, 1)`.
+    pub fn seq_time(&self) -> f64 {
+        self.seq_time
+    }
+
+    /// The underlying speedup model.
+    pub fn model(&self) -> &SpeedupModel {
+        &self.model
+    }
+
+    /// Execution time on `p` processors: `et(t, p) = et(t, 1) / S(p)`.
+    pub fn time(&self, p: usize) -> f64 {
+        self.seq_time * self.model.unit_time(p)
+    }
+
+    /// Speedup on `p` processors.
+    pub fn speedup(&self, p: usize) -> f64 {
+        self.model.speedup(p)
+    }
+
+    /// Parallel efficiency `S(p)/p` on `p` processors.
+    pub fn efficiency(&self, p: usize) -> f64 {
+        self.model.speedup(p) / p.max(1) as f64
+    }
+
+    /// `Pbest(t)`: the least number of processors at which the execution
+    /// time is minimal over `1..=max_p` (Algorithm 1, step 14 of the paper
+    /// widens a task only while `np(t) < min(P, Pbest(t))`).
+    pub fn pbest(&self, max_p: usize) -> usize {
+        let mut best_p = 1;
+        let mut best_t = self.time(1);
+        for p in 2..=max_p.max(1) {
+            let t = self.time(p);
+            // Strict improvement keeps the *least* minimizing count.
+            if t < best_t - 1e-12 * best_t.abs() {
+                best_t = t;
+                best_p = p;
+            }
+        }
+        best_p
+    }
+
+    /// The marginal gain of one extra processor:
+    /// `et(t, p) − et(t, p+1)` (the paper's candidate-ranking key).
+    pub fn gain(&self, p: usize) -> f64 {
+        self.time(p) - self.time(p + 1)
+    }
+
+    /// Processor-time *area* `p · et(t, p)` (used by CPA's average-area
+    /// bound `T_A`).
+    pub fn area(&self, p: usize) -> f64 {
+        p as f64 * self.time(p)
+    }
+
+    /// Execution time at a continuous processor count (see
+    /// [`SpeedupModel::speedup_cont`]); the domain of TSAS's allocation
+    /// phase.
+    pub fn time_cont(&self, x: f64) -> f64 {
+        self.seq_time / self.model.speedup_cont(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_divides_by_speedup() {
+        let p = ExecutionProfile::linear(30.0);
+        assert!((p.time(1) - 30.0).abs() < 1e-12);
+        assert!((p.time(3) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pbest_linear_is_machine_size() {
+        let p = ExecutionProfile::linear(10.0);
+        assert_eq!(p.pbest(64), 64);
+    }
+
+    #[test]
+    fn pbest_downey_is_saturation() {
+        let m = SpeedupModel::downey(8.0, 0.0).unwrap();
+        let p = ExecutionProfile::new(100.0, m).unwrap();
+        // With sigma = 0, S(n) = n up to A = 8 and S(n) = A beyond, so the
+        // least processor count achieving the minimum time is exactly A.
+        let pb = p.pbest(64);
+        assert_eq!(pb, 8);
+        assert!((p.time(pb) - 100.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pbest_with_overhead_is_interior() {
+        let m = SpeedupModel::Linear.with_overhead(0.01).unwrap();
+        let p = ExecutionProfile::new(50.0, m).unwrap();
+        assert_eq!(p.pbest(64), 10);
+    }
+
+    #[test]
+    fn pbest_clamps_to_max_p() {
+        let p = ExecutionProfile::linear(10.0);
+        assert_eq!(p.pbest(4), 4);
+        assert_eq!(p.pbest(1), 1);
+        assert_eq!(p.pbest(0), 1);
+    }
+
+    #[test]
+    fn gain_is_positive_for_scalable_tasks() {
+        let m = SpeedupModel::downey(16.0, 1.0).unwrap();
+        let p = ExecutionProfile::new(30.0, m).unwrap();
+        assert!(p.gain(1) > 0.0);
+        assert!(p.gain(1) > p.gain(8), "diminishing returns");
+    }
+
+    #[test]
+    fn efficiency_at_one_is_one() {
+        let p = ExecutionProfile::new(5.0, SpeedupModel::amdahl(0.3).unwrap()).unwrap();
+        assert!((p.efficiency(1) - 1.0).abs() < 1e-12);
+        assert!(p.efficiency(8) < 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_seq_time() {
+        assert!(ExecutionProfile::new(0.0, SpeedupModel::Linear).is_err());
+        assert!(ExecutionProfile::new(-3.0, SpeedupModel::Linear).is_err());
+        assert!(ExecutionProfile::new(f64::NAN, SpeedupModel::Linear).is_err());
+    }
+
+    #[test]
+    fn area_grows_for_sublinear_speedup() {
+        let m = SpeedupModel::downey(8.0, 2.0).unwrap();
+        let p = ExecutionProfile::new(40.0, m).unwrap();
+        assert!(p.area(8) > p.area(1), "sublinear speedup wastes area");
+        let lin = ExecutionProfile::linear(40.0);
+        assert!((lin.area(8) - lin.area(1)).abs() < 1e-9, "linear preserves area");
+    }
+}

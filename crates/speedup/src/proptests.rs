@@ -1,0 +1,104 @@
+//! Property-based tests over all speedup models.
+
+use proptest::prelude::*;
+
+use crate::{DowneyParams, ExecutionProfile, ProfiledSpeedup, SpeedupModel};
+
+/// Strategy producing an arbitrary valid speedup model.
+pub fn arb_model() -> impl Strategy<Value = SpeedupModel> {
+    prop_oneof![
+        Just(SpeedupModel::Linear),
+        (1.0..128.0f64, 0.0..4.0f64)
+            .prop_map(|(a, s)| SpeedupModel::Downey(DowneyParams::new(a, s).unwrap())),
+        (0.0..1.0f64).prop_map(|f| SpeedupModel::amdahl(f).unwrap()),
+        (0.0..1.0f64).prop_map(|a| SpeedupModel::power_law(a).unwrap()),
+        proptest::collection::vec(0.01..100.0f64, 1..16).prop_map(|mut times| {
+            // Normalize into a valid non-pathological time table.
+            times[0] = times[0].max(0.1);
+            SpeedupModel::Table(ProfiledSpeedup::from_times(&times).unwrap())
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn speedup_is_positive_and_finite(model in arb_model(), n in 0usize..512) {
+        let s = model.speedup(n);
+        prop_assert!(s.is_finite());
+        prop_assert!(s > 0.0);
+    }
+
+    #[test]
+    fn speedup_at_one_is_unity(model in arb_model()) {
+        prop_assert!((model.speedup(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downey_bounded_by_min_n_a(a in 1.0..128.0f64, sigma in 0.0..4.0f64, n in 1usize..512) {
+        let d = DowneyParams::new(a, sigma).unwrap();
+        let s = d.speedup(n);
+        prop_assert!(s <= a * (1.0 + 1e-9));
+        prop_assert!(s <= n as f64 * (1.0 + 1e-9));
+        prop_assert!(s >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn downey_monotone_non_decreasing(a in 1.0..128.0f64, sigma in 0.0..4.0f64) {
+        let d = DowneyParams::new(a, sigma).unwrap();
+        let mut prev = 0.0;
+        for n in 1..=300usize {
+            let s = d.speedup(n);
+            prop_assert!(s + 1e-9 >= prev, "A={a} sigma={sigma} n={n}: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn pbest_attains_minimum(model in arb_model(), seq in 0.1..1000.0f64, max_p in 1usize..128) {
+        let prof = ExecutionProfile::new(seq, model).unwrap();
+        let pb = prof.pbest(max_p);
+        prop_assert!(pb >= 1 && pb <= max_p.max(1));
+        let tmin = prof.time(pb);
+        for p in 1..=max_p {
+            prop_assert!(tmin <= prof.time(p) * (1.0 + 1e-9), "pbest={pb} beaten at p={p}");
+        }
+        // Minimality of the count: nothing strictly smaller achieves tmin.
+        for p in 1..pb {
+            prop_assert!(prof.time(p) > tmin * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn time_scales_linearly_in_seq_time(model in arb_model(), p in 1usize..128) {
+        let a = ExecutionProfile::new(10.0, model.clone()).unwrap();
+        let b = ExecutionProfile::new(20.0, model).unwrap();
+        prop_assert!((b.time(p) - 2.0 * a.time(p)).abs() < 1e-9 * b.time(p).max(1.0));
+    }
+
+    #[test]
+    fn continuous_speedup_agrees_at_integers(model in arb_model(), n in 1usize..256) {
+        let cont = model.speedup_cont(n as f64);
+        let disc = model.speedup(n);
+        prop_assert!((cont - disc).abs() <= 1e-9 * disc.max(1.0),
+            "S_cont({n}) = {cont} vs S({n}) = {disc}");
+    }
+
+    #[test]
+    fn continuous_speedup_is_positive_between_samples(model in arb_model(), x in 1.0..128.0f64) {
+        let s = model.speedup_cont(x);
+        prop_assert!(s.is_finite() && s > 0.0);
+        // Sandwiched by the neighbouring integer values for monotone
+        // models is not guaranteed (WithOverhead), but boundedness is:
+        let lo = model.speedup(x.floor() as usize).min(model.speedup(x.ceil() as usize));
+        let hi = model.speedup(x.floor() as usize).max(model.speedup(x.ceil() as usize));
+        prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9,
+            "S_cont({x}) = {s} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn serde_round_trip_any_model(model in arb_model()) {
+        let json = serde_json::to_string(&model).unwrap();
+        let back: SpeedupModel = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(model, back);
+    }
+}

@@ -1,0 +1,110 @@
+//! Profiled speedup tables, as obtained by running a task on 1, 2, … `k`
+//! processors (the paper profiles TCE and Strassen tasks on an Itanium-2
+//! cluster; §IV.B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelError;
+
+/// A speedup curve sampled at consecutive processor counts `1..=k`.
+///
+/// `values[i]` is the speedup on `i + 1` processors; `values[0]` must be
+/// `1.0`. Queries beyond the table clamp to the last entry (no
+/// extrapolation), matching the conservative assumption that an unprofiled
+/// processor count performs no better than the largest profiled one.
+/// Non-integer queries never occur (processor counts are integral), so no
+/// interpolation is needed — but see [`ProfiledSpeedup::from_times`] for the
+/// common construction from measured execution times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledSpeedup {
+    values: Vec<f64>,
+}
+
+impl ProfiledSpeedup {
+    /// Builds a table from speedups at `1..=k` processors.
+    ///
+    /// # Errors
+    /// * empty table;
+    /// * first entry not `1.0` (within 1e-9);
+    /// * any non-finite or non-positive entry.
+    pub fn new(values: Vec<f64>) -> Result<Self, ModelError> {
+        if values.is_empty() {
+            return Err(ModelError::InvalidTable("table must not be empty"));
+        }
+        if (values[0] - 1.0).abs() > 1e-9 {
+            return Err(ModelError::InvalidTable("speedup on 1 processor must be 1.0"));
+        }
+        if values.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            return Err(ModelError::InvalidTable("speedups must be finite and positive"));
+        }
+        Ok(Self { values })
+    }
+
+    /// Builds a table from measured execution times at `1..=k` processors.
+    ///
+    /// The speedup at `n` is `times[0] / times[n-1]`.
+    pub fn from_times(times: &[f64]) -> Result<Self, ModelError> {
+        if times.is_empty() {
+            return Err(ModelError::InvalidTable("table must not be empty"));
+        }
+        if times.iter().any(|t| !t.is_finite() || *t <= 0.0) {
+            return Err(ModelError::InvalidTable("times must be finite and positive"));
+        }
+        let t1 = times[0];
+        Self::new(times.iter().map(|t| t1 / t).collect())
+    }
+
+    /// Speedup on `n` processors; clamps to the last profiled count.
+    pub fn speedup(&self, n: usize) -> f64 {
+        let idx = n.max(1).min(self.values.len()) - 1;
+        self.values[idx]
+    }
+
+    /// Number of profiled processor counts.
+    pub fn profiled_procs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw speedup values for `1..=k` processors.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_times_matches_ratio() {
+        // Paper Fig 2(b), task T1: 10.0, 7.0, 5.0 on 1..=3 processors.
+        let t = ProfiledSpeedup::from_times(&[10.0, 7.0, 5.0]).unwrap();
+        assert!((t.speedup(1) - 1.0).abs() < 1e-12);
+        assert!((t.speedup(2) - 10.0 / 7.0).abs() < 1e-12);
+        assert!((t.speedup(3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_beyond_table() {
+        let t = ProfiledSpeedup::from_times(&[8.0, 5.0]).unwrap();
+        assert_eq!(t.speedup(2), t.speedup(100));
+        assert_eq!(t.profiled_procs(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert!(ProfiledSpeedup::new(vec![]).is_err());
+        assert!(ProfiledSpeedup::new(vec![2.0, 3.0]).is_err());
+        assert!(ProfiledSpeedup::new(vec![1.0, -1.0]).is_err());
+        assert!(ProfiledSpeedup::new(vec![1.0, f64::NAN]).is_err());
+        assert!(ProfiledSpeedup::from_times(&[0.0]).is_err());
+        assert!(ProfiledSpeedup::from_times(&[]).is_err());
+    }
+
+    #[test]
+    fn tables_may_be_non_monotone() {
+        // Real profiles can slow down past a point; the table must accept it.
+        let t = ProfiledSpeedup::from_times(&[10.0, 6.0, 5.0, 5.5]).unwrap();
+        assert!(t.speedup(4) < t.speedup(3));
+    }
+}

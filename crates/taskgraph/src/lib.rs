@@ -1,0 +1,35 @@
+//! The application model of the LoC-MPS paper: a weighted directed acyclic
+//! *macro data-flow graph* (§II).
+//!
+//! Vertices are moldable data-parallel tasks (see
+//! [`locmps_speedup::ExecutionProfile`]), edges carry the data volume that
+//! must be redistributed between the producer's and the consumer's processor
+//! groups. On top of the plain graph this crate implements every graph
+//! analysis the scheduling algorithms need:
+//!
+//! * topological ordering and cycle detection ([`TaskGraph::topo_order`]);
+//! * *top* and *bottom levels* and *critical paths* under caller-supplied
+//!   vertex/edge weight functions ([`TaskGraph::levels`],
+//!   [`TaskGraph::critical_path`]) — the weights depend on the current
+//!   processor allocation, so they are parameters, not graph state;
+//! * *concurrency sets* `cG(t)` and the *concurrency ratio* `cr(t)` of
+//!   §III.C (DFS on `G` and on its transpose);
+//! * *pseudo-edges* (zero-volume edges recording dependences induced by
+//!   resource limitations, §III.A) — the graph plus its pseudo-edges is the
+//!   paper's *schedule-DAG* `G'`;
+//! * DOT and JSON import/export and summary statistics.
+
+mod concurrency;
+mod graph;
+mod io;
+mod levels;
+mod stats;
+
+pub use concurrency::ConcurrencyInfo;
+pub use graph::{Edge, EdgeId, EdgeKind, GraphError, Task, TaskGraph, TaskId};
+pub use io::TaskGraphSpec;
+pub use levels::{CriticalPath, Levels};
+pub use stats::GraphStats;
+
+#[cfg(test)]
+mod proptests;

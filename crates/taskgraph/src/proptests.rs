@@ -1,0 +1,137 @@
+//! Property-based tests over randomly generated DAGs.
+
+use locmps_speedup::ExecutionProfile;
+use proptest::prelude::*;
+
+use crate::{ConcurrencyInfo, GraphStats, TaskGraph, TaskId};
+
+/// Strategy producing a random DAG: `n` tasks, edges only from lower to
+/// higher ids (guaranteeing acyclicity), each potential edge present with
+/// probability ~`density`.
+pub fn arb_dag(max_tasks: usize) -> impl Strategy<Value = TaskGraph> {
+    (2..max_tasks, any::<u64>(), 0.05..0.5f64).prop_map(|(n, seed, density)| {
+        // Simple deterministic LCG so the strategy stays shrinkable via its
+        // inputs rather than a giant Vec<bool>.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let work = 1.0 + 29.0 * next();
+            g.add_task(format!("t{i}"), ExecutionProfile::linear(work));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    let vol = 50.0 * next();
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), vol).unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_order_is_a_valid_linearization(g in arb_dag(24)) {
+        let order = g.topo_order().unwrap();
+        prop_assert_eq!(order.len(), g.n_tasks());
+        let mut pos = vec![usize::MAX; g.n_tasks()];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for (_, e) in g.edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn levels_are_consistent(g in arb_dag(24)) {
+        let w = |t: TaskId| g.task(t).profile.time(1);
+        let c = |e: crate::EdgeId| g.edge(e).volume * 0.01;
+        let lv = g.levels(w, c);
+        let cp = lv.cp_length();
+        for t in g.task_ids() {
+            // Level definitions: bottomL includes the own weight.
+            prop_assert!(lv.bottom[t.index()] >= w(t) - 1e-9);
+            prop_assert!(lv.top[t.index()] >= -1e-9);
+            prop_assert!(lv.top[t.index()] + lv.bottom[t.index()] <= cp * (1.0 + 1e-9));
+            // Recurrences hold.
+            for e in g.in_edges(t) {
+                let src = g.edge(e).src;
+                prop_assert!(
+                    lv.top[t.index()] + 1e-6 >= lv.top[src.index()] + w(src) + c(e),
+                    "top level recurrence violated"
+                );
+            }
+        }
+        // Some task attains the CP.
+        prop_assert!(g.task_ids().any(|t| lv.on_critical_path(t)));
+    }
+
+    #[test]
+    fn critical_path_is_a_real_path_of_full_length(g in arb_dag(24)) {
+        let w = |t: TaskId| g.task(t).profile.time(1);
+        let c = |e: crate::EdgeId| g.edge(e).volume * 0.01;
+        let cp = g.critical_path(w, c);
+        prop_assert!(!cp.tasks.is_empty());
+        prop_assert_eq!(cp.edges.len() + 1, cp.tasks.len());
+        // Consecutive tasks are connected by the listed edges.
+        for (i, &e) in cp.edges.iter().enumerate() {
+            prop_assert_eq!(g.edge(e).src, cp.tasks[i]);
+            prop_assert_eq!(g.edge(e).dst, cp.tasks[i + 1]);
+        }
+        // Path length equals sum of weights equals the levels' cp length.
+        let len: f64 = cp.tasks.iter().map(|&t| w(t)).sum::<f64>()
+            + cp.edges.iter().map(|&e| c(e)).sum::<f64>();
+        prop_assert!((len - cp.length).abs() <= 1e-6 * cp.length.max(1.0));
+        let lv = g.levels(w, c);
+        prop_assert!((lv.cp_length() - cp.length).abs() <= 1e-6 * cp.length.max(1.0));
+    }
+
+    #[test]
+    fn concurrency_is_symmetric_and_excludes_dependents(g in arb_dag(20)) {
+        let info = ConcurrencyInfo::compute(&g);
+        for t in g.task_ids() {
+            let set = info.concurrent_set(t);
+            prop_assert!(!set.contains(&t));
+            for &u in set {
+                prop_assert!(
+                    info.concurrent_set(u).contains(&t),
+                    "concurrency must be symmetric"
+                );
+            }
+            // Direct neighbors are never concurrent.
+            for s in g.successors(t) {
+                prop_assert!(!set.contains(&s));
+            }
+            for p in g.predecessors(t) {
+                prop_assert!(!set.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip(g in arb_dag(16)) {
+        let back = TaskGraph::from_json(&g.to_json()).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn stats_invariants(g in arb_dag(24)) {
+        let s = GraphStats::compute(&g);
+        prop_assert_eq!(s.n_tasks, g.n_tasks());
+        prop_assert!(s.depth >= 1 && s.depth <= s.n_tasks);
+        prop_assert!(s.width >= 1 && s.width <= s.n_tasks);
+        prop_assert!(s.total_work > 0.0);
+        // Depth * width >= n is not guaranteed, but depth + width <= n + 1
+        // and both bound the CP/parallelism trivially; check work is the sum.
+        let sum: f64 = g.tasks().map(|(_, t)| t.profile.seq_time()).sum();
+        prop_assert!((s.total_work - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Summary statistics of a task graph, used by the experiment harness for
+//! workload characterization (depth, width, CCR, …).
+
+use crate::graph::{EdgeKind, TaskGraph};
+
+/// Aggregate structural and cost statistics of a task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Number of data edges (pseudo-edges excluded).
+    pub n_data_edges: usize,
+    /// Length (in tasks) of the longest chain.
+    pub depth: usize,
+    /// Maximum number of tasks sharing the same precedence level — an upper
+    /// bound proxy for the degree of task parallelism.
+    pub width: usize,
+    /// Sum of sequential execution times `Σ et(t, 1)`.
+    pub total_work: f64,
+    /// Sum of data volumes over all data edges (MB).
+    pub total_volume: f64,
+    /// Mean out-degree over non-sink tasks.
+    pub avg_out_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics; panics on cyclic/empty graphs (validate first).
+    pub fn compute(g: &TaskGraph) -> Self {
+        let order = g.topo_order().expect("stats on invalid graph");
+        let n = g.n_tasks();
+        // Hop-count level of each task (longest path in edges from a source).
+        let mut level = vec![0usize; n];
+        for &v in &order {
+            for s in g.successors(v) {
+                level[s.index()] = level[s.index()].max(level[v.index()] + 1);
+            }
+        }
+        let depth = level.iter().copied().max().unwrap_or(0) + 1;
+        let mut width_at = vec![0usize; depth];
+        for &l in &level {
+            width_at[l] += 1;
+        }
+        let width = width_at.into_iter().max().unwrap_or(0);
+        let data_edges: Vec<_> =
+            g.edges().filter(|(_, e)| e.kind == EdgeKind::Data).map(|(_, e)| *e).collect();
+        let non_sinks = g.task_ids().filter(|&t| g.out_degree(t) > 0).count();
+        GraphStats {
+            n_tasks: n,
+            n_data_edges: data_edges.len(),
+            depth,
+            width,
+            total_work: g.tasks().map(|(_, t)| t.profile.seq_time()).sum(),
+            total_volume: data_edges.iter().map(|e| e.volume).sum(),
+            avg_out_degree: if non_sinks == 0 {
+                0.0
+            } else {
+                data_edges.len() as f64 / non_sinks as f64
+            },
+        }
+    }
+
+    /// Communication-to-computation ratio as defined in §IV.A: mean edge
+    /// communication time (volume / `bandwidth`) over mean uniprocessor task
+    /// time, for the one-processor-per-task instance of the graph.
+    pub fn ccr(&self, bandwidth_mb_s: f64) -> f64 {
+        if self.n_data_edges == 0 || self.n_tasks == 0 {
+            return 0.0;
+        }
+        let mean_comm = self.total_volume / self.n_data_edges as f64 / bandwidth_mb_s;
+        let mean_comp = self.total_work / self.n_tasks as f64;
+        mean_comm / mean_comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    #[test]
+    fn diamond_stats() {
+        let mut g = TaskGraph::new();
+        let t1 = g.add_task("T1", ExecutionProfile::linear(10.0));
+        let t2 = g.add_task("T2", ExecutionProfile::linear(7.0));
+        let t3 = g.add_task("T3", ExecutionProfile::linear(5.0));
+        let t4 = g.add_task("T4", ExecutionProfile::linear(8.0));
+        g.add_edge(t1, t2, 10.0).unwrap();
+        g.add_edge(t1, t3, 10.0).unwrap();
+        g.add_edge(t2, t4, 10.0).unwrap();
+        g.add_edge(t3, t4, 10.0).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_tasks, 4);
+        assert_eq!(s.n_data_edges, 4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 2);
+        assert_eq!(s.total_work, 30.0);
+        assert_eq!(s.total_volume, 40.0);
+        // 3 non-sink tasks, 4 edges.
+        assert!((s.avg_out_degree - 4.0 / 3.0).abs() < 1e-12);
+        // mean comm = 10/bw, mean comp = 7.5 => ccr = 10/(bw*7.5).
+        assert!((s.ccr(1.0) - 10.0 / 7.5).abs() < 1e-12);
+        assert!((s.ccr(10.0) - 1.0 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_edges_do_not_count() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(1.0));
+        let b = g.add_task("b", ExecutionProfile::linear(1.0));
+        g.add_pseudo_edge(a, b).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_data_edges, 0);
+        assert_eq!(s.total_volume, 0.0);
+        assert_eq!(s.ccr(100.0), 0.0);
+        // Pseudo-edges still shape the precedence structure.
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let mut g = TaskGraph::new();
+        g.add_task("only", ExecutionProfile::linear(2.0));
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.width, 1);
+        assert_eq!(s.avg_out_degree, 0.0);
+    }
+}

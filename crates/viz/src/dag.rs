@@ -1,0 +1,134 @@
+//! Layered SVG drawings of task graphs: longest-path layering (the same
+//! level structure `GraphStats` uses), nodes sized by name, straight edges
+//! with arrowheads, pseudo-edges dashed.
+
+use locmps_taskgraph::{EdgeKind, TaskGraph};
+
+use crate::svg::{task_color, SvgCanvas};
+
+/// DAG rendering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DagStyle {
+    /// Horizontal spacing between node centers.
+    pub x_gap: f64,
+    /// Vertical spacing between layers.
+    pub y_gap: f64,
+    /// Node box size.
+    pub node_w: f64,
+    /// Node box height.
+    pub node_h: f64,
+}
+
+impl Default for DagStyle {
+    fn default() -> Self {
+        Self { x_gap: 110.0, y_gap: 70.0, node_w: 92.0, node_h: 26.0 }
+    }
+}
+
+/// Renders `g` as a layered SVG drawing.
+pub fn dag_svg(g: &TaskGraph, style: DagStyle) -> String {
+    let order = g.topo_order().expect("dag_svg needs a valid DAG");
+    let n = g.n_tasks();
+    // Longest-path layering.
+    let mut layer = vec![0usize; n];
+    for &v in &order {
+        for s in g.successors(v) {
+            layer[s.index()] = layer[s.index()].max(layer[v.index()] + 1);
+        }
+    }
+    let depth = layer.iter().copied().max().unwrap_or(0) + 1;
+    // Slot within layer, in id order (stable and deterministic).
+    let mut slot = vec![0usize; n];
+    let mut counts = vec![0usize; depth];
+    for t in g.task_ids() {
+        slot[t.index()] = counts[layer[t.index()]];
+        counts[layer[t.index()]] += 1;
+    }
+    let width_slots = counts.iter().copied().max().unwrap_or(1);
+
+    let margin = 24.0;
+    let width = margin * 2.0 + width_slots as f64 * style.x_gap;
+    let height = margin * 2.0 + depth as f64 * style.y_gap;
+    let mut c = SvgCanvas::new(width, height);
+
+    let center = |t: locmps_taskgraph::TaskId| {
+        let l = layer[t.index()];
+        // Center each layer horizontally.
+        let offset = (width_slots - counts[l]) as f64 * style.x_gap / 2.0;
+        let x = margin + offset + slot[t.index()] as f64 * style.x_gap + style.x_gap / 2.0;
+        let y = margin + l as f64 * style.y_gap + style.y_gap / 2.0;
+        (x, y)
+    };
+
+    // Edges first (under the nodes).
+    for (_, e) in g.edges() {
+        let (x1, y1) = center(e.src);
+        let (x2, y2) = center(e.dst);
+        let stroke = match e.kind {
+            EdgeKind::Data => "#666666",
+            EdgeKind::Pseudo => "#bb4444",
+        };
+        c.line(x1, y1 + style.node_h / 2.0, x2, y2 - style.node_h / 2.0, stroke, 1.0);
+        if e.kind == EdgeKind::Data && e.volume > 0.0 {
+            c.text_centered(
+                (x1 + x2) / 2.0 + 4.0,
+                (y1 + y2) / 2.0,
+                8.0,
+                &format!("{:.0}MB", e.volume),
+            );
+        }
+    }
+    // Nodes.
+    for (id, task) in g.tasks() {
+        let (x, y) = center(id);
+        c.rect(
+            x - style.node_w / 2.0,
+            y - style.node_h / 2.0,
+            style.node_w,
+            style.node_h,
+            &task_color(id.index()),
+            Some("#333333"),
+        );
+        c.text_centered(x, y + 4.0, 9.0, &task.name);
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    #[test]
+    fn renders_layers_and_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("src", ExecutionProfile::linear(1.0));
+        let b = g.add_task("mid", ExecutionProfile::linear(1.0));
+        let cc = g.add_task("sink", ExecutionProfile::linear(1.0));
+        g.add_edge(a, b, 42.0).unwrap();
+        g.add_edge(b, cc, 0.0).unwrap();
+        let svg = dag_svg(&g, DagStyle::default());
+        assert!(svg.contains(">src<") && svg.contains(">mid<") && svg.contains(">sink<"));
+        assert!(svg.contains("42MB"));
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert_eq!(svg.matches("<line").count(), 2);
+    }
+
+    #[test]
+    fn pseudo_edges_use_the_alert_stroke() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(1.0));
+        let b = g.add_task("b", ExecutionProfile::linear(1.0));
+        g.add_pseudo_edge(a, b).unwrap();
+        let svg = dag_svg(&g, DagStyle::default());
+        assert!(svg.contains("#bb4444"));
+    }
+
+    #[test]
+    fn strassen_renders_without_panicking() {
+        use locmps_workloads::strassen::{strassen_graph, StrassenConfig};
+        let g = strassen_graph(&StrassenConfig::default());
+        let svg = dag_svg(&g, DagStyle::default());
+        assert_eq!(svg.matches("<rect").count(), g.n_tasks());
+    }
+}

@@ -1,0 +1,154 @@
+//! SVG Gantt charts: processors × time, one colored box per task
+//! occupancy, hatched communication windows, a time axis.
+
+use locmps_core::Schedule;
+use locmps_taskgraph::TaskGraph;
+
+use crate::svg::{task_color, SvgCanvas};
+
+/// Gantt rendering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttStyle {
+    /// Plot-area width in pixels.
+    pub width: f64,
+    /// Height of each processor row.
+    pub row_height: f64,
+    /// Left margin reserved for processor labels.
+    pub margin_left: f64,
+}
+
+impl Default for GanttStyle {
+    fn default() -> Self {
+        Self { width: 760.0, row_height: 22.0, margin_left: 48.0 }
+    }
+}
+
+/// Renders `schedule` for `g` on `n_procs` processors as an SVG document.
+pub fn gantt_svg(schedule: &Schedule, g: &TaskGraph, n_procs: usize, style: GanttStyle) -> String {
+    let ms = schedule.makespan().max(1e-9);
+    let top = 24.0;
+    let height = top + n_procs as f64 * style.row_height + 34.0;
+    let mut c = SvgCanvas::new(style.margin_left + style.width + 12.0, height);
+    let x_of = |t: f64| style.margin_left + t / ms * style.width;
+    let y_of = |p: usize| top + p as f64 * style.row_height;
+
+    // Row backgrounds and labels.
+    for p in 0..n_procs {
+        let y = y_of(p);
+        let fill = if p % 2 == 0 { "#f7f7f7" } else { "#efefef" };
+        c.rect(style.margin_left, y, style.width, style.row_height, fill, None);
+        c.text(4.0, y + style.row_height * 0.7, 10.0, &format!("p{p}"));
+    }
+
+    // Task boxes.
+    for e in schedule.entries() {
+        let color = task_color(e.task.index());
+        for p in e.procs.iter() {
+            let y = y_of(p as usize) + 1.0;
+            let h = style.row_height - 2.0;
+            // Communication window (start .. compute_start), lighter.
+            if e.compute_start > e.start {
+                c.rect(
+                    x_of(e.start),
+                    y,
+                    x_of(e.compute_start) - x_of(e.start),
+                    h,
+                    "#dddddd",
+                    Some("#999999"),
+                );
+            }
+            c.rect(
+                x_of(e.compute_start),
+                y,
+                (x_of(e.finish) - x_of(e.compute_start)).max(0.5),
+                h,
+                &color,
+                Some("#555555"),
+            );
+        }
+        // One label per task, centered on its box's first processor row.
+        if let Some(p0) = e.procs.first() {
+            let cx = (x_of(e.compute_start) + x_of(e.finish)) / 2.0;
+            let cy = y_of(p0 as usize) + style.row_height * 0.7;
+            c.text_centered(cx, cy, 9.0, &g.task(e.task).name);
+        }
+    }
+
+    // Time axis with ~8 ticks.
+    let axis_y = top + n_procs as f64 * style.row_height + 6.0;
+    c.line(style.margin_left, axis_y, style.margin_left + style.width, axis_y, "#333333", 1.0);
+    for i in 0..=8 {
+        let t = ms * i as f64 / 8.0;
+        let x = x_of(t);
+        c.line(x, axis_y, x, axis_y + 4.0, "#333333", 1.0);
+        c.text_centered(x, axis_y + 16.0, 9.0, &format!("{t:.1}"));
+    }
+    c.text(style.margin_left, 14.0, 11.0, &format!("makespan = {ms:.2} s"));
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_core::{LocMps, Scheduler};
+    use locmps_platform::Cluster;
+    use locmps_speedup::ExecutionProfile;
+
+    fn sample() -> (TaskGraph, Schedule, usize) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("alpha", ExecutionProfile::linear(10.0));
+        let b = g.add_task("beta", ExecutionProfile::linear(10.0));
+        g.add_edge(a, b, 100.0).unwrap();
+        let cluster = Cluster::new(3, 12.5);
+        let out = LocMps::default().schedule(&g, &cluster).unwrap();
+        (g, out.schedule, 3)
+    }
+
+    #[test]
+    fn renders_every_processor_and_task() {
+        let (g, s, p) = sample();
+        let svg = gantt_svg(&s, &g, p, GanttStyle::default());
+        for i in 0..p {
+            assert!(svg.contains(&format!(">p{i}<")), "row label p{i}");
+        }
+        assert!(svg.contains(">alpha<"));
+        assert!(svg.contains(">beta<"));
+        assert!(svg.contains("makespan ="));
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, s, p) = sample();
+        assert_eq!(
+            gantt_svg(&s, &g, p, GanttStyle::default()),
+            gantt_svg(&s, &g, p, GanttStyle::default())
+        );
+    }
+
+    #[test]
+    fn comm_windows_render_for_no_overlap_schedules() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task(
+            "b",
+            ExecutionProfile::new(
+                20.0,
+                locmps_speedup::SpeedupModel::Table(
+                    locmps_speedup::ProfiledSpeedup::from_times(&[20.0, 10.0]).unwrap(),
+                ),
+            )
+            .unwrap(),
+        );
+        g.add_edge(a, b, 125.0).unwrap();
+        let cluster = Cluster::new(2, 12.5).without_overlap();
+        // Pin the allocation so b spans both processors: the transfer from
+        // a's single-proc layout cannot be absorbed by locality.
+        let model = locmps_core::CommModel::new(&cluster);
+        let res = locmps_core::Locbs::new(model, locmps_core::LocbsOptions::default())
+            .run(&g, &locmps_core::Allocation::from_vec(vec![1, 2]))
+            .unwrap();
+        let svg = gantt_svg(&res.schedule, &g, 2, GanttStyle::default());
+        assert!(svg.contains("#dddddd"), "hatched communication window expected");
+    }
+}

@@ -1,0 +1,16 @@
+//! SVG visualization for mixed-parallel scheduling: Gantt charts of
+//! [`Schedule`](locmps_core::Schedule)s and layered drawings of
+//! [`TaskGraph`](locmps_taskgraph::TaskGraph)s.
+//!
+//! Everything renders to plain SVG strings with zero dependencies — the
+//! output of `locmps schedule --svg out.svg` and the quickest way to *see*
+//! why one schedule beats another (where the holes are, which transfers
+//! block which tasks).
+
+mod dag;
+mod gantt;
+mod svg;
+
+pub use dag::{dag_svg, DagStyle};
+pub use gantt::{gantt_svg, GanttStyle};
+pub use svg::SvgCanvas;

@@ -1,0 +1,104 @@
+//! A minimal SVG string builder (no dependencies, deterministic output).
+
+use std::fmt::Write as _;
+
+/// Accumulates SVG elements and serializes a complete document.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// A canvas of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        Self { width, height, body: String::new() }
+    }
+
+    /// Axis-aligned rectangle with fill and optional stroke.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(" stroke=\"{s}\" stroke-width=\"0.5\""))
+            .unwrap_or_default();
+        writeln!(
+            self.body,
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\"{stroke_attr}/>"
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            "  <line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>"
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Left-anchored text.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        writeln!(
+            self.body,
+            "  <text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"monospace\">{}</text>",
+            escape(content)
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Centered text.
+    pub fn text_centered(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        writeln!(
+            self.body,
+            "  <text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"monospace\" text-anchor=\"middle\">{}</text>",
+            escape(content)
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Serializes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.2} {h:.2}\">\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// A stable, readable fill color for task `i` (golden-angle hue walk).
+pub(crate) fn task_color(i: usize) -> String {
+    let hue = (i as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.0},65%,70%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_well_formed_document() {
+        let mut c = SvgCanvas::new(100.0, 50.0);
+        c.rect(0.0, 0.0, 10.0, 10.0, "red", Some("black"));
+        c.line(0.0, 0.0, 100.0, 50.0, "#333", 1.0);
+        c.text(5.0, 5.0, 8.0, "a < b & c");
+        let out = c.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.ends_with("</svg>\n"));
+        assert!(out.contains("a &lt; b &amp; c"));
+        assert_eq!(out.matches("<rect").count(), 1);
+        assert_eq!(out.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn colors_are_stable_and_distinct() {
+        assert_eq!(task_color(3), task_color(3));
+        assert_ne!(task_color(0), task_color(1));
+    }
+}

@@ -1,0 +1,15 @@
+//! Workloads of the paper's evaluation (§IV): synthetic task graphs and
+//! the two application task graphs (TCE CCSD-T1 and Strassen matrix
+//! multiplication), plus small toy graphs for tests and examples.
+//!
+//! All generators are seeded and deterministic, so every figure of the
+//! reproduction is exactly re-runnable.
+
+pub mod strassen;
+pub mod synthetic;
+pub mod tce;
+pub mod toys;
+
+pub use strassen::{strassen_graph, StrassenConfig};
+pub use synthetic::{synthetic_graph, synthetic_suite, SyntheticConfig};
+pub use tce::{ccsd_t1_graph, TceConfig};

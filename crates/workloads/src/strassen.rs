@@ -1,0 +1,212 @@
+//! The Strassen matrix-multiplication task graph (§IV.B, Fig. 7(b)).
+//!
+//! One level of Strassen's algorithm on an `n × n` multiply:
+//!
+//! * 10 submatrix additions (`S1..S10`) over `m = n/2` blocks,
+//! * 7 block multiplications (`M1..M7`), each consuming one or two `S`
+//!   results (multiplications with a raw `A`/`B` operand have fewer
+//!   in-edges),
+//! * 4 output assemblies (`C11, C12, C21, C22`) combining the `M` results.
+//!
+//! With `levels > 1` each block multiplication expands recursively into its
+//! own Strassen sub-graph — an implemented extension beyond the paper's
+//! one-level evaluation.
+//!
+//! Costs: multiplications are compute-bound (`2 m³` flops), additions are
+//! memory-bound (`3 m²` doubles moved); edge volumes are `m²` doubles.
+//! Scalability follows a surface-to-volume heuristic (parallel
+//! matrix kernels scale with the block dimension): multiplications get
+//! Downey `A = m/32`, additions `A = m/256` — at 1024² the tasks "do not
+//! scale very well" and at 4096² they do, matching the paper's narrative
+//! for Figure 9 (see DESIGN.md §2 for the profiling substitution).
+
+use locmps_speedup::{DowneyParams, ExecutionProfile, SpeedupModel};
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+/// Strassen workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrassenConfig {
+    /// Matrix dimension `n` (paper: 1024 and 4096).
+    pub n: usize,
+    /// Levels of Strassen recursion expanded into tasks (paper: 1).
+    pub levels: usize,
+    /// Sustained node compute rate in flop/s.
+    pub flops_per_sec: f64,
+    /// Sustained node memory bandwidth in B/s.
+    pub mem_bw: f64,
+}
+
+impl Default for StrassenConfig {
+    fn default() -> Self {
+        Self { n: 1024, levels: 1, flops_per_sec: 4.0e9, mem_bw: 5.0e9 }
+    }
+}
+
+impl StrassenConfig {
+    fn add_profile(&self, m: usize) -> ExecutionProfile {
+        let time = (3.0 * (m * m) as f64 * 8.0 / self.mem_bw).max(1e-6);
+        let a = ((m as f64) / 256.0).max(1.0);
+        let model = SpeedupModel::Downey(DowneyParams::new(a, 2.0).unwrap());
+        ExecutionProfile::new(time, model).unwrap()
+    }
+
+    fn mult_profile(&self, m: usize) -> ExecutionProfile {
+        let time = (2.0 * (m as f64).powi(3) / self.flops_per_sec).max(1e-6);
+        let a = ((m as f64) / 32.0).max(1.0);
+        let model = SpeedupModel::Downey(DowneyParams::new(a, 1.0).unwrap());
+        ExecutionProfile::new(time, model).unwrap()
+    }
+
+    fn block_volume_mb(m: usize) -> f64 {
+        (m * m) as f64 * 8.0 / 1.0e6
+    }
+}
+
+/// Builds the Strassen task graph; returns the graph and the four output
+/// assembly tasks.
+pub fn strassen_graph(cfg: &StrassenConfig) -> TaskGraph {
+    assert!(cfg.levels >= 1, "at least one level of Strassen");
+    assert!(cfg.n % (1 << cfg.levels) == 0, "n must be divisible by 2^levels");
+    let mut g = TaskGraph::new();
+    build_level(&mut g, cfg, cfg.n / 2, cfg.levels, "", &[]);
+    g
+}
+
+/// Recursively builds one Strassen level over `m × m` blocks. `deps` are
+/// producer tasks of this level's input operands (empty at the top level,
+/// where the inputs are the resident `A`/`B` matrices).
+///
+/// Returns the tasks producing the four output blocks.
+fn build_level(
+    g: &mut TaskGraph,
+    cfg: &StrassenConfig,
+    m: usize,
+    levels: usize,
+    prefix: &str,
+    deps: &[TaskId],
+) -> [TaskId; 4] {
+    let vol = StrassenConfig::block_volume_mb(m);
+    let add = |g: &mut TaskGraph, name: String, parents: &[TaskId]| -> TaskId {
+        let t = g.add_task(name, cfg.add_profile(m));
+        for &p in parents {
+            g.add_edge(p, t, vol).unwrap();
+        }
+        t
+    };
+
+    // Operand sums. At inner levels every S depends on the producers of
+    // this level's operands (`deps`); at the top level operands are inputs.
+    let s: Vec<TaskId> = (1..=10)
+        .map(|i| add(g, format!("{prefix}S{i}"), deps))
+        .collect();
+
+    // Which S tasks feed each multiplication (None = raw operand).
+    let m_inputs: [(&str, Vec<TaskId>); 7] = [
+        ("M1", vec![s[0], s[1]]), // (A11+A22)(B11+B22)
+        ("M2", vec![s[2]]),       // (A21+A22)·B11
+        ("M3", vec![s[3]]),       // A11·(B12−B22)
+        ("M4", vec![s[4]]),       // A22·(B21−B11)
+        ("M5", vec![s[5]]),       // (A11+A12)·B22
+        ("M6", vec![s[6], s[7]]), // (A21−A11)(B11+B12)
+        ("M7", vec![s[8], s[9]]), // (A12−A22)(B21+B22)
+    ];
+    let mut mults = Vec::with_capacity(7);
+    for (name, parents) in m_inputs {
+        if levels > 1 {
+            // Expand this multiplication into a nested Strassen graph whose
+            // inputs come from the parent S tasks; its result is the sum of
+            // its own four C blocks, folded into one assembly task.
+            let sub =
+                build_level(g, cfg, m / 2, levels - 1, &format!("{prefix}{name}."), &parents);
+            let fold = g.add_task(format!("{prefix}{name}"), cfg.add_profile(m));
+            for c in sub {
+                g.add_edge(c, fold, StrassenConfig::block_volume_mb(m / 2)).unwrap();
+            }
+            mults.push(fold);
+        } else {
+            let t = g.add_task(format!("{prefix}{name}"), cfg.mult_profile(m));
+            for p in parents {
+                g.add_edge(p, t, vol).unwrap();
+            }
+            mults.push(t);
+        }
+    }
+
+    // Output assemblies.
+    let c11 = add(g, format!("{prefix}C11"), &[mults[0], mults[3], mults[4], mults[6]]);
+    let c12 = add(g, format!("{prefix}C12"), &[mults[2], mults[4]]);
+    let c21 = add(g, format!("{prefix}C21"), &[mults[1], mults[3]]);
+    let c22 = add(g, format!("{prefix}C22"), &[mults[0], mults[1], mults[2], mults[5]]);
+    [c11, c12, c21, c22]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_taskgraph::GraphStats;
+
+    #[test]
+    fn one_level_shape() {
+        let g = strassen_graph(&StrassenConfig::default());
+        g.validate().unwrap();
+        assert_eq!(g.n_tasks(), 21, "10 S + 7 M + 4 C");
+        // 10 S->M edges + 12 M->C edges (S tasks have no producers at the
+        // top level: operands are resident inputs).
+        assert_eq!(g.n_edges(), 22);
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.depth, 3);
+    }
+
+    #[test]
+    fn multiplications_dominate_and_scale() {
+        let cfg = StrassenConfig { n: 4096, ..Default::default() };
+        let g = strassen_graph(&cfg);
+        let (mult_t, add_t): (Vec<f64>, Vec<f64>) = {
+            let m: Vec<f64> = g
+                .tasks()
+                .filter(|(_, t)| t.name.starts_with('M'))
+                .map(|(_, t)| t.profile.seq_time())
+                .collect();
+            let a: Vec<f64> = g
+                .tasks()
+                .filter(|(_, t)| t.name.starts_with('S'))
+                .map(|(_, t)| t.profile.seq_time())
+                .collect();
+            (m, a)
+        };
+        assert!(mult_t.iter().cloned().fold(f64::MAX, f64::min)
+            > 100.0 * add_t.iter().cloned().fold(0.0, f64::max));
+        let (_, m1) = g.tasks().find(|(_, t)| t.name == "M1").unwrap();
+        assert!(m1.profile.speedup(64) > 30.0, "4096-block mults scale well");
+    }
+
+    #[test]
+    fn small_problem_scales_worse_than_large() {
+        let small = strassen_graph(&StrassenConfig { n: 1024, ..Default::default() });
+        let large = strassen_graph(&StrassenConfig { n: 4096, ..Default::default() });
+        let speedup_at = |g: &TaskGraph, p: usize| {
+            let (_, t) = g.tasks().find(|(_, t)| t.name == "M1").unwrap();
+            t.profile.speedup(p)
+        };
+        assert!(speedup_at(&large, 128) > 2.0 * speedup_at(&small, 128));
+    }
+
+    #[test]
+    fn two_levels_expand_multiplications() {
+        let cfg = StrassenConfig { n: 1024, levels: 2, ..Default::default() };
+        let g = strassen_graph(&cfg);
+        g.validate().unwrap();
+        // Top level: 10 S + 4 C + 7 folds; each fold hides a 21-task
+        // sub-graph: 10 S + 7 M + 4 C.
+        assert_eq!(g.n_tasks(), 10 + 4 + 7 * (1 + 21));
+        // Inner S tasks must depend on the outer S producers.
+        let (inner_s, _) = g.tasks().find(|(_, t)| t.name == "M1.S1").unwrap();
+        assert_eq!(g.in_degree(inner_s), 2, "M1's operands come from S1 and S2");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_sizes() {
+        strassen_graph(&StrassenConfig { n: 1000, levels: 4, ..Default::default() });
+    }
+}

@@ -1,0 +1,202 @@
+//! The Tensor Contraction Engine CCSD-T1 task graph (§IV.B, Fig. 7(a)).
+//!
+//! The paper evaluates the coupled-cluster singles amplitude (T1) residual
+//! computation: "each vertex represents a tensor contraction of two input
+//! tensors to generate a result tensor", intermediate results are
+//! "accumulated to form a partial product", so most vertices have a single
+//! incident edge and accumulation vertices have several.
+//!
+//! Figure 7(a) is an image, not machine-readable, so this module rebuilds a
+//! representative CCSD T1 residual DAG from the public structure of the T1
+//! amplitude equation: the one- and two-electron contractions producing the
+//! `[o,v]` residual, the chained `t1`-dressed intermediates, and the
+//! accumulation chain. Costs are flop counts of each contraction over `o`
+//! occupied and `v` virtual orbitals at a given flop rate; edge volumes are
+//! the byte sizes of the tensors flowing between contractions. Scalability
+//! follows the paper's qualitative description ("a few large tasks and many
+//! small tasks which are not scalable"): Downey average parallelism grows
+//! with task size (see DESIGN.md §2 for the substitution note).
+
+use locmps_speedup::{DowneyParams, ExecutionProfile, SpeedupModel};
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+/// Problem-size parameters for the CCSD-T1 graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TceConfig {
+    /// Occupied orbitals `o`.
+    pub n_occ: usize,
+    /// Virtual orbitals `v`.
+    pub n_virt: usize,
+    /// Sustained node compute rate in flop/s.
+    pub flops_per_sec: f64,
+    /// Sustained node memory bandwidth in B/s (accumulations are
+    /// memory-bound).
+    pub mem_bw: f64,
+}
+
+impl Default for TceConfig {
+    fn default() -> Self {
+        // A mid-size correlated calculation on one early-2000s node.
+        Self { n_occ: 60, n_virt: 300, flops_per_sec: 4.0e9, mem_bw: 5.0e9 }
+    }
+}
+
+impl TceConfig {
+    fn contraction_time(&self, flops: f64) -> f64 {
+        (flops / self.flops_per_sec).max(1e-6)
+    }
+
+    fn accumulation_time(&self, elements: f64) -> f64 {
+        // Read two operands, write one result.
+        (3.0 * elements * 8.0 / self.mem_bw).max(1e-6)
+    }
+
+    /// Tensor size in MB for `elements` doubles.
+    fn volume_mb(elements: f64) -> f64 {
+        elements * 8.0 / 1.0e6
+    }
+
+    /// Scalability heuristic: average parallelism grows with the cube root
+    /// of the work, so the handful of `o²v³`-class contractions scale to
+    /// large groups while the small terms saturate at a few processors.
+    fn downey_for(&self, flops: f64) -> DowneyParams {
+        let a = (flops.cbrt() / 100.0).clamp(1.0, 512.0);
+        let sigma = if a >= 16.0 { 1.0 } else { 2.0 };
+        DowneyParams::new(a, sigma).expect("heuristic stays in range")
+    }
+}
+
+/// Builds the representative CCSD T1 residual task graph.
+///
+/// Returns the graph; task names encode their role (`I*` dressed
+/// intermediates, `C*` contractions into the residual, `ACC*` accumulation
+/// chain).
+pub fn ccsd_t1_graph(cfg: &TceConfig) -> TaskGraph {
+    let o = cfg.n_occ as f64;
+    let v = cfg.n_virt as f64;
+    let mut g = TaskGraph::new();
+
+    let contraction = |g: &mut TaskGraph, name: &str, flops: f64| -> TaskId {
+        let time = cfg.contraction_time(flops);
+        let model = SpeedupModel::Downey(cfg.downey_for(flops));
+        g.add_task(name, ExecutionProfile::new(time, model).unwrap())
+    };
+
+    // --- t1-dressed intermediates (consume only input tensors). ---
+    // I_ov[k,c]   = v[k,l,c,d] · t1[d,l]          : 2 o²v² flops
+    let i_ov = contraction(&mut g, "I_ov", 2.0 * o * o * v * v);
+    // I_oo[k,i]   = v[k,l,i,c] · t1[c,l]          : 2 o³v
+    let i_oo = contraction(&mut g, "I_oo", 2.0 * o * o * o * v);
+    // I_vv[a,c]   = v[k,a,c,d] · t1[d,k]          : 2 o v³
+    let i_vv = contraction(&mut g, "I_vv", 2.0 * o * v * v * v);
+    // I2_oo[k,i]  = I_ov[k,c] · t1[c,i]           : 2 o²v   (chained)
+    let i2_oo = contraction(&mut g, "I2_oo", 2.0 * o * o * v);
+    g.add_edge(i_ov, i2_oo, TceConfig::volume_mb(o * v)).unwrap();
+
+    // --- contractions producing [o,v] residual pieces. ---
+    // C_fvv  = f[a,c] · t1[c,i]                   : 2 o v²
+    let c_fvv = contraction(&mut g, "C_fvv", 2.0 * o * v * v);
+    // C_foo  = f[k,i] · t1[a,k]                   : 2 o² v
+    let c_foo = contraction(&mut g, "C_foo", 2.0 * o * o * v);
+    // C_fov  = f[k,c] · t2[a,c,i,k]               : 2 o²v²
+    let c_fov = contraction(&mut g, "C_fov", 2.0 * o * o * v * v);
+    // C_iovt2 = I_ov[k,c] · t2[a,c,i,k]           : 2 o²v²  (chained)
+    let c_iovt2 = contraction(&mut g, "C_Iov_t2", 2.0 * o * o * v * v);
+    g.add_edge(i_ov, c_iovt2, TceConfig::volume_mb(o * v)).unwrap();
+    // C_w    = v[k,a,i,c] · t1[c,k]               : 2 o²v²
+    let c_w = contraction(&mut g, "C_w", 2.0 * o * o * v * v);
+    // C_vvvv-class: v[k,a,c,d] · t2[c,d,i,k]      : 2 o²v³  (the big one)
+    let c_big1 = contraction(&mut g, "C_ovvv_t2", 2.0 * o * o * v * v * v);
+    // C_ooov-class: v[k,l,i,c] · t2[a,c,k,l]      : 2 o³v²
+    let c_big2 = contraction(&mut g, "C_ooov_t2", 2.0 * o * o * o * v * v);
+    // C_ioo  = I_oo[k,i] · t1[a,k]                : 2 o²v   (chained)
+    let c_ioo = contraction(&mut g, "C_Ioo_t1", 2.0 * o * o * v);
+    g.add_edge(i_oo, c_ioo, TceConfig::volume_mb(o * o)).unwrap();
+    // C_ivv  = I_vv[a,c] · t1[c,i]                : 2 o v²  (chained)
+    let c_ivv = contraction(&mut g, "C_Ivv_t1", 2.0 * o * v * v);
+    g.add_edge(i_vv, c_ivv, TceConfig::volume_mb(v * v)).unwrap();
+    // C_i2oo = I2_oo[k,i] · t1[a,k]               : 2 o²v   (doubly chained)
+    let c_i2oo = contraction(&mut g, "C_I2oo_t1", 2.0 * o * o * v);
+    g.add_edge(i2_oo, c_i2oo, TceConfig::volume_mb(o * o)).unwrap();
+
+    // --- the accumulation chain over the [o,v] residual. ---
+    let residual_elems = o * v;
+    let pieces = [
+        c_fvv, c_foo, c_fov, c_iovt2, c_w, c_big1, c_big2, c_ioo, c_ivv, c_i2oo,
+    ];
+    let acc_model = SpeedupModel::Downey(DowneyParams::new(1.5, 2.0).unwrap());
+    let mut prev = pieces[0];
+    for (idx, &piece) in pieces.iter().enumerate().skip(1) {
+        let acc = g.add_task(
+            format!("ACC{idx}"),
+            ExecutionProfile::new(cfg.accumulation_time(residual_elems), acc_model.clone())
+                .unwrap(),
+        );
+        // Partial product + the next contraction result: two in-edges.
+        g.add_edge(prev, acc, TceConfig::volume_mb(residual_elems)).unwrap();
+        g.add_edge(piece, acc, TceConfig::volume_mb(residual_elems)).unwrap();
+        prev = acc;
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_taskgraph::GraphStats;
+
+    #[test]
+    fn builds_a_valid_dag() {
+        let g = ccsd_t1_graph(&TceConfig::default());
+        g.validate().unwrap();
+        // 4 intermediates + 10 contractions + 9 accumulations.
+        assert_eq!(g.n_tasks(), 23);
+        let stats = GraphStats::compute(&g);
+        assert!(stats.depth >= 10, "accumulation chain dominates the depth");
+    }
+
+    #[test]
+    fn few_large_many_small() {
+        let g = ccsd_t1_graph(&TceConfig::default());
+        let mut times: Vec<f64> = g.tasks().map(|(_, t)| t.profile.seq_time()).collect();
+        times.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // The two `v[*,*,*,*]·t2` contractions dwarf everything else.
+        assert!(times[0] > 10.0 * times[2], "expected a dominant pair: {times:?}");
+        // ... and the majority of tasks are tiny.
+        let small = times.iter().filter(|&&t| t < times[0] / 100.0).count();
+        assert!(small * 2 > times.len(), "{small} of {} small", times.len());
+    }
+
+    #[test]
+    fn big_tasks_scale_small_tasks_do_not() {
+        let g = ccsd_t1_graph(&TceConfig::default());
+        let (_, big) = g
+            .tasks()
+            .max_by(|a, b| a.1.profile.seq_time().partial_cmp(&b.1.profile.seq_time()).unwrap())
+            .unwrap();
+        assert!(big.profile.speedup(64) > 30.0, "dominant contraction must scale");
+        let (_, acc) = g.tasks().find(|(_, t)| t.name.starts_with("ACC")).unwrap();
+        assert!(acc.profile.speedup(64) < 2.0, "accumulations must not scale");
+    }
+
+    #[test]
+    fn accumulators_have_two_in_edges_contractions_at_most_one() {
+        let g = ccsd_t1_graph(&TceConfig::default());
+        for (id, t) in g.tasks() {
+            if t.name.starts_with("ACC") {
+                assert_eq!(g.in_degree(id), 2, "{}", t.name);
+            } else {
+                assert!(g.in_degree(id) <= 1, "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn problem_size_scales_work() {
+        let small = ccsd_t1_graph(&TceConfig { n_occ: 20, n_virt: 100, ..Default::default() });
+        let large = ccsd_t1_graph(&TceConfig { n_occ: 40, n_virt: 200, ..Default::default() });
+        let w = |g: &TaskGraph| GraphStats::compute(g).total_work;
+        assert!(w(&large) > 10.0 * w(&small));
+    }
+}

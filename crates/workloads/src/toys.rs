@@ -1,0 +1,66 @@
+//! Small hand-built graphs for examples, tests and documentation.
+
+use locmps_speedup::{ExecutionProfile, SpeedupModel};
+use locmps_taskgraph::{TaskGraph, TaskId};
+
+/// A linear chain of `n` tasks with the given per-task work and edge
+/// volume.
+pub fn chain(n: usize, work: f64, volume: f64) -> TaskGraph {
+    assert!(n >= 1);
+    let mut g = TaskGraph::new();
+    let mut prev: Option<TaskId> = None;
+    for i in 0..n {
+        let t = g.add_task(format!("c{i}"), ExecutionProfile::linear(work));
+        if let Some(p) = prev {
+            g.add_edge(p, t, volume).unwrap();
+        }
+        prev = Some(t);
+    }
+    g
+}
+
+/// A fork-join: `source → n parallel branches → sink`.
+pub fn fork_join(n: usize, branch_work: f64, volume: f64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let src = g.add_task("fork", ExecutionProfile::linear(1.0));
+    let sink_profile = ExecutionProfile::linear(1.0);
+    let branches: Vec<TaskId> = (0..n)
+        .map(|i| g.add_task(format!("b{i}"), ExecutionProfile::linear(branch_work)))
+        .collect();
+    let sink = g.add_task("join", sink_profile);
+    for b in branches {
+        g.add_edge(src, b, volume).unwrap();
+        g.add_edge(b, sink, volume).unwrap();
+    }
+    g
+}
+
+/// `n` fully independent tasks with Amdahl speedup (serial fraction `f`).
+pub fn independent(n: usize, work: f64, serial_fraction: f64) -> TaskGraph {
+    let model = SpeedupModel::amdahl(serial_fraction).expect("valid fraction");
+    let mut g = TaskGraph::new();
+    for i in 0..n {
+        g.add_task(format!("i{i}"), ExecutionProfile::new(work, model.clone()).unwrap());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_taskgraph::GraphStats;
+
+    #[test]
+    fn shapes() {
+        let c = chain(5, 10.0, 1.0);
+        assert_eq!(GraphStats::compute(&c).depth, 5);
+        let f = fork_join(4, 3.0, 2.0);
+        assert_eq!(f.n_tasks(), 6);
+        assert_eq!(GraphStats::compute(&f).width, 4);
+        let ind = independent(3, 7.0, 0.5);
+        assert_eq!(ind.n_edges(), 0);
+        for g in [&c, &f, &ind] {
+            g.validate().unwrap();
+        }
+    }
+}

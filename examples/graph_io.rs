@@ -1,0 +1,38 @@
+//! Task-graph I/O: export/import JSON specs and render DOT — the surface a
+//! downstream tool would script against.
+//!
+//! ```sh
+//! cargo run --release --example graph_io
+//! ```
+
+use locmps::prelude::*;
+use locmps::taskgraph::GraphStats;
+use locmps::workloads::toys::fork_join;
+
+fn main() {
+    let g = fork_join(3, 12.0, 25.0);
+
+    // JSON round trip.
+    let json = g.to_json();
+    println!("--- JSON spec ---\n{json}\n");
+    let parsed = TaskGraph::from_json(&json).expect("round trip");
+    assert_eq!(parsed, g);
+
+    // DOT rendering (paste into Graphviz).
+    println!("--- DOT ---\n{}", g.to_dot());
+
+    // Stats the CLI-equivalent tooling would report.
+    let stats = GraphStats::compute(&g);
+    println!("--- stats ---");
+    println!("tasks        : {}", stats.n_tasks);
+    println!("edges        : {}", stats.n_data_edges);
+    println!("depth x width: {} x {}", stats.depth, stats.width);
+    println!("total work   : {:.1} s", stats.total_work);
+    println!("total volume : {:.1} MB", stats.total_volume);
+    println!("CCR @12.5MB/s: {:.3}", stats.ccr(12.5));
+
+    // And of course it schedules.
+    let cluster = Cluster::new(4, 12.5);
+    let out = LocMps::default().schedule(&g, &cluster).unwrap();
+    println!("\nLoC-MPS makespan on 4 procs: {:.2} s", out.makespan());
+}

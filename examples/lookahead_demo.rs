@@ -1,0 +1,46 @@
+//! The paper's Figure 3 worked example: bounded look-ahead escapes a local
+//! minimum that a greedy (improve-only) search cannot.
+//!
+//! Two independent linear-speedup tasks (40 s and 80 s sequential) on four
+//! processors: greedy critical-path widening stalls at makespan 40; the
+//! data-parallel schedule reaches 30.
+//!
+//! ```sh
+//! cargo run --release --example lookahead_demo
+//! ```
+
+use locmps::core::GanttOptions;
+use locmps::prelude::*;
+
+fn build() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    g.add_task("T1", ExecutionProfile::linear(40.0));
+    g.add_task("T2", ExecutionProfile::linear(80.0));
+    g
+}
+
+fn main() {
+    let cluster = Cluster::new(4, 12.5);
+
+    let greedy = LocMps::new(LocMpsConfig::greedy())
+        .schedule(&build(), &cluster)
+        .unwrap();
+    let full = LocMps::new(LocMpsConfig::default())
+        .schedule(&build(), &cluster)
+        .unwrap();
+
+    let g = build();
+    println!("greedy (no look-ahead): makespan {:.1}", greedy.makespan());
+    println!("  allocation: {:?}", greedy.allocation.as_slice());
+    print!("{}", greedy.schedule.gantt(&g, 4, GanttOptions { width: 60 }));
+    println!();
+    println!("LoC-MPS (look-ahead 20): makespan {:.1}", full.makespan());
+    println!("  allocation: {:?}", full.allocation.as_slice());
+    print!("{}", full.schedule.gantt(&g, 4, GanttOptions { width: 60 }));
+    println!();
+    println!(
+        "look-ahead recovers the data-parallel optimum: {:.1} -> {:.1}",
+        greedy.makespan(),
+        full.makespan()
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a small mixed-parallel task graph, schedule it with
+//! LoC-MPS, and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use locmps::core::bounds::makespan_lower_bound;
+use locmps::core::GanttOptions;
+use locmps::prelude::*;
+use locmps::speedup::ProfiledSpeedup;
+
+fn main() {
+    // A four-stage pipeline with a parallel middle: the "video frame"
+    // example — decode feeds two independent filters whose results are
+    // composited.
+    let mut g = TaskGraph::new();
+    let decode = g.add_task(
+        "decode",
+        ExecutionProfile::new(
+            24.0,
+            SpeedupModel::Table(ProfiledSpeedup::from_times(&[24.0, 13.0, 9.5, 8.0]).unwrap()),
+        )
+        .unwrap(),
+    );
+    let denoise = g.add_task(
+        "denoise",
+        ExecutionProfile::new(30.0, SpeedupModel::downey(12.0, 0.5).unwrap()).unwrap(),
+    );
+    let upscale = g.add_task(
+        "upscale",
+        ExecutionProfile::new(40.0, SpeedupModel::downey(24.0, 1.0).unwrap()).unwrap(),
+    );
+    let composite = g.add_task(
+        "composite",
+        ExecutionProfile::new(12.0, SpeedupModel::amdahl(0.3).unwrap()).unwrap(),
+    );
+    // Edges carry megabytes of intermediate frames.
+    g.add_edge(decode, denoise, 120.0).unwrap();
+    g.add_edge(decode, upscale, 120.0).unwrap();
+    g.add_edge(denoise, composite, 60.0).unwrap();
+    g.add_edge(upscale, composite, 240.0).unwrap();
+
+    let cluster = Cluster::new(8, 125.0); // 8 nodes, 1 Gbit/s links
+    let out = LocMps::new(LocMpsConfig::default())
+        .schedule(&g, &cluster)
+        .expect("valid DAG schedules cleanly");
+
+    println!("LoC-MPS makespan: {:.2} s", out.makespan());
+    println!(
+        "lower bound:      {:.2} s",
+        makespan_lower_bound(&g, cluster.n_procs)
+    );
+    println!();
+    for (t, task) in g.tasks() {
+        let e = out.schedule.get(t).unwrap();
+        println!(
+            "  {:<9} np={} procs={} start={:6.2} finish={:6.2}",
+            task.name,
+            e.np(),
+            e.procs,
+            e.start,
+            e.finish
+        );
+    }
+    println!();
+    print!("{}", out.schedule.gantt(&g, cluster.n_procs, GanttOptions::default()));
+    println!(
+        "utilization: {:.0} %",
+        100.0 * out.schedule.utilization(cluster.n_procs)
+    );
+}

@@ -1,0 +1,63 @@
+//! Schedule the TCE CCSD-T1 quantum-chemistry workflow (paper §IV.B,
+//! Figures 7(a)/8) under both communication-overlap regimes.
+//!
+//! ```sh
+//! cargo run --release --example tce_workflow [procs]
+//! ```
+
+use locmps::prelude::*;
+use locmps::sim::{simulate, SimConfig};
+use locmps::taskgraph::GraphStats;
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+
+    let g = ccsd_t1_graph(&TceConfig::default());
+    let stats = GraphStats::compute(&g);
+    println!(
+        "CCSD T1: {} contractions/accumulations, depth {}, total work {:.1} s, data {:.0} MB\n",
+        stats.n_tasks, stats.depth, stats.total_work, stats.total_volume
+    );
+
+    for (label, cluster) in [
+        ("full comp/comm overlap", Cluster::myrinet(p)),
+        ("no overlap", Cluster::myrinet(p).without_overlap()),
+    ] {
+        let out = LocMps::default().schedule(&g, &cluster).expect("schedulable");
+        let rep = simulate(&g, &cluster, &out, SimConfig::default());
+        println!("[{label}]");
+        println!("  makespan      : {:.2} s", rep.makespan);
+        println!("  total comm    : {:.2} s across all edges", rep.total_comm_time);
+        println!("  utilization   : {:.0} %", 100.0 * rep.utilization);
+        // The widest and narrowest allocations chosen.
+        let (mut wid, mut nar) = ((0, 0usize), (0, usize::MAX));
+        for t in g.task_ids() {
+            let np = out.allocation.np(t);
+            if np > wid.1 {
+                wid = (t.index(), np);
+            }
+            if np < nar.1 {
+                nar = (t.index(), np);
+            }
+        }
+        println!(
+            "  widest task   : {} on {} procs",
+            g.task(locmps::taskgraph::TaskId(wid.0 as u32)).name,
+            wid.1
+        );
+        println!(
+            "  narrowest task: {} on {} procs\n",
+            g.task(locmps::taskgraph::TaskId(nar.0 as u32)).name,
+            nar.1
+        );
+    }
+
+    // Export the DAG for visualization.
+    let dot_path = std::env::temp_dir().join("ccsd_t1.dot");
+    std::fs::write(&dot_path, g.to_dot()).expect("writable temp dir");
+    println!("DOT graph written to {}", dot_path.display());
+}

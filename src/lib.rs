@@ -1,0 +1,67 @@
+//! # locmps — Locality Conscious Mixed-Parallel Scheduling
+//!
+//! A from-scratch Rust reproduction of *Locality Conscious Processor
+//! Allocation and Scheduling for Mixed Parallel Applications* (Vydyanathan,
+//! Krishnamoorthy, Sabin, Catalyurek, Kurc, Sadayappan, Saltz — IEEE
+//! CLUSTER 2006).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`speedup`] — moldable-task execution-time models (Downey, Amdahl,
+//!   profiled tables);
+//! * [`taskgraph`] — the weighted-DAG application model: levels, critical
+//!   paths, concurrency sets, pseudo-edges;
+//! * [`platform`] — cluster model, processor sets, block-cyclic data
+//!   redistribution, single-port communication;
+//! * [`core`] — the paper's contribution: the LoC-MPS allocation loop and
+//!   the LoCBS locality-conscious backfill scheduler;
+//! * [`baselines`] — the comparison schedulers: CPR, CPA, TSAS, iCASLB
+//!   (communication-blind LoC-MPS), pure TASK and pure DATA parallel;
+//! * [`sim`] — a discrete-event execution simulator and schedule validator;
+//! * [`workloads`] — synthetic TGFF-like DAGs, TCE CCSD-T1 and Strassen
+//!   application graphs;
+//! * [`runtime`] — an online (run-time) execution framework with pluggable
+//!   dispatch policies (the paper's future-work item §VI(2));
+//! * [`viz`] — SVG Gantt charts and layered task-graph drawings.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use locmps::prelude::*;
+//!
+//! // Build the 4-task diamond from Figure 1 of the paper.
+//! let mut g = TaskGraph::new();
+//! let t1 = g.add_task("T1", ExecutionProfile::linear(40.0));
+//! let t2 = g.add_task("T2", ExecutionProfile::linear(21.0));
+//! let t3 = g.add_task("T3", ExecutionProfile::linear(10.0));
+//! let t4 = g.add_task("T4", ExecutionProfile::linear(32.0));
+//! g.add_edge(t1, t2, 0.0).unwrap();
+//! g.add_edge(t1, t3, 0.0).unwrap();
+//! g.add_edge(t2, t4, 0.0).unwrap();
+//! g.add_edge(t3, t4, 0.0).unwrap();
+//!
+//! let cluster = Cluster::new(4, 100.0);
+//! let schedule = LocMps::new(LocMpsConfig::default())
+//!     .schedule(&g, &cluster)
+//!     .unwrap();
+//! assert!(schedule.makespan() > 0.0);
+//! ```
+
+pub use locmps_baselines as baselines;
+pub use locmps_core as core;
+pub use locmps_platform as platform;
+pub use locmps_runtime as runtime;
+pub use locmps_sim as sim;
+pub use locmps_viz as viz;
+pub use locmps_speedup as speedup;
+pub use locmps_taskgraph as taskgraph;
+pub use locmps_workloads as workloads;
+
+/// Convenience prelude bringing the most-used types into scope.
+pub mod prelude {
+    pub use locmps_core::{LocMps, LocMpsConfig, Schedule, Scheduler};
+    pub use locmps_platform::{Cluster, CommOverlap, ProcSet};
+    pub use locmps_speedup::{DowneyParams, ExecutionProfile, SpeedupModel};
+    pub use locmps_taskgraph::{TaskGraph, TaskId};
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: every scheduler on every workload
+//! family, validated end to end (schedule → validity → simulator replay).
+
+use locmps::baselines::{Cpa, Cpr, DataParallel, TaskParallel};
+use locmps::core::bounds::makespan_lower_bound;
+use locmps::prelude::*;
+use locmps::sim::{simulate, SimConfig};
+use locmps::workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+use locmps::workloads::toys::{chain, fork_join, independent};
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(LocMps::default()),
+        Box::new(LocMps::new(LocMpsConfig::icaslb())),
+        Box::new(LocMps::new(LocMpsConfig::no_backfill())),
+        Box::new(Cpr),
+        Box::new(Cpa),
+        Box::new(TaskParallel),
+        Box::new(DataParallel),
+    ]
+}
+
+fn workloads() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("chain", chain(6, 10.0, 20.0)),
+        ("fork_join", fork_join(5, 8.0, 15.0)),
+        ("independent", independent(6, 12.0, 0.2)),
+        (
+            "synthetic",
+            synthetic_graph(&SyntheticConfig {
+                n_tasks: 18,
+                ccr: 0.5,
+                seed: 77,
+                ..Default::default()
+            }),
+        ),
+        ("strassen", strassen_graph(&StrassenConfig { n: 512, ..Default::default() })),
+        (
+            "ccsd_t1",
+            ccsd_t1_graph(&TceConfig { n_occ: 16, n_virt: 64, ..Default::default() }),
+        ),
+    ]
+}
+
+#[test]
+fn every_scheduler_handles_every_workload() {
+    for (wname, g) in workloads() {
+        for cluster in [Cluster::new(7, 50.0), Cluster::new(7, 50.0).without_overlap()] {
+            for s in all_schedulers() {
+                let out = s
+                    .schedule(&g, &cluster)
+                    .unwrap_or_else(|e| panic!("{} on {wname}: {e}", s.name()));
+                assert!(out.makespan() > 0.0, "{} on {wname}", s.name());
+                // Replay never fails and produces a finite makespan.
+                let rep = simulate(&g, &cluster, &out, SimConfig::default());
+                assert!(
+                    rep.makespan.is_finite() && rep.makespan > 0.0,
+                    "{} on {wname}",
+                    s.name()
+                );
+                // The executed makespan respects the absolute lower bound.
+                let lb = makespan_lower_bound(&g, cluster.n_procs);
+                assert!(
+                    rep.makespan + 1e-6 >= lb,
+                    "{} on {wname}: executed {} < bound {lb}",
+                    s.name(),
+                    rep.makespan
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn locmps_executed_beats_or_matches_every_baseline_corner() {
+    // LoC-MPS starts from TASK and probes the DATA corners, so under the
+    // true model it can never execute worse than either pure paradigm.
+    for (wname, g) in workloads() {
+        for p in [2usize, 5, 9] {
+            let cluster = Cluster::new(p, 50.0);
+            let exec = |s: &dyn Scheduler| {
+                let out = s.schedule(&g, &cluster).unwrap();
+                simulate(&g, &cluster, &out, SimConfig::default()).makespan
+            };
+            let loc = exec(&LocMps::default());
+            let task = exec(&TaskParallel);
+            let data = exec(&DataParallel);
+            assert!(
+                loc <= task * (1.0 + 1e-9),
+                "{wname} P={p}: LoC-MPS {loc} vs TASK {task}"
+            );
+            assert!(
+                loc <= data * (1.0 + 1e-9),
+                "{wname} P={p}: LoC-MPS {loc} vs DATA {data}"
+            );
+        }
+    }
+}
+
+#[test]
+fn comm_aware_schedules_replay_exactly() {
+    // LoC-MPS and TASK plan under the model the simulator replays: the
+    // claimed and executed makespans must agree to numerical precision.
+    for (wname, g) in workloads() {
+        for cluster in [Cluster::new(6, 50.0), Cluster::new(6, 50.0).without_overlap()] {
+            for s in [&LocMps::default() as &dyn Scheduler, &TaskParallel] {
+                let out = s.schedule(&g, &cluster).unwrap();
+                let rep = simulate(&g, &cluster, &out, SimConfig::default());
+                assert!(
+                    (rep.makespan - out.makespan()).abs() < 1e-6 * rep.makespan.max(1.0),
+                    "{} on {wname} ({:?}): claimed {} executed {}",
+                    s.name(),
+                    cluster.overlap,
+                    out.makespan(),
+                    rep.makespan
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schedules_validate_under_their_planning_model() {
+    let cluster = Cluster::new(5, 50.0);
+    let true_model = locmps::core::CommModel::new(&cluster);
+    let blind = locmps::core::CommModel::blind(&cluster);
+    for (wname, g) in workloads() {
+        let loc = LocMps::default().schedule(&g, &cluster).unwrap();
+        loc.schedule
+            .validate(&g, &true_model)
+            .unwrap_or_else(|e| panic!("LoC-MPS invalid on {wname}: {e}"));
+        let ica = LocMps::new(LocMpsConfig::icaslb()).schedule(&g, &cluster).unwrap();
+        ica.schedule
+            .validate(&g, &blind)
+            .unwrap_or_else(|e| panic!("iCASLB invalid on {wname}: {e}"));
+        let data = DataParallel.schedule(&g, &cluster).unwrap();
+        data.schedule
+            .validate(&g, &true_model)
+            .unwrap_or_else(|e| panic!("DATA invalid on {wname}: {e}"));
+    }
+}
+
+#[test]
+fn bigger_clusters_never_hurt_locmps() {
+    let g = synthetic_graph(&SyntheticConfig { n_tasks: 15, ccr: 0.2, seed: 5, ..Default::default() });
+    let mut prev = f64::INFINITY;
+    for p in [1usize, 2, 4, 8, 16] {
+        let cluster = Cluster::fast_ethernet(p);
+        let out = LocMps::default().schedule(&g, &cluster).unwrap();
+        let ms = simulate(&g, &cluster, &out, SimConfig::default()).makespan;
+        assert!(
+            ms <= prev * (1.0 + 1e-9),
+            "P={p}: makespan {ms} worse than smaller cluster's {prev}"
+        );
+        prev = ms;
+    }
+}
