@@ -77,7 +77,11 @@ impl Scheduler for Cpa {
 
         // Scheduling phase.
         let res = PlainListScheduler.run(g, &alloc, cluster)?;
-        Ok(SchedulerOutput { schedule: res.schedule, allocation: alloc, schedule_dag: None })
+        Ok(SchedulerOutput {
+            schedule: res.schedule,
+            allocation: alloc,
+            schedule_dag: None,
+        })
     }
 }
 
@@ -122,7 +126,11 @@ mod tests {
         let t = g.add_task("t", ExecutionProfile::new(30.0, m).unwrap());
         let cluster = Cluster::new(16, 12.5);
         let out = Cpa.schedule(&g, &cluster).unwrap();
-        assert!(out.allocation.np(t) > 4, "CPA over-allocates, got {}", out.allocation.np(t));
+        assert!(
+            out.allocation.np(t) > 4,
+            "CPA over-allocates, got {}",
+            out.allocation.np(t)
+        );
         assert!((out.makespan() - 15.0).abs() < 1e-9, "saturated time et=15");
     }
 
@@ -138,7 +146,11 @@ mod tests {
         let t = g.add_task("t", ExecutionProfile::new(10.0, m).unwrap());
         let cluster = Cluster::new(16, 12.5);
         let out = Cpa.schedule(&g, &cluster).unwrap();
-        assert_eq!(out.allocation.np(t), 1, "widening a thrashing task is never chosen");
+        assert_eq!(
+            out.allocation.np(t),
+            1,
+            "widening a thrashing task is never chosen"
+        );
         assert!((out.makespan() - 10.0).abs() < 1e-9);
     }
 

@@ -77,7 +77,11 @@ impl Scheduler for Cpr {
             }
         }
 
-        Ok(SchedulerOutput { schedule: best.schedule, allocation: alloc, schedule_dag: None })
+        Ok(SchedulerOutput {
+            schedule: best.schedule,
+            allocation: alloc,
+            schedule_dag: None,
+        })
     }
 }
 
@@ -95,7 +99,11 @@ mod tests {
         let cluster = Cluster::new(4, 12.5);
         let out = Cpr.schedule(&g, &cluster).unwrap();
         // A linear chain should collapse to full-width: 10 + 10 = 20.
-        assert!((out.makespan() - 20.0).abs() < 1e-9, "got {}", out.makespan());
+        assert!(
+            (out.makespan() - 20.0).abs() < 1e-9,
+            "got {}",
+            out.makespan()
+        );
         assert_eq!(out.allocation.as_slice(), &[4, 4]);
     }
 
@@ -104,7 +112,10 @@ mod tests {
         let serial = SpeedupModel::amdahl(1.0).unwrap();
         let mut g = TaskGraph::new();
         for i in 0..2 {
-            g.add_task(format!("t{i}"), ExecutionProfile::new(10.0, serial.clone()).unwrap());
+            g.add_task(
+                format!("t{i}"),
+                ExecutionProfile::new(10.0, serial.clone()).unwrap(),
+            );
         }
         let cluster = Cluster::new(4, 12.5);
         let out = Cpr.schedule(&g, &cluster).unwrap();
@@ -121,7 +132,11 @@ mod tests {
         g.add_task("T2", ExecutionProfile::linear(80.0));
         let cluster = Cluster::new(4, 12.5);
         let out = Cpr.schedule(&g, &cluster).unwrap();
-        assert!((out.makespan() - 40.0).abs() < 1e-6, "got {}", out.makespan());
+        assert!(
+            (out.makespan() - 40.0).abs() < 1e-6,
+            "got {}",
+            out.makespan()
+        );
     }
 
     #[test]

@@ -22,16 +22,16 @@
 //! scheduling algorithm").
 
 pub mod cpa;
-pub mod tsas;
 pub mod cpr;
 pub mod listsched;
 pub mod taskdata;
+pub mod tsas;
 
 pub use cpa::Cpa;
-pub use tsas::Tsas;
 pub use cpr::Cpr;
 pub use listsched::PlainListScheduler;
 pub use taskdata::{DataParallel, TaskParallel};
+pub use tsas::Tsas;
 
 #[cfg(test)]
 mod proptests;

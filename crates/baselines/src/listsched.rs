@@ -40,7 +40,10 @@ impl PlainListScheduler {
     ) -> Result<ListScheduleResult, SchedError> {
         g.validate().map_err(SchedError::Graph)?;
         if alloc.len() != g.n_tasks() {
-            return Err(SchedError::AllocationMismatch { expected: g.n_tasks(), got: alloc.len() });
+            return Err(SchedError::AllocationMismatch {
+                expected: g.n_tasks(),
+                got: alloc.len(),
+            });
         }
         for t in g.task_ids() {
             if alloc.np(t) > cluster.n_procs {
@@ -61,8 +64,10 @@ impl PlainListScheduler {
         let mut finish = vec![0.0f64; g.n_tasks()];
         let mut entries: Vec<Option<ScheduledTask>> = vec![None; g.n_tasks()];
         let mut remaining: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
-        let mut ready: Vec<TaskId> =
-            g.task_ids().filter(|&t| remaining[t.index()] == 0).collect();
+        let mut ready: Vec<TaskId> = g
+            .task_ids()
+            .filter(|&t| remaining[t.index()] == 0)
+            .collect();
 
         while !ready.is_empty() {
             // Highest bottom level first; lower id breaks ties.
@@ -83,7 +88,10 @@ impl PlainListScheduler {
             // Earliest-available np processors, oblivious to data location.
             let mut procs: Vec<u32> = (0..cluster.n_procs as u32).collect();
             procs.sort_by(|&a, &b| {
-                eat[a as usize].partial_cmp(&eat[b as usize]).unwrap().then(a.cmp(&b))
+                eat[a as usize]
+                    .partial_cmp(&eat[b as usize])
+                    .unwrap()
+                    .then(a.cmp(&b))
             });
             let chosen: ProcSet = procs.into_iter().take(np).collect();
 
@@ -91,7 +99,10 @@ impl PlainListScheduler {
                 .in_edges(t)
                 .map(|e| finish[g.edge(e).src.index()] + model.edge_estimate(g, alloc, e))
                 .fold(0.0f64, f64::max);
-            let avail = chosen.iter().map(|p| eat[p as usize]).fold(0.0f64, f64::max);
+            let avail = chosen
+                .iter()
+                .map(|p| eat[p as usize])
+                .fold(0.0f64, f64::max);
             let st = est.max(avail);
             let ft = st + g.task(t).profile.time(np);
             for p in chosen.iter() {
@@ -114,7 +125,10 @@ impl PlainListScheduler {
         }
 
         let schedule = Schedule::from_entries(
-            entries.into_iter().map(|e| e.expect("DAG schedules fully")).collect(),
+            entries
+                .into_iter()
+                .map(|e| e.expect("DAG schedules fully"))
+                .collect(),
         );
         let makespan = schedule.makespan();
         Ok(ListScheduleResult { schedule, makespan })
@@ -133,7 +147,9 @@ mod tests {
         let b = g.add_task("b", ExecutionProfile::linear(5.0));
         g.add_edge(a, b, 0.0).unwrap();
         let cluster = Cluster::new(2, 12.5);
-        let res = PlainListScheduler.run(&g, &Allocation::ones(2), &cluster).unwrap();
+        let res = PlainListScheduler
+            .run(&g, &Allocation::ones(2), &cluster)
+            .unwrap();
         assert!((res.makespan - 15.0).abs() < 1e-9);
     }
 
@@ -144,8 +160,13 @@ mod tests {
             g.add_task(format!("t{i}"), ExecutionProfile::linear(10.0));
         }
         let cluster = Cluster::new(2, 12.5);
-        let res = PlainListScheduler.run(&g, &Allocation::ones(4), &cluster).unwrap();
-        assert!((res.makespan - 20.0).abs() < 1e-9, "4 × 10s on 2 procs = 20s");
+        let res = PlainListScheduler
+            .run(&g, &Allocation::ones(4), &cluster)
+            .unwrap();
+        assert!(
+            (res.makespan - 20.0).abs() < 1e-9,
+            "4 × 10s on 2 procs = 20s"
+        );
     }
 
     #[test]
@@ -157,7 +178,9 @@ mod tests {
         let b = g.add_task("b", ExecutionProfile::linear(10.0));
         g.add_edge(a, b, 125.0).unwrap();
         let cluster = Cluster::new(2, 12.5);
-        let res = PlainListScheduler.run(&g, &Allocation::ones(2), &cluster).unwrap();
+        let res = PlainListScheduler
+            .run(&g, &Allocation::ones(2), &cluster)
+            .unwrap();
         assert!((res.makespan - 30.0).abs() < 1e-9);
     }
 

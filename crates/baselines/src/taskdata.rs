@@ -112,7 +112,9 @@ mod tests {
         let expect: f64 = g.task_ids().map(|t| g.task(t).profile.time(4)).sum();
         assert!((out.makespan() - expect).abs() < 1e-9);
         // Valid under the true model: identical layouts => no transfers.
-        out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+        out.schedule
+            .validate(&g, &CommModel::new(&cluster))
+            .unwrap();
         assert!(out.schedule.entries().iter().all(|e| e.np() == 4));
     }
 
@@ -132,7 +134,9 @@ mod tests {
         let cluster = Cluster::new(4, 12.5);
         let out = TaskParallel.schedule(&g, &cluster).unwrap();
         assert!(out.schedule.entries().iter().all(|e| e.np() == 1));
-        out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+        out.schedule
+            .validate(&g, &CommModel::new(&cluster))
+            .unwrap();
         assert_eq!(TaskParallel.name(), "TASK");
     }
 
@@ -143,7 +147,10 @@ mod tests {
         let serial = SpeedupModel::amdahl(1.0).unwrap();
         let mut g = TaskGraph::new();
         for i in 0..3 {
-            g.add_task(format!("t{i}"), ExecutionProfile::new(10.0, serial.clone()).unwrap());
+            g.add_task(
+                format!("t{i}"),
+                ExecutionProfile::new(10.0, serial.clone()).unwrap(),
+            );
         }
         let cluster = Cluster::new(4, 12.5);
         let task = TaskParallel.schedule(&g, &cluster).unwrap();

@@ -38,7 +38,10 @@ pub struct Tsas {
 
 impl Default for Tsas {
     fn default() -> Self {
-        Self { max_steps: 5_000, step: 0.25 }
+        Self {
+            max_steps: 5_000,
+            step: 0.25,
+        }
     }
 }
 
@@ -47,9 +50,8 @@ impl Tsas {
     fn objective(g: &TaskGraph, x: &[f64], p: usize, model: &CommModel<'_>) -> (f64, f64) {
         // Critical path over continuous times; edge weights keep the
         // aggregate estimate with the *floored* widths (conservative).
-        let alloc_int = Allocation::from_vec(
-            x.iter().map(|v| (v.floor() as usize).max(1)).collect(),
-        );
+        let alloc_int =
+            Allocation::from_vec(x.iter().map(|v| (v.floor() as usize).max(1)).collect());
         let cp = g
             .critical_path(
                 |t| g.task(t).profile.time_cont(x[t.index()]),
@@ -81,9 +83,8 @@ impl Scheduler for Tsas {
             let (cp_len, avg_area) = Self::objective(g, &x, p, &model);
             if cp_len > avg_area {
                 // CP dominates: steepest descent on a critical-path task.
-                let alloc_int = Allocation::from_vec(
-                    x.iter().map(|v| (v.floor() as usize).max(1)).collect(),
-                );
+                let alloc_int =
+                    Allocation::from_vec(x.iter().map(|v| (v.floor() as usize).max(1)).collect());
                 let cp = g.critical_path(
                     |t| g.task(t).profile.time_cont(x[t.index()]),
                     |e| model.edge_estimate(g, &alloc_int, e),
@@ -111,9 +112,8 @@ impl Scheduler for Tsas {
             } else {
                 // Area dominates: release processors from the task whose
                 // shrink costs the critical path the least per area saved.
-                let alloc_int = Allocation::from_vec(
-                    x.iter().map(|v| (v.floor() as usize).max(1)).collect(),
-                );
+                let alloc_int =
+                    Allocation::from_vec(x.iter().map(|v| (v.floor() as usize).max(1)).collect());
                 let cp = g.critical_path(
                     |t| g.task(t).profile.time_cont(x[t.index()]),
                     |e| model.edge_estimate(g, &alloc_int, e),
@@ -127,7 +127,8 @@ impl Scheduler for Tsas {
                         let saved = |t: TaskId| {
                             let prof = &g.task(t).profile;
                             let xi = x[t.index()];
-                            xi * prof.time_cont(xi) - (xi - self.step) * prof.time_cont(xi - self.step)
+                            xi * prof.time_cont(xi)
+                                - (xi - self.step) * prof.time_cont(xi - self.step)
                         };
                         saved(a).partial_cmp(&saved(b)).unwrap().then(b.cmp(&a))
                     });
@@ -144,11 +145,14 @@ impl Scheduler for Tsas {
         }
 
         // Round to integers (nearest, clamped to [1, P]).
-        let alloc = Allocation::from_vec(
-            x.iter().map(|v| (v.round() as usize).clamp(1, p)).collect(),
-        );
+        let alloc =
+            Allocation::from_vec(x.iter().map(|v| (v.round() as usize).clamp(1, p)).collect());
         let res = PlainListScheduler.run(g, &alloc, cluster)?;
-        Ok(SchedulerOutput { schedule: res.schedule, allocation: alloc, schedule_dag: None })
+        Ok(SchedulerOutput {
+            schedule: res.schedule,
+            allocation: alloc,
+            schedule_dag: None,
+        })
     }
 }
 
@@ -181,7 +185,10 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", ExecutionProfile::linear(32.0));
         for i in 0..6 {
-            g.add_task(format!("s{i}"), ExecutionProfile::new(8.0, serial.clone()).unwrap());
+            g.add_task(
+                format!("s{i}"),
+                ExecutionProfile::new(8.0, serial.clone()).unwrap(),
+            );
         }
         let _ = a;
         let cluster = Cluster::new(8, 12.5);

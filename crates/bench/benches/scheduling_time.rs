@@ -12,7 +12,12 @@ use locmps_taskgraph::ConcurrencyInfo;
 use locmps_workloads::synthetic::{synthetic_graph, SyntheticConfig};
 
 fn graph(n: usize, ccr: f64) -> locmps_taskgraph::TaskGraph {
-    synthetic_graph(&SyntheticConfig { n_tasks: n, ccr, seed: 42, ..Default::default() })
+    synthetic_graph(&SyntheticConfig {
+        n_tasks: n,
+        ccr,
+        seed: 42,
+        ..Default::default()
+    })
 }
 
 /// Full scheduler runs: one per scheme, fixed 30-task CCR=0.1 graph, P=32.
@@ -66,9 +71,7 @@ fn bench_locbs(c: &mut Criterion) {
     let g = graph(40, 0.1);
     let cluster = Cluster::fast_ethernet(64);
     let model = CommModel::new(&cluster);
-    let alloc = Allocation::from_vec(
-        g.task_ids().map(|t| 1 + t.index() % 8).collect::<Vec<_>>(),
-    );
+    let alloc = Allocation::from_vec(g.task_ids().map(|t| 1 + t.index() % 8).collect::<Vec<_>>());
     let mut group = c.benchmark_group("locbs/40tasks/p64");
     group.bench_function("backfill", |b| {
         let s = Locbs::new(model, LocbsOptions { backfill: true });

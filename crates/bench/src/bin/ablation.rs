@@ -24,14 +24,62 @@ fn variants() -> Vec<(&'static str, LocMpsConfig)> {
     let d = LocMpsConfig::default();
     vec![
         ("default", d),
-        ("lookahead=1", LocMpsConfig { lookahead_depth: 1, ..d }),
-        ("lookahead=5", LocMpsConfig { lookahead_depth: 5, ..d }),
-        ("lookahead=50", LocMpsConfig { lookahead_depth: 50, ..d }),
-        ("inspect=2", LocMpsConfig { inspect_at_least: 2, ..d }),
-        ("inspect=4", LocMpsConfig { inspect_at_least: 4, ..d }),
-        ("no-backfill", LocMpsConfig { backfill: false, ..d }),
-        ("no-corners", LocMpsConfig { corner_starts: false, ..d }),
-        ("parallel=4", LocMpsConfig { parallel_entries: 4, ..d }),
+        (
+            "lookahead=1",
+            LocMpsConfig {
+                lookahead_depth: 1,
+                ..d
+            },
+        ),
+        (
+            "lookahead=5",
+            LocMpsConfig {
+                lookahead_depth: 5,
+                ..d
+            },
+        ),
+        (
+            "lookahead=50",
+            LocMpsConfig {
+                lookahead_depth: 50,
+                ..d
+            },
+        ),
+        (
+            "inspect=2",
+            LocMpsConfig {
+                inspect_at_least: 2,
+                ..d
+            },
+        ),
+        (
+            "inspect=4",
+            LocMpsConfig {
+                inspect_at_least: 4,
+                ..d
+            },
+        ),
+        (
+            "no-backfill",
+            LocMpsConfig {
+                backfill: false,
+                ..d
+            },
+        ),
+        (
+            "no-corners",
+            LocMpsConfig {
+                corner_starts: false,
+                ..d
+            },
+        ),
+        (
+            "parallel=4",
+            LocMpsConfig {
+                parallel_entries: 4,
+                ..d
+            },
+        ),
         ("comm-blind (iCASLB)", LocMpsConfig::icaslb()),
     ]
 }

@@ -12,5 +12,9 @@ fn main() {
     ex::fig9(&ctx);
     ex::fig10(&ctx);
     ex::fig11(&ctx);
-    eprintln!("all figures regenerated in {:.1}s -> {}", t0.elapsed().as_secs_f64(), ctx.out_dir.display());
+    eprintln!(
+        "all figures regenerated in {:.1}s -> {}",
+        t0.elapsed().as_secs_f64(),
+        ctx.out_dir.display()
+    );
 }

@@ -36,11 +36,18 @@ fn main() {
     let cluster = Cluster::myrinet(p);
 
     let apps: [(&str, &str, TaskGraph); 2] = [
-        ("online_ccsd", "CCSD T1", ccsd_t1_graph(&TceConfig::default())),
+        (
+            "online_ccsd",
+            "CCSD T1",
+            ccsd_t1_graph(&TceConfig::default()),
+        ),
         (
             "online_strassen",
             "Strassen 2048x2048",
-            strassen_graph(&StrassenConfig { n: 2048, ..Default::default() }),
+            strassen_graph(&StrassenConfig {
+                n: 2048,
+                ..Default::default()
+            }),
         ),
     ];
     for (stem, label, g) in apps {

@@ -1,0 +1,121 @@
+//! Performance-regression harness for the LoCBS placement kernel.
+//!
+//! Times `Locbs::run` — the inner loop LoC-MPS executes hundreds of times
+//! per schedule — on synthetic graphs at the three scale points
+//! `(|V|, P) ∈ {(100, 32), (500, 64), (1000, 128)}` and writes the wall
+//! times to `BENCH_locbs.json` (first CLI argument overrides the path).
+//! The schedule makespans are recorded alongside so a speed change that
+//! silently alters scheduling decisions is caught by diffing the report.
+//!
+//! Run with `cargo run --release -p locmps-bench --bin perf_report`.
+
+use std::time::Instant;
+
+use locmps_core::{Allocation, CommModel, Locbs, LocbsOptions};
+use locmps_platform::Cluster;
+use locmps_taskgraph::TaskGraph;
+use locmps_workloads::synthetic::{synthetic_graph, SyntheticConfig};
+
+/// One benchmark case: graph size, machine size and measured wall times.
+struct Case {
+    n_tasks: usize,
+    p: usize,
+    runs: usize,
+    min_ms: f64,
+    mean_ms: f64,
+    makespan: f64,
+}
+
+fn build(n_tasks: usize) -> TaskGraph {
+    synthetic_graph(&SyntheticConfig {
+        n_tasks,
+        ccr: 0.5,
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+/// A mixed-width allocation touching many distinct processor counts, so the
+/// placement loop exercises locality selection and hole scanning rather
+/// than degenerate all-1 or all-P paths.
+fn mixed_alloc(g: &TaskGraph, p: usize) -> Allocation {
+    let half = (p / 2).max(1);
+    Allocation::from_vec(g.task_ids().map(|t| 1 + (t.index() * 7) % half).collect())
+}
+
+fn time_case(n_tasks: usize, p: usize) -> Case {
+    let g = build(n_tasks);
+    let cluster = Cluster::fast_ethernet(p);
+    let model = CommModel::new(&cluster);
+    let locbs = Locbs::new(model, LocbsOptions::default());
+    let alloc = mixed_alloc(&g, p);
+
+    // Warm-up run; also pins the makespan the timed runs must reproduce.
+    let makespan = locbs
+        .run(&g, &alloc)
+        .expect("benchmark graph schedules")
+        .makespan;
+
+    // Enough repetitions to dampen timer noise without letting the large
+    // cases dominate total harness time.
+    let runs = match n_tasks {
+        ..=100 => 30,
+        101..=500 => 10,
+        _ => 5,
+    };
+    let mut times_ms = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let res = locbs.run(&g, &alloc).expect("benchmark graph schedules");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(res.makespan, makespan, "nondeterministic placement");
+        times_ms.push(dt);
+    }
+    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ms = times_ms.iter().sum::<f64>() / runs as f64;
+    Case {
+        n_tasks,
+        p,
+        runs,
+        min_ms,
+        mean_ms,
+        makespan,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_locbs.json".to_string());
+    let cases: Vec<Case> = [(100usize, 32usize), (500, 64), (1000, 128)]
+        .into_iter()
+        .map(|(n, p)| {
+            eprintln!("timing locbs placement: |V|={n} P={p} ...");
+            let c = time_case(n, p);
+            eprintln!(
+                "  min {:.2} ms  mean {:.2} ms over {} runs (makespan {:.3})",
+                c.min_ms, c.mean_ms, c.runs, c.makespan
+            );
+            c
+        })
+        .collect();
+
+    // Hand-rolled JSON keeps the report layout stable and human-diffable.
+    let mut json = String::from("{\n  \"bench\": \"locbs_placement\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n_tasks\": {}, \"p\": {}, \"runs\": {}, \"min_ms\": {:.3}, \
+             \"mean_ms\": {:.3}, \"makespan\": {:.6}}}{}\n",
+            c.n_tasks,
+            c.p,
+            c.runs,
+            c.min_ms,
+            c.mean_ms,
+            c.makespan,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

@@ -81,8 +81,11 @@ fn synthetic_relperf_table(
 ) -> Table {
     let mut header = vec!["P".to_string()];
     header.extend(kinds.iter().map(|k| k.name().to_string()));
-    let mut table =
-        Table { title: title.to_string(), header, rows: Vec::new() };
+    let mut table = Table {
+        title: title.to_string(),
+        header,
+        rows: Vec::new(),
+    };
     for p in ctx.procs() {
         let cluster = Cluster::fast_ethernet(p);
         let results = run_suite(suite, &cluster, kinds, None);
@@ -169,7 +172,11 @@ fn app_relperf_table(
     let kinds = SchedulerKind::PAPER_SET;
     let mut header = vec!["P".to_string()];
     header.extend(kinds.iter().map(|k| k.name().to_string()));
-    let mut table = Table { title: title.to_string(), header, rows: Vec::new() };
+    let mut table = Table {
+        title: title.to_string(),
+        header,
+        rows: Vec::new(),
+    };
     let graphs = [g.clone()];
     for p in ctx.procs() {
         let cluster = make_cluster(p);
@@ -207,10 +214,16 @@ pub fn fig8(ctx: &ExperimentCtx) -> Vec<Table> {
 pub fn fig9(ctx: &ExperimentCtx) -> Vec<Table> {
     let mut out = Vec::new();
     for (stem, n) in [("fig9a", 1024usize), ("fig9b", 4096)] {
-        let g = strassen_graph(&StrassenConfig { n, ..Default::default() });
+        let g = strassen_graph(&StrassenConfig {
+            n,
+            ..Default::default()
+        });
         let t = app_relperf_table(
             ctx,
-            &format!("Figure 9{} — Strassen {n}x{n} (relative performance)", &stem[4..]),
+            &format!(
+                "Figure 9{} — Strassen {n}x{n} (relative performance)",
+                &stem[4..]
+            ),
             &g,
             Cluster::myrinet,
         );
@@ -224,23 +237,40 @@ pub fn fig9(ctx: &ExperimentCtx) -> Vec<Table> {
 /// itself) for (a) CCSD-T1 and (b) Strassen 4096².
 pub fn fig10(ctx: &ExperimentCtx) -> Vec<Table> {
     let apps: [(&str, &str, TaskGraph); 2] = [
-        ("fig10a", "Figure 10a — scheduling times, CCSD T1 (seconds)",
-            ccsd_t1_graph(&TceConfig::default())),
-        ("fig10b", "Figure 10b — scheduling times, Strassen 4096x4096 (seconds)",
-            strassen_graph(&StrassenConfig { n: 4096, ..Default::default() })),
+        (
+            "fig10a",
+            "Figure 10a — scheduling times, CCSD T1 (seconds)",
+            ccsd_t1_graph(&TceConfig::default()),
+        ),
+        (
+            "fig10b",
+            "Figure 10b — scheduling times, Strassen 4096x4096 (seconds)",
+            strassen_graph(&StrassenConfig {
+                n: 4096,
+                ..Default::default()
+            }),
+        ),
     ];
     let kinds = SchedulerKind::PAPER_SET;
     let mut out = Vec::new();
     for (stem, title, g) in apps {
         let mut header = vec!["P".to_string()];
         header.extend(kinds.iter().map(|k| k.name().to_string()));
-        let mut table = Table { title: title.to_string(), header, rows: Vec::new() };
+        let mut table = Table {
+            title: title.to_string(),
+            header,
+            rows: Vec::new(),
+        };
         let graphs = [g];
         for p in ctx.procs() {
             let cluster = Cluster::myrinet(p);
             let results = run_suite(&graphs, &cluster, &kinds, None);
             let mut row = vec![p.to_string()];
-            row.extend(results.iter().map(|r| format!("{:.4}", r.mean_scheduling_seconds())));
+            row.extend(
+                results
+                    .iter()
+                    .map(|r| format!("{:.4}", r.mean_scheduling_seconds())),
+            );
             table.push_row(row);
         }
         ctx.emit(&table, stem);
@@ -309,7 +339,11 @@ mod tests {
     fn fig6_runs_quick() {
         let tables = fig6(&quick_ctx());
         assert_eq!(tables.len(), 2);
-        assert_eq!(tables[0].rows.len(), 3, "three processor counts in quick mode");
+        assert_eq!(
+            tables[0].rows.len(),
+            3,
+            "three processor counts in quick mode"
+        );
         // LoC-MPS's own relative performance is 1 by construction.
         for row in &tables[0].rows {
             assert_eq!(row[1], "1.000");

@@ -17,6 +17,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::Table;
-pub use runner::{
-    relative_performance, run_suite, RunMeasurement, SchedulerKind, SuiteResult,
-};
+pub use runner::{relative_performance, run_suite, RunMeasurement, SchedulerKind, SuiteResult};

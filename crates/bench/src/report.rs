@@ -35,8 +35,16 @@ impl Table {
         let mut out = String::new();
         writeln!(out, "### {}\n", self.title).unwrap();
         writeln!(out, "| {} |", self.header.join(" | ")).unwrap();
-        writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
-            .unwrap();
+        writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        )
+        .unwrap();
         for row in &self.rows {
             writeln!(out, "| {} |", row.join(" | ")).unwrap();
         }

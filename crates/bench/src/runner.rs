@@ -74,16 +74,17 @@ impl SchedulerKind {
     /// CPA pay full aggregate redistribution costs, everything else reuses
     /// resident block-cyclic data.
     pub fn locality_aware_runtime(&self) -> bool {
-        !matches!(self, SchedulerKind::Cpr | SchedulerKind::Cpa | SchedulerKind::Tsas)
+        !matches!(
+            self,
+            SchedulerKind::Cpr | SchedulerKind::Cpa | SchedulerKind::Tsas
+        )
     }
 
     /// Instantiates the scheduler.
     pub fn build(&self) -> Box<dyn Scheduler + Send + Sync> {
         match self {
             SchedulerKind::LocMps => Box::new(LocMps::default()),
-            SchedulerKind::LocMpsNoBackfill => {
-                Box::new(LocMps::new(LocMpsConfig::no_backfill()))
-            }
+            SchedulerKind::LocMpsNoBackfill => Box::new(LocMps::new(LocMpsConfig::no_backfill())),
             SchedulerKind::Icaslb => Box::new(LocMps::new(LocMpsConfig::icaslb())),
             SchedulerKind::Cpr => Box::new(Cpr),
             SchedulerKind::Cpa => Box::new(Cpa),
@@ -145,7 +146,10 @@ pub fn run_one(
         g,
         cluster,
         &out,
-        SimConfig { noise, locality_aware: kind.locality_aware_runtime() },
+        SimConfig {
+            noise,
+            locality_aware: kind.locality_aware_runtime(),
+        },
     );
     RunMeasurement {
         planned_makespan: out.makespan(),
@@ -204,7 +208,11 @@ mod tests {
 
     #[test]
     fn run_one_measures_all_fields() {
-        let g = synthetic_graph(&SyntheticConfig { n_tasks: 10, seed: 1, ..Default::default() });
+        let g = synthetic_graph(&SyntheticConfig {
+            n_tasks: 10,
+            seed: 1,
+            ..Default::default()
+        });
         let cluster = Cluster::new(4, 12.5);
         let m = run_one(&g, &cluster, SchedulerKind::Cpa, None);
         assert!(m.planned_makespan > 0.0);
@@ -215,13 +223,22 @@ mod tests {
     #[test]
     fn relative_performance_is_one_for_reference() {
         let graphs: Vec<_> = (0..3)
-            .map(|s| synthetic_graph(&SyntheticConfig { n_tasks: 8, seed: s, ..Default::default() }))
+            .map(|s| {
+                synthetic_graph(&SyntheticConfig {
+                    n_tasks: 8,
+                    seed: s,
+                    ..Default::default()
+                })
+            })
             .collect();
         let cluster = Cluster::new(4, 12.5);
         let kinds = [SchedulerKind::LocMps, SchedulerKind::Data];
         let results = run_suite(&graphs, &cluster, &kinds, None);
         let rel = relative_performance(&results);
-        let loc = rel.iter().find(|(k, _)| *k == SchedulerKind::LocMps).unwrap();
+        let loc = rel
+            .iter()
+            .find(|(k, _)| *k == SchedulerKind::LocMps)
+            .unwrap();
         assert!((loc.1 - 1.0).abs() < 1e-12);
     }
 
@@ -238,8 +255,7 @@ mod tests {
         let cluster = Cluster::new(8, 12.5);
         let m = run_one(&g, &cluster, SchedulerKind::LocMps, None);
         assert!(
-            (m.planned_makespan - m.executed_makespan).abs()
-                < 1e-6 * m.executed_makespan.max(1.0),
+            (m.planned_makespan - m.executed_makespan).abs() < 1e-6 * m.executed_makespan.max(1.0),
             "planned {} vs executed {}",
             m.planned_makespan,
             m.executed_makespan

@@ -10,14 +10,17 @@ use locmps_bench::runner::{run_one, SchedulerKind};
 use locmps_core::{Allocation, CommModel, Locbs, LocbsOptions};
 use locmps_platform::Cluster;
 use locmps_speedup::{DowneyParams, ExecutionProfile, SpeedupModel};
-use locmps_taskgraph::{TaskGraph, TaskId};
+use locmps_taskgraph::TaskGraph;
 
 /// Deterministic small graph zoo: varied structure, speedups, volumes.
 fn small_graphs() -> Vec<TaskGraph> {
     let mut graphs = Vec::new();
     let mk = |a: f64, sigma: f64, work: f64| {
-        ExecutionProfile::new(work, SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap()))
-            .unwrap()
+        ExecutionProfile::new(
+            work,
+            SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap()),
+        )
+        .unwrap()
     };
     // Chain with a heavy middle edge.
     {

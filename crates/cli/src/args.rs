@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn positionals_and_options_mix() {
-        let a = parse(&["schedule", "g.json", "--procs", "32", "--gantt", "--algo", "cpr"]);
+        let a = parse(&[
+            "schedule", "g.json", "--procs", "32", "--gantt", "--algo", "cpr",
+        ]);
         assert_eq!(a.positional(0), Some("schedule"));
         assert_eq!(a.positional(1), Some("g.json"));
         assert_eq!(a.option("procs"), Some("32"));

@@ -60,7 +60,11 @@ fn cluster_from(args: &Args) -> Result<Cluster, String> {
         return Err("--bandwidth must be positive".into());
     }
     let c = Cluster::new(procs, bandwidth);
-    Ok(if args.has("no-overlap") { c.without_overlap() } else { c })
+    Ok(if args.has("no-overlap") {
+        c.without_overlap()
+    } else {
+        c
+    })
 }
 
 fn generate(args: &Args) -> Result<(), String> {
@@ -113,7 +117,10 @@ fn dot(args: &Args) -> Result<(), String> {
 
 fn svg(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
-    let out = args.option("out").filter(|o| !o.is_empty()).ok_or("svg needs --out <file>")?;
+    let out = args
+        .option("out")
+        .filter(|o| !o.is_empty())
+        .ok_or("svg needs --out <file>")?;
     let doc = locmps_viz::dag_svg(&g, locmps_viz::DagStyle::default());
     std::fs::write(out, doc).map_err(|e| format!("writing {out}: {e}"))?;
     eprintln!("wrote {out}");
@@ -153,7 +160,10 @@ fn schedule(args: &Args) -> Result<(), String> {
         &g,
         &cluster,
         &out,
-        SimConfig { locality_aware: locality_aware(&algo), ..Default::default() },
+        SimConfig {
+            locality_aware: locality_aware(&algo),
+            ..Default::default()
+        },
     );
 
     println!("scheduler          : {}", s.name());
@@ -164,7 +174,11 @@ fn schedule(args: &Args) -> Result<(), String> {
     println!("scheduling took    : {took:.4} s");
     if args.has("gantt") {
         println!();
-        print!("{}", rep.executed.gantt(&g, cluster.n_procs, GanttOptions::default()));
+        print!(
+            "{}",
+            rep.executed
+                .gantt(&g, cluster.n_procs, GanttOptions::default())
+        );
     }
     if let Some(path) = args.option("svg").filter(|o| !o.is_empty()) {
         let doc = locmps_viz::gantt_svg(
@@ -196,7 +210,10 @@ fn compare(args: &Args) -> Result<(), String> {
             &g,
             &cluster,
             &out,
-            SimConfig { locality_aware: locality_aware(name), ..Default::default() },
+            SimConfig {
+                locality_aware: locality_aware(name),
+                ..Default::default()
+            },
         );
         let reference_ms = *reference.get_or_insert(rep.makespan);
         println!(
@@ -221,8 +238,14 @@ mod tests {
     }
 
     fn graph_file() -> std::path::PathBuf {
-        let g = synthetic_graph(&SyntheticConfig { n_tasks: 8, ccr: 0.3, seed: 1, ..Default::default() });
-        let path = std::env::temp_dir().join(format!("locmps_cli_test_{}.json", std::process::id()));
+        let g = synthetic_graph(&SyntheticConfig {
+            n_tasks: 8,
+            ccr: 0.3,
+            seed: 1,
+            ..Default::default()
+        });
+        let path =
+            std::env::temp_dir().join(format!("locmps_cli_test_{}.json", std::process::id()));
         std::fs::write(&path, g.to_json()).unwrap();
         path
     }
@@ -240,7 +263,16 @@ mod tests {
         run(&["stats", p]).unwrap();
         run(&["dot", p]).unwrap();
         run(&["schedule", p, "--procs", "4"]).unwrap();
-        run(&["schedule", p, "--procs", "4", "--algo", "cpa", "--no-overlap"]).unwrap();
+        run(&[
+            "schedule",
+            p,
+            "--procs",
+            "4",
+            "--algo",
+            "cpa",
+            "--no-overlap",
+        ])
+        .unwrap();
         run(&["compare", p, "--procs", "4"]).unwrap();
         let _ = std::fs::remove_file(path);
     }
@@ -261,10 +293,22 @@ mod tests {
         let p = path.to_str().unwrap();
         let dag_out = std::env::temp_dir().join("locmps_cli_dag.svg");
         run(&["svg", p, "--out", dag_out.to_str().unwrap()]).unwrap();
-        assert!(std::fs::read_to_string(&dag_out).unwrap().starts_with("<svg"));
+        assert!(std::fs::read_to_string(&dag_out)
+            .unwrap()
+            .starts_with("<svg"));
         let gantt_out = std::env::temp_dir().join("locmps_cli_gantt.svg");
-        run(&["schedule", p, "--procs", "4", "--svg", gantt_out.to_str().unwrap()]).unwrap();
-        assert!(std::fs::read_to_string(&gantt_out).unwrap().contains("makespan"));
+        run(&[
+            "schedule",
+            p,
+            "--procs",
+            "4",
+            "--svg",
+            gantt_out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&gantt_out)
+            .unwrap()
+            .contains("makespan"));
         assert!(run(&["svg", p]).is_err(), "--out is required");
         for f in [dag_out, gantt_out, path] {
             let _ = std::fs::remove_file(f);

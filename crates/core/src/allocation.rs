@@ -15,12 +15,16 @@ impl Allocation {
     /// The pure task-parallel allocation: one processor per task
     /// (Algorithm 1, steps 1–2).
     pub fn ones(n_tasks: usize) -> Self {
-        Self { np: vec![1; n_tasks] }
+        Self {
+            np: vec![1; n_tasks],
+        }
     }
 
     /// Every task on all `p` processors (the DATA baseline's allocation).
     pub fn uniform(n_tasks: usize, p: usize) -> Self {
-        Self { np: vec![p.max(1); n_tasks] }
+        Self {
+            np: vec![p.max(1); n_tasks],
+        }
     }
 
     /// Builds from an explicit vector (one entry per task, each ≥ 1).
@@ -69,7 +73,9 @@ impl Allocation {
     /// Total processor-time area `Σ np(t) · et(t, np(t))` — the quantity
     /// CPA balances against the critical-path length.
     pub fn total_area(&self, g: &TaskGraph) -> f64 {
-        g.task_ids().map(|t| self.np(t) as f64 * self.exec_time(g, t)).sum()
+        g.task_ids()
+            .map(|t| self.np(t) as f64 * self.exec_time(g, t))
+            .sum()
     }
 }
 

@@ -25,7 +25,9 @@ pub fn area_bound(g: &TaskGraph, p: usize) -> f64 {
         .task_ids()
         .map(|t| {
             let prof = &g.task(t).profile;
-            (1..=p.max(1)).map(|n| prof.area(n)).fold(f64::INFINITY, f64::min)
+            (1..=p.max(1))
+                .map(|n| prof.area(n))
+                .fold(f64::INFINITY, f64::min)
         })
         .sum();
     total / p.max(1) as f64

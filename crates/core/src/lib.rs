@@ -35,8 +35,8 @@ pub mod timeline;
 mod scheduler;
 
 pub use allocation::Allocation;
-pub use commcost::CommModel;
-pub use locbs::{Locbs, LocbsOptions, LocbsResult};
+pub use commcost::{CommModel, EstimateCache};
+pub use locbs::{Locbs, LocbsOptions, LocbsResult, LocbsScratch};
 pub use locmps::{LocMps, LocMpsConfig};
 pub use schedule::{GanttOptions, Schedule, ScheduleError, ScheduledTask};
 pub use scheduler::{SchedError, Scheduler, SchedulerOutput};

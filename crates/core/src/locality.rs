@@ -40,20 +40,79 @@ pub fn input_locality_scores(
     scores
 }
 
+/// Buffer-reusing, clone-free form of [`input_locality_scores`]: the
+/// parent lookup returns a *borrowed* processor set and the score vector
+/// is written into `out` (resized to `n_procs`).
+pub fn input_locality_scores_into<'p>(
+    g: &TaskGraph,
+    t: TaskId,
+    n_procs: usize,
+    parent_procs: impl Fn(TaskId) -> &'p ProcSet,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(n_procs, 0.0);
+    for e in g.in_edges(t) {
+        let edge = g.edge(e);
+        if edge.volume <= 0.0 {
+            continue;
+        }
+        let procs = parent_procs(edge.src);
+        let np = procs.len();
+        if np == 0 {
+            continue;
+        }
+        let share = edge.volume / np as f64;
+        for p in procs.iter() {
+            if (p as usize) < n_procs {
+                out[p as usize] += share;
+            }
+        }
+    }
+}
+
 /// Picks the `np` highest-scoring processors out of `free` (ties broken
 /// toward lower ids for determinism). Returns `None` when `free` has fewer
 /// than `np` members.
 pub fn select_max_locality(free: &ProcSet, np: usize, scores: &[f64]) -> Option<ProcSet> {
-    if free.len() < np {
-        return None;
+    let mut scratch = Vec::new();
+    let mut out = ProcSet::new();
+    select_max_locality_into(free, np, scores, &mut scratch, &mut out).then_some(out)
+}
+
+/// Buffer-reusing form of [`select_max_locality`]: fills `out` with the
+/// selected set and returns whether selection succeeded (`free` had at
+/// least `np` members). `scratch` holds the candidate ids between calls.
+///
+/// Selection uses `select_nth_unstable_by` — `O(F)` instead of the full
+/// `O(F log F)` sort — under a *total* order (score descending via
+/// `total_cmp`, then id ascending), so the top-`np` set it partitions out
+/// is exactly the one the sorting implementation took.
+pub fn select_max_locality_into(
+    free: &ProcSet,
+    np: usize,
+    scores: &[f64],
+    scratch: &mut Vec<ProcId>,
+    out: &mut ProcSet,
+) -> bool {
+    scratch.clear();
+    scratch.extend(free.iter());
+    if scratch.len() < np {
+        return false;
     }
-    let mut procs: Vec<ProcId> = free.iter().collect();
-    procs.sort_by(|&a, &b| {
+    let cmp = |&a: &ProcId, &b: &ProcId| {
         let sa = scores.get(a as usize).copied().unwrap_or(0.0);
         let sb = scores.get(b as usize).copied().unwrap_or(0.0);
-        sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
-    });
-    Some(procs.into_iter().take(np).collect())
+        sb.total_cmp(&sa).then(a.cmp(&b))
+    };
+    if np > 0 && np < scratch.len() {
+        scratch.select_nth_unstable_by(np - 1, cmp);
+    }
+    out.clear();
+    for &p in &scratch[..np] {
+        out.insert(p);
+    }
+    true
 }
 
 #[cfg(test)]
@@ -77,6 +136,11 @@ mod tests {
         let placement = |p: TaskId| if p == a { set(&[0, 1]) } else { set(&[1, 2]) };
         let scores = input_locality_scores(&g, t, 4, placement);
         assert_eq!(scores, vec![20.0, 30.0, 10.0, 0.0]);
+        // The borrow-based form fills a reused buffer with the same scores.
+        let (pa, pb) = (set(&[0, 1]), set(&[1, 2]));
+        let mut out = vec![99.0; 2];
+        input_locality_scores_into(&g, t, 4, |p| if p == a { &pa } else { &pb }, &mut out);
+        assert_eq!(out, scores);
     }
 
     #[test]
@@ -94,7 +158,11 @@ mod tests {
         let free = set(&[0, 1, 2, 3]);
         let scores = vec![5.0, 9.0, 5.0, 0.0];
         let picked = select_max_locality(&free, 2, &scores).unwrap();
-        assert_eq!(picked.to_vec(), vec![0, 1], "9.0 first, then tie 5.0 -> lower id");
+        assert_eq!(
+            picked.to_vec(),
+            vec![0, 1],
+            "9.0 first, then tie 5.0 -> lower id"
+        );
         let picked3 = select_max_locality(&free, 3, &scores).unwrap();
         assert_eq!(picked3.to_vec(), vec![0, 1, 2]);
     }
@@ -103,6 +171,32 @@ mod tests {
     fn selection_requires_enough_free_procs() {
         let free = set(&[4]);
         assert!(select_max_locality(&free, 2, &[]).is_none());
-        assert_eq!(select_max_locality(&free, 1, &[]).unwrap().to_vec(), vec![4]);
+        assert_eq!(
+            select_max_locality(&free, 1, &[]).unwrap().to_vec(),
+            vec![4]
+        );
+    }
+
+    #[test]
+    fn reused_buffers_match_the_allocating_form() {
+        let free = set(&[0, 1, 2, 3, 5, 8]);
+        let scores = vec![1.0, 4.0, 4.0, 0.5, 0.0, 2.0, 0.0, 0.0, 7.0];
+        let mut scratch = Vec::new();
+        let mut out = ProcSet::new();
+        for np in 0..=6 {
+            let fresh = select_max_locality(&free, np, &scores);
+            let ok = select_max_locality_into(&free, np, &scores, &mut scratch, &mut out);
+            assert_eq!(ok, fresh.is_some());
+            if let Some(fresh) = fresh {
+                assert_eq!(out, fresh, "np={np}");
+            }
+        }
+        assert!(!select_max_locality_into(
+            &free,
+            7,
+            &scores,
+            &mut scratch,
+            &mut out
+        ));
     }
 }

@@ -19,12 +19,12 @@
 //! The *no-backfill* variant (Figure 6's ablation) keeps only the last free
 //! time of each processor instead of enumerating holes.
 
-use locmps_platform::CommOverlap;
+use locmps_platform::{CommOverlap, ProcId, ProcSet};
 use locmps_taskgraph::{TaskGraph, TaskId};
 
 use crate::allocation::Allocation;
-use crate::commcost::CommModel;
-use crate::locality::{input_locality_scores, select_max_locality};
+use crate::commcost::{CommModel, EstimateCache};
+use crate::locality::{input_locality_scores_into, select_max_locality_into};
 use crate::schedule::{time_eps, Schedule, ScheduledTask};
 use crate::scheduler::SchedError;
 use crate::timeline::Timeline;
@@ -66,7 +66,34 @@ struct Placement {
     start: f64,
     compute_start: f64,
     finish: f64,
-    procs: locmps_platform::ProcSet,
+    procs: ProcSet,
+}
+
+/// Reusable working memory for [`Locbs::run_into`].
+///
+/// A scratch is tied to one `(graph, communication model)` pair: the
+/// estimate memo is keyed by edge index and endpoint widths only, so
+/// sharing it across graphs or models would silently serve stale values.
+/// LoC-MPS keeps one scratch per look-ahead branch and reuses it across
+/// every refinement iteration — that reuse (plus the allocation-tagged
+/// memo) is what makes repeated LoCBS invocations cheap.
+#[derive(Debug, Default)]
+pub struct LocbsScratch {
+    estimates: EstimateCache,
+    edge_est: Vec<f64>,
+    priority: Vec<f64>,
+    scores: Vec<f64>,
+    sel_procs: Vec<ProcId>,
+    free: ProcSet,
+    sel: ProcSet,
+    nb_times: Vec<f64>,
+}
+
+impl LocbsScratch {
+    /// Fresh, empty working memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl<'a> Locbs<'a> {
@@ -79,60 +106,116 @@ impl<'a> Locbs<'a> {
     ///
     /// # Errors
     /// Fails when the graph is invalid, the allocation vector does not
-    /// cover the graph, or some `np(t)` exceeds the cluster size.
+    /// cover the graph, some `np(t)` exceeds the cluster size, or some
+    /// task's execution time is non-finite at its allocated width.
     pub fn run(&self, g: &TaskGraph, alloc: &Allocation) -> Result<LocbsResult, SchedError> {
-        g.validate().map_err(SchedError::Graph)?;
+        let mut dag = g.clone();
+        let mut scratch = LocbsScratch::new();
+        let (schedule, makespan) = self.run_into(&mut dag, alloc, &mut scratch)?;
+        Ok(LocbsResult {
+            schedule,
+            schedule_dag: dag,
+            makespan,
+        })
+    }
+
+    /// In-place form of [`Locbs::run`] for callers that invoke LoCBS
+    /// repeatedly on the same graph (the LoC-MPS refinement loop).
+    ///
+    /// `dag` is the task graph, possibly still carrying pseudo-edges from a
+    /// previous run — they are stripped on entry and this run's pseudo-edges
+    /// are recorded in their place, so on success `dag` *is* the
+    /// schedule-DAG `G'` (no per-iteration graph clone). `scratch` carries
+    /// buffers and the allocation-tagged estimate memo across calls; see
+    /// [`LocbsScratch`] for the reuse contract.
+    pub fn run_into(
+        &self,
+        dag: &mut TaskGraph,
+        alloc: &Allocation,
+        scratch: &mut LocbsScratch,
+    ) -> Result<(Schedule, f64), SchedError> {
+        dag.clear_pseudo_edges();
+        dag.validate().map_err(SchedError::Graph)?;
         let p_total = self.model.cluster().n_procs;
-        if alloc.len() != g.n_tasks() {
-            return Err(SchedError::AllocationMismatch { expected: g.n_tasks(), got: alloc.len() });
+        if alloc.len() != dag.n_tasks() {
+            return Err(SchedError::AllocationMismatch {
+                expected: dag.n_tasks(),
+                got: alloc.len(),
+            });
         }
-        for t in g.task_ids() {
+        for t in dag.task_ids() {
             if alloc.np(t) > p_total {
-                return Err(SchedError::AllocationTooWide { task: t, np: alloc.np(t), p: p_total });
+                return Err(SchedError::AllocationTooWide {
+                    task: t,
+                    np: alloc.np(t),
+                    p: p_total,
+                });
+            }
+            if !dag.task(t).profile.time(alloc.np(t)).is_finite() {
+                return Err(SchedError::NonFiniteTime {
+                    task: t,
+                    np: alloc.np(t),
+                });
             }
         }
 
         // Static priorities: bottom level + heaviest in-edge estimate
-        // (Algorithm 2, step 4).
-        let levels = g.levels(
-            |t| g.task(t).profile.time(alloc.np(t)),
-            |e| self.model.edge_estimate(g, alloc, e),
+        // (Algorithm 2, step 4). Estimates go through the memo — across
+        // LoC-MPS iterations only edges incident to the widened task miss.
+        scratch.estimates.grow_for(dag);
+        scratch.edge_est.clear();
+        for e in dag.edge_ids() {
+            let est = self
+                .model
+                .edge_estimate_cached(dag, alloc, e, &mut scratch.estimates);
+            scratch.edge_est.push(est);
+        }
+        let levels = dag.levels(
+            |t| dag.task(t).profile.time(alloc.np(t)),
+            |e| scratch.edge_est[e.index()],
         );
-        let priority: Vec<f64> = g
+        scratch.priority.clear();
+        for t in dag.task_ids() {
+            let heaviest_in = dag
+                .in_edges(t)
+                .map(|e| scratch.edge_est[e.index()])
+                .fold(0.0f64, f64::max);
+            scratch
+                .priority
+                .push(levels.bottom[t.index()] + heaviest_in);
+        }
+
+        let mut timeline = Timeline::new(p_total);
+        let mut placed: Vec<Option<ScheduledTask>> = vec![None; dag.n_tasks()];
+        let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = dag
             .task_ids()
-            .map(|t| {
-                let heaviest_in = g
-                    .in_edges(t)
-                    .map(|e| self.model.edge_estimate(g, alloc, e))
-                    .fold(0.0f64, f64::max);
-                levels.bottom[t.index()] + heaviest_in
-            })
+            .filter(|&t| remaining_preds[t.index()] == 0)
             .collect();
 
-        let mut schedule_dag = g.clone();
-        let mut timeline = Timeline::new(p_total);
-        let mut placed: Vec<Option<ScheduledTask>> = vec![None; g.n_tasks()];
-        let mut remaining_preds: Vec<usize> =
-            g.task_ids().map(|t| g.in_degree(t)).collect();
-        let mut ready: Vec<TaskId> =
-            g.task_ids().filter(|&t| remaining_preds[t.index()] == 0).collect();
-
-        while let Some(pos) = pick_highest_priority(&ready, &priority) {
+        while let Some(pos) = pick_highest_priority(&ready, &scratch.priority) {
             let t = ready.swap_remove(pos);
-            let placement = self.place(g, alloc, t, &placed, &timeline);
+            let placement = self.place(dag, alloc, t, &placed, &timeline, scratch);
             timeline.occupy(&placement.procs, placement.start, placement.finish);
 
             // Pseudo-edges: the task is resource-blocked when it occupies
-            // its processors later than its earliest start time (est).
-            let est = self.earliest_start(g, t, &placed, &placement);
-            if placement.start > est + time_eps(placement.start) {
+            // its processors later than its earliest start time (est). The
+            // tolerances are bounded by half the intervals involved so a
+            // large makespan cannot inflate them past real task durations
+            // (a blocker must *end where the blocked task starts*, not
+            // merely within a relative-eps band of it).
+            let est = self.earliest_start(dag, t, &placed, &placement);
+            let plen = placement.finish - placement.start;
+            if placement.start > est + time_eps(placement.start).min(0.5 * plen) {
                 for (other_idx, other) in placed.iter().enumerate() {
                     if let Some(o) = other {
-                        if (o.finish - placement.start).abs() <= time_eps(placement.start)
+                        let eps = time_eps(placement.start)
+                            .min(0.5 * plen)
+                            .min(0.5 * (o.finish - o.start));
+                        if (o.finish - placement.start).abs() <= eps
                             && !o.procs.is_disjoint(&placement.procs)
                         {
-                            schedule_dag
-                                .add_pseudo_edge(TaskId(other_idx as u32), t)
+                            dag.add_pseudo_edge(TaskId(other_idx as u32), t)
                                 .expect("pseudo edge endpoints exist");
                         }
                     }
@@ -146,7 +229,7 @@ impl<'a> Locbs<'a> {
                 compute_start: placement.compute_start,
                 finish: placement.finish,
             });
-            for s in g.successors(t) {
+            for s in dag.successors(t) {
                 remaining_preds[s.index()] -= 1;
                 if remaining_preds[s.index()] == 0 {
                     ready.push(s);
@@ -154,12 +237,14 @@ impl<'a> Locbs<'a> {
             }
         }
 
-        let entries: Vec<ScheduledTask> =
-            placed.into_iter().map(|e| e.expect("DAG guarantees all tasks schedule")).collect();
+        let entries: Vec<ScheduledTask> = placed
+            .into_iter()
+            .map(|e| e.expect("DAG guarantees all tasks schedule"))
+            .collect();
         let schedule = Schedule::from_entries(entries);
         let makespan = schedule.makespan();
-        debug_assert!(schedule_dag.validate().is_ok(), "pseudo edges must keep G' acyclic");
-        Ok(LocbsResult { schedule, schedule_dag, makespan })
+        debug_assert!(dag.validate().is_ok(), "pseudo edges must keep G' acyclic");
+        Ok((schedule, makespan))
     }
 
     /// The earliest start time `est(t) = max(ft(t0) + ct(t0, t))` given the
@@ -174,10 +259,13 @@ impl<'a> Locbs<'a> {
         let mut est = 0.0f64;
         for e in g.in_edges(t) {
             let edge = g.edge(e);
-            let src = placed[edge.src.index()].as_ref().expect("parents are scheduled first");
+            let src = placed[edge.src.index()]
+                .as_ref()
+                .expect("parents are scheduled first");
             let ct = match self.model.cluster().overlap {
                 CommOverlap::Full => {
-                    self.model.transfer_time(&src.procs, &placement.procs, edge.volume)
+                    self.model
+                        .transfer_time(&src.procs, &placement.procs, edge.volume)
                 }
                 // Under no-overlap the transfer happens inside the task's
                 // own occupancy window, so data readiness is parent finish.
@@ -191,6 +279,11 @@ impl<'a> Locbs<'a> {
     /// Finds the minimum-finish-time placement for `t` (Algorithm 2, steps
     /// 5–16), backfilling over holes or, in the no-backfill variant, after
     /// the last free times only.
+    ///
+    /// Candidate starts stream from the timeline's event-list cursor with
+    /// the current best finish as the horizon, so candidates that cannot
+    /// improve the placement are never enumerated, and every per-candidate
+    /// buffer (free set, score vector, selection) lives in `scratch`.
     fn place(
         &self,
         g: &TaskGraph,
@@ -198,73 +291,130 @@ impl<'a> Locbs<'a> {
         t: TaskId,
         placed: &[Option<ScheduledTask>],
         timeline: &Timeline,
+        scratch: &mut LocbsScratch,
     ) -> Placement {
         let np = alloc.np(t);
         let et = g.task(t).profile.time(np);
         let p_total = self.model.cluster().n_procs;
         let data_ready = g
             .in_edges(t)
-            .map(|e| placed[g.edge(e).src.index()].as_ref().expect("parents first").finish)
+            .map(|e| {
+                placed[g.edge(e).src.index()]
+                    .as_ref()
+                    .expect("parents first")
+                    .finish
+            })
             .fold(0.0f64, f64::max);
-        let scores = input_locality_scores(g, t, p_total, |p| {
-            placed[p.index()].as_ref().expect("parents first").procs.clone()
-        });
+        input_locality_scores_into(
+            g,
+            t,
+            p_total,
+            |p| &placed[p.index()].as_ref().expect("parents first").procs,
+            &mut scratch.scores,
+        );
 
-        let candidates: Vec<f64> = if self.opts.backfill {
-            timeline.candidate_times(data_ready)
-        } else {
+        let mut cursor = timeline.candidates_after(data_ready);
+        let mut nb_idx = 0usize;
+        if !self.opts.backfill {
             // No-backfill: the only start considered is after the last free
             // time of the selected processors; seed with the global horizon
             // candidates computed from last-free-times.
-            let mut times: Vec<f64> = (0..p_total as u32)
-                .map(|p| timeline.last_free_time(p).max(data_ready))
-                .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            times.dedup_by(|a, b| (*a - *b).abs() <= time_eps(*a));
-            times
-        };
+            scratch.nb_times.clear();
+            scratch
+                .nb_times
+                .extend((0..p_total as u32).map(|p| timeline.last_free_time(p).max(data_ready)));
+            scratch.nb_times.sort_by(f64::total_cmp);
+            scratch
+                .nb_times
+                .dedup_by(|a, b| (*a - *b).abs() <= time_eps(*a));
+        }
 
         let mut best: Option<Placement> = None;
-        for &s in &candidates {
-            if let Some(b) = &best {
-                if s >= b.finish {
-                    break; // no later hole can finish earlier
+        // The transfer costs below depend only on the *selected subset*
+        // (parent placements are fixed), and consecutive candidates often
+        // select the same processors — a one-entry memo skips the exact
+        // block-cyclic walks entirely on those repeats.
+        let mut memo_sel = ProcSet::new();
+        let mut memo_cost = f64::NAN;
+        loop {
+            // No later hole can finish earlier than the current best.
+            let horizon = best.as_ref().map_or(f64::INFINITY, |b| b.finish);
+            let s = if self.opts.backfill {
+                match cursor.next_below(horizon) {
+                    Some(s) => s,
+                    None => break,
                 }
-            }
-            let free = if self.opts.backfill {
-                timeline.free_set(s, s + et)
+            } else {
+                match scratch.nb_times.get(nb_idx).copied() {
+                    Some(s) if s < horizon => {
+                        nb_idx += 1;
+                        s
+                    }
+                    _ => break,
+                }
+            };
+            if self.opts.backfill {
+                timeline.free_set_into(s, s + et, &mut scratch.free);
             } else {
                 // Only processors whose last booking has ended are eligible
                 // — holes are invisible to this variant.
-                (0..p_total as u32).filter(|&p| timeline.last_free_time(p) <= s + time_eps(s)).collect()
-            };
-            if free.len() < np {
+                scratch.free.clear();
+                for p in 0..p_total as u32 {
+                    if timeline.last_free_time(p) <= s + time_eps(s) {
+                        scratch.free.insert(p);
+                    }
+                }
+            }
+            if scratch.free.len() < np {
                 continue;
             }
-            let Some(procs) = select_max_locality(&free, np, &scores) else { continue };
+            if !select_max_locality_into(
+                &scratch.free,
+                np,
+                &scratch.scores,
+                &mut scratch.sel_procs,
+                &mut scratch.sel,
+            ) {
+                continue;
+            }
+            let procs = &scratch.sel;
 
             let (start, compute_start, finish) = match self.model.cluster().overlap {
                 CommOverlap::Full => {
                     // Redistribution completion time on this subset.
-                    let mut rct = data_ready;
-                    for e in g.in_edges(t) {
-                        let edge = g.edge(e);
-                        let src = placed[edge.src.index()].as_ref().expect("parents first");
-                        let ct = self.model.transfer_time(&src.procs, &procs, edge.volume);
-                        rct = rct.max(src.finish + ct);
-                    }
+                    let rct = if memo_cost.is_finite() && memo_sel == *procs {
+                        memo_cost
+                    } else {
+                        let mut rct = data_ready;
+                        for e in g.in_edges(t) {
+                            let edge = g.edge(e);
+                            let src = placed[edge.src.index()].as_ref().expect("parents first");
+                            let ct = self.model.transfer_time(&src.procs, procs, edge.volume);
+                            rct = rct.max(src.finish + ct);
+                        }
+                        memo_sel.clone_from(procs);
+                        memo_cost = rct;
+                        rct
+                    };
                     let st = s.max(rct);
                     (st, st, st + et)
                 }
                 CommOverlap::None => {
                     // Inbound transfers serialize inside the occupancy
                     // window (single-port at the receiver).
-                    let mut comm_total = 0.0;
-                    for e in g.in_edges(t) {
-                        let edge = g.edge(e);
-                        let src = placed[edge.src.index()].as_ref().expect("parents first");
-                        comm_total += self.model.transfer_time(&src.procs, &procs, edge.volume);
-                    }
+                    let comm_total = if memo_cost.is_finite() && memo_sel == *procs {
+                        memo_cost
+                    } else {
+                        let mut comm_total = 0.0;
+                        for e in g.in_edges(t) {
+                            let edge = g.edge(e);
+                            let src = placed[edge.src.index()].as_ref().expect("parents first");
+                            comm_total += self.model.transfer_time(&src.procs, procs, edge.volume);
+                        }
+                        memo_sel.clone_from(procs);
+                        memo_cost = comm_total;
+                        comm_total
+                    };
                     let st = s.max(data_ready);
                     (st, st + comm_total, st + comm_total + et)
                 }
@@ -290,7 +440,22 @@ impl<'a> Locbs<'a> {
                 }
             };
             if better {
-                best = Some(Placement { start, compute_start, finish, procs });
+                match &mut best {
+                    Some(b) => {
+                        b.start = start;
+                        b.compute_start = compute_start;
+                        b.finish = finish;
+                        b.procs.clone_from(procs);
+                    }
+                    None => {
+                        best = Some(Placement {
+                            start,
+                            compute_start,
+                            finish,
+                            procs: procs.clone(),
+                        })
+                    }
+                }
             }
         }
         best.expect("the all-free horizon candidate always fits")
@@ -298,14 +463,18 @@ impl<'a> Locbs<'a> {
 }
 
 /// Index of the highest-priority ready task (ties toward lower task id).
+///
+/// `total_cmp` keeps the comparison a total order: run-time inputs cannot
+/// produce NaN priorities (non-finite execution times are rejected at
+/// validation), but a comparison that *could* panic has no place in the
+/// innermost scheduler loop.
 fn pick_highest_priority(ready: &[TaskId], priority: &[f64]) -> Option<usize> {
     ready
         .iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| {
             priority[a.index()]
-                .partial_cmp(&priority[b.index()])
-                .unwrap()
+                .total_cmp(&priority[b.index()])
                 .then(b.cmp(a)) // lower id wins ties
         })
         .map(|(i, _)| i)
@@ -319,8 +488,11 @@ mod tests {
     use locmps_taskgraph::EdgeKind;
 
     fn profiled(times: &[f64]) -> ExecutionProfile {
-        ExecutionProfile::new(times[0], SpeedupModel::Table(ProfiledSpeedup::from_times(times).unwrap()))
-            .unwrap()
+        ExecutionProfile::new(
+            times[0],
+            SpeedupModel::Table(ProfiledSpeedup::from_times(times).unwrap()),
+        )
+        .unwrap()
     }
 
     /// Figure 1: T1 -> {T2, T3} -> T4 on 4 processors with the allocation
@@ -344,7 +516,11 @@ mod tests {
         let locbs = Locbs::new(model, LocbsOptions::default());
         let alloc = Allocation::from_vec(vec![4, 3, 2, 4]);
         let res = locbs.run(&g, &alloc).unwrap();
-        assert!((res.makespan - 30.0).abs() < 1e-9, "paper reports 30, got {}", res.makespan);
+        assert!(
+            (res.makespan - 30.0).abs() < 1e-9,
+            "paper reports 30, got {}",
+            res.makespan
+        );
         // T2 (3 procs) and T3 (2 procs) cannot coexist on 4 processors:
         // exactly one pseudo-edge between them must appear in G'.
         let pseudo: Vec<_> = res
@@ -385,8 +561,12 @@ mod tests {
         let cluster = Cluster::new(2, 12.5);
         let model = CommModel::new(&cluster);
         let alloc = Allocation::from_vec(vec![1, 2, 1]);
-        let with = Locbs::new(model, LocbsOptions { backfill: true }).run(&g, &alloc).unwrap();
-        let without = Locbs::new(model, LocbsOptions { backfill: false }).run(&g, &alloc).unwrap();
+        let with = Locbs::new(model, LocbsOptions { backfill: true })
+            .run(&g, &alloc)
+            .unwrap();
+        let without = Locbs::new(model, LocbsOptions { backfill: false })
+            .run(&g, &alloc)
+            .unwrap();
         // Backfill: S runs beside H during [0,8); W at [10,20): makespan 20.
         assert!((with.makespan - 20.0).abs() < 1e-9, "got {}", with.makespan);
         // Priorities put H (bottom level 20) first, then W, then S; the
@@ -490,6 +670,93 @@ mod tests {
         assert!((res.makespan - 20.0).abs() < 1e-9);
     }
 
+    /// Figure 1 with every time scaled by 1e8: the pseudo-edge blocker test
+    /// compares `o.finish` to the placement start under a tolerance bounded
+    /// by the interval lengths, so makespans in the 1e9 range must produce
+    /// exactly the same serialization (a purely relative eps would be ~1e3
+    /// here — wide enough to misattribute blockers).
+    #[test]
+    fn fig1_pseudo_edges_survive_large_time_scales() {
+        const S: f64 = 1.0e8;
+        let mut g = TaskGraph::new();
+        let t1 = g.add_task("T1", profiled(&[40.0 * S, 20.0 * S, 13.3 * S, 10.0 * S]));
+        let t2 = g.add_task("T2", profiled(&[21.0 * S, 10.5 * S, 7.0 * S]));
+        let t3 = g.add_task("T3", profiled(&[10.0 * S, 5.0 * S]));
+        let t4 = g.add_task("T4", profiled(&[32.0 * S, 16.0 * S, 10.7 * S, 8.0 * S]));
+        g.add_edge(t1, t2, 0.0).unwrap();
+        g.add_edge(t1, t3, 0.0).unwrap();
+        g.add_edge(t2, t4, 0.0).unwrap();
+        g.add_edge(t3, t4, 0.0).unwrap();
+        let cluster = Cluster::new(4, 12.5);
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        let res = locbs
+            .run(&g, &Allocation::from_vec(vec![4, 3, 2, 4]))
+            .unwrap();
+        assert!(
+            (res.makespan - 30.0 * S).abs() < 1.0,
+            "got {}",
+            res.makespan
+        );
+        let pseudo: Vec<_> = res
+            .schedule_dag
+            .edges()
+            .filter(|(_, e)| e.kind == EdgeKind::Pseudo)
+            .map(|(_, e)| (e.src, e.dst))
+            .collect();
+        assert_eq!(pseudo, vec![(t2, t3)]);
+        res.schedule.validate(&g, &model).unwrap();
+    }
+
+    /// The multiple-blockers case at a 1e8 time scale: both simultaneous
+    /// finishers must still be detected as pseudo-predecessors.
+    #[test]
+    fn multiple_blockers_survive_large_time_scales() {
+        const S: f64 = 1.0e8;
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0 * S));
+        let b = g.add_task("b", ExecutionProfile::linear(10.0 * S));
+        let w = g.add_task("w", profiled(&[20.0 * S, 10.0 * S]));
+        let _ = (a, b);
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let res = Locbs::new(model, LocbsOptions::default())
+            .run(&g, &Allocation::from_vec(vec![1, 1, 2]))
+            .unwrap();
+        let pseudo: Vec<_> = res
+            .schedule_dag
+            .edges()
+            .filter(|(_, e)| e.kind == EdgeKind::Pseudo)
+            .map(|(_, e)| (e.src, e.dst))
+            .collect();
+        assert_eq!(pseudo.len(), 2, "both finishers block w: {pseudo:?}");
+        assert!(pseudo.iter().all(|&(_, dst)| dst == w));
+        assert!((res.makespan - 20.0 * S).abs() < 1.0);
+    }
+
+    #[test]
+    fn non_finite_execution_time_is_an_error_not_a_panic() {
+        // seq ~1e308 with a large per-processor overhead overflows
+        // time(2) to +inf; the scheduler must refuse the input instead of
+        // feeding NaN/inf into priorities.
+        let m = SpeedupModel::Linear.with_overhead(10.0).unwrap();
+        let mut g = TaskGraph::new();
+        let t = g.add_task("huge", ExecutionProfile::new(1.0e308, m).unwrap());
+        assert!(
+            g.task(t).profile.time(2).is_infinite(),
+            "premise: time(2) overflows"
+        );
+        let cluster = Cluster::new(2, 12.5);
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        match locbs.run(&g, &Allocation::from_vec(vec![2])) {
+            Err(SchedError::NonFiniteTime { task, np: 2 }) => assert_eq!(task, t),
+            other => panic!("expected NonFiniteTime, got {other:?}"),
+        }
+        // The same profile is fine at np = 1, where nothing overflows.
+        assert!(locbs.run(&g, &Allocation::ones(1)).is_ok());
+    }
+
     #[test]
     fn rejects_bad_inputs() {
         let mut g = TaskGraph::new();
@@ -508,6 +775,39 @@ mod tests {
     }
 
     #[test]
+    fn run_into_with_reused_scratch_matches_fresh_runs() {
+        // One dag + scratch carried across differently-shaped allocations
+        // must behave exactly like a fresh `run` every time — including the
+        // pseudo-edges left in the dag.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", profiled(&[30.0, 16.0, 9.0, 6.0]));
+        let b = g.add_task("b", profiled(&[24.0, 13.0, 8.0, 6.5]));
+        let c = g.add_task("c", profiled(&[28.0, 15.0, 9.0, 7.0]));
+        let d = g.add_task("d", profiled(&[20.0, 11.0, 7.0, 5.5]));
+        g.add_edge(a, b, 300.0).unwrap();
+        g.add_edge(a, c, 10.0).unwrap();
+        g.add_edge(b, d, 250.0).unwrap();
+        g.add_edge(c, d, 10.0).unwrap();
+        let cluster = Cluster::new(4, 12.5);
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        let mut dag = g.clone();
+        let mut scratch = LocbsScratch::new();
+        for alloc in [
+            Allocation::ones(4),
+            Allocation::from_vec(vec![2, 1, 3, 4]),
+            Allocation::from_vec(vec![4, 4, 4, 4]),
+            Allocation::from_vec(vec![1, 3, 1, 2]),
+        ] {
+            let fresh = locbs.run(&g, &alloc).unwrap();
+            let (schedule, makespan) = locbs.run_into(&mut dag, &alloc, &mut scratch).unwrap();
+            assert_eq!(schedule, fresh.schedule);
+            assert_eq!(makespan, fresh.makespan);
+            assert_eq!(dag, fresh.schedule_dag);
+        }
+    }
+
+    #[test]
     fn comm_blind_schedule_ignores_volumes() {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", ExecutionProfile::linear(10.0));
@@ -518,6 +818,9 @@ mod tests {
         let res = Locbs::new(blind, LocbsOptions::default())
             .run(&g, &Allocation::ones(2))
             .unwrap();
-        assert!((res.makespan - 20.0).abs() < 1e-9, "blind model sees no transfer");
+        assert!(
+            (res.makespan - 20.0).abs() < 1e-9,
+            "blind model sees no transfer"
+        );
     }
 }

@@ -25,7 +25,7 @@ use locmps_taskgraph::{ConcurrencyInfo, CriticalPath, EdgeId, EdgeKind, TaskGrap
 
 use crate::allocation::Allocation;
 use crate::commcost::CommModel;
-use crate::locbs::{Locbs, LocbsOptions, LocbsResult};
+use crate::locbs::{Locbs, LocbsOptions, LocbsResult, LocbsScratch};
 use crate::schedule::time_eps;
 use crate::scheduler::{SchedError, Scheduler, SchedulerOutput};
 
@@ -91,19 +91,29 @@ impl LocMpsConfig {
     /// The iCASLB baseline configuration: LoC-MPS with the communication
     /// model disabled.
     pub fn icaslb() -> Self {
-        Self { comm_aware: false, ..Self::default() }
+        Self {
+            comm_aware: false,
+            ..Self::default()
+        }
     }
 
     /// Greedy configuration (no look-ahead, no corner restarts): only
     /// strictly improving moves are kept — used to demonstrate the
     /// Figure 3 local-minimum trap.
     pub fn greedy() -> Self {
-        Self { lookahead_depth: 1, corner_starts: false, ..Self::default() }
+        Self {
+            lookahead_depth: 1,
+            corner_starts: false,
+            ..Self::default()
+        }
     }
 
     /// No-backfill ablation (Figure 6).
     pub fn no_backfill() -> Self {
-        Self { backfill: false, ..Self::default() }
+        Self {
+            backfill: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -138,6 +148,7 @@ impl LocMps {
     /// Best candidate task on the critical path (§III.C): filter widenable,
     /// rank by gain, inspect the top fraction, pick minimum concurrency
     /// ratio.
+    #[allow(clippy::too_many_arguments)]
     fn best_candidate_task(
         &self,
         g: &TaskGraph,
@@ -198,10 +209,7 @@ impl LocMps {
             })
             .filter(|&e| marked.is_none_or(|m| !m.contains(&Entry::Edge(e))))
             .max_by(|&a, &b| {
-                edge_w(a)
-                    .partial_cmp(&edge_w(b))
-                    .unwrap()
-                    .then(b.cmp(&a)) // lower id wins ties
+                edge_w(a).partial_cmp(&edge_w(b)).unwrap().then(b.cmp(&a)) // lower id wins ties
             })
     }
 
@@ -257,23 +265,19 @@ impl LocMps {
         let tcomm = cp.communication_cost(edge_w);
 
         if tcomp > tcomm {
-            if let Some(t) =
-                self.best_candidate_task(g, &cp, alloc, conc, pbest, p_total, marked)
-            {
+            if let Some(t) = self.best_candidate_task(g, &cp, alloc, conc, pbest, p_total, marked) {
                 alloc.widen(t, p_total);
                 return Some(Entry::Task(t));
             }
         }
-        if let Some(e) = self.best_candidate_edge(dag, &cp, alloc, &edge_w, p_total, marked) {
+        if let Some(e) = self.best_candidate_edge(dag, &cp, alloc, edge_w, p_total, marked) {
             Self::widen_edge(dag, alloc, e, p_total);
             return Some(Entry::Edge(e));
         }
         // Communication dominated but no widenable edge: fall back to a
         // task candidate so compute-bound refinement can still proceed.
         if tcomp <= tcomm {
-            if let Some(t) =
-                self.best_candidate_task(g, &cp, alloc, conc, pbest, p_total, marked)
-            {
+            if let Some(t) = self.best_candidate_task(g, &cp, alloc, conc, pbest, p_total, marked) {
                 alloc.widen(t, p_total);
                 return Some(Entry::Task(t));
             }
@@ -299,14 +303,31 @@ impl Scheduler for LocMps {
         } else {
             CommModel::blind(cluster)
         };
-        let locbs = Locbs::new(model, LocbsOptions { backfill: self.config.backfill });
+        let locbs = Locbs::new(
+            model,
+            LocbsOptions {
+                backfill: self.config.backfill,
+            },
+        );
         let conc = ConcurrencyInfo::compute(g);
-        let pbest: Vec<usize> = g.task_ids().map(|t| g.task(t).profile.pbest(p_total)).collect();
+        let pbest: Vec<usize> = g
+            .task_ids()
+            .map(|t| g.task(t).profile.pbest(p_total))
+            .collect();
 
         // Steps 1–4: pure task-parallel start.
         let mut best_alloc = Allocation::ones(g.n_tasks());
         let mut best: LocbsResult = locbs.run(g, &best_alloc)?;
-        self.search(g, &locbs, &conc, &pbest, &model, p_total, &mut best_alloc, &mut best)?;
+        self.search(
+            g,
+            &locbs,
+            &conc,
+            &pbest,
+            &model,
+            p_total,
+            &mut best_alloc,
+            &mut best,
+        )?;
 
         // Wide-corner restarts (extension, see `LocMpsConfig::corner_starts`):
         // Figure 3 shows the data-parallel corner can be the optimum and the
@@ -333,7 +354,13 @@ impl Scheduler for LocMps {
                         let mut corner_alloc = alloc;
                         let mut corner_best = res;
                         self.search(
-                            g, &locbs, &conc, &pbest, &model, p_total, &mut corner_alloc,
+                            g,
+                            &locbs,
+                            &conc,
+                            &pbest,
+                            &model,
+                            p_total,
+                            &mut corner_alloc,
                             &mut corner_best,
                         )?;
                         if corner_best.makespan < best.makespan - time_eps(best.makespan) {
@@ -440,6 +467,13 @@ impl LocMps {
 
     /// One bounded look-ahead trajectory (steps 10–35) forced to begin at
     /// `entry`. Returns the best (allocation, schedule) seen along the way.
+    ///
+    /// The branch owns a single schedule-DAG copy and one LoCBS scratch:
+    /// every iteration re-schedules in place via [`Locbs::run_into`]
+    /// (stripping the previous iteration's pseudo-edges instead of cloning
+    /// the graph) with the edge-estimate memo carried across iterations —
+    /// only edges incident to the just-widened task recompute. Each branch
+    /// is self-contained, so the parallel multi-entry rounds stay safe.
     #[allow(clippy::too_many_arguments)]
     fn lookahead_branch(
         &self,
@@ -455,29 +489,31 @@ impl LocMps {
     ) -> Result<(Allocation, LocbsResult), SchedError> {
         let mut alloc = start_alloc.clone();
         Self::apply_entry(start_dag, &mut alloc, entry, p_total);
-        let mut res = locbs.run(g, &alloc)?;
+        let mut dag = g.clone();
+        let mut scratch = LocbsScratch::new();
+        let (mut schedule, mut makespan) = locbs.run_into(&mut dag, &alloc, &mut scratch)?;
         let mut branch_alloc = alloc.clone();
-        let mut branch_best = res.clone();
+        let mut branch_best = LocbsResult {
+            schedule: schedule.clone(),
+            schedule_dag: dag.clone(),
+            makespan,
+        };
 
         for _ in 1..self.config.lookahead_depth.max(1) {
             let step = self.refine(
-                g,
-                &res.schedule_dag,
-                &res.schedule,
-                &mut alloc,
-                conc,
-                pbest,
-                model,
-                p_total,
-                None,
+                g, &dag, &schedule, &mut alloc, conc, pbest, model, p_total, None,
             );
             if step.is_none() {
                 break;
             }
-            res = locbs.run(g, &alloc)?;
-            if res.makespan < branch_best.makespan - time_eps(branch_best.makespan) {
+            (schedule, makespan) = locbs.run_into(&mut dag, &alloc, &mut scratch)?;
+            if makespan < branch_best.makespan - time_eps(branch_best.makespan) {
                 branch_alloc = alloc.clone();
-                branch_best = res.clone();
+                branch_best = LocbsResult {
+                    schedule: schedule.clone(),
+                    schedule_dag: dag.clone(),
+                    makespan,
+                };
             }
         }
         Ok((branch_alloc, branch_best))
@@ -536,12 +572,12 @@ impl LocMps {
                     entry,
                 )
             };
-            let branches: Vec<Result<(Allocation, LocbsResult), SchedError>> =
-                if entries.len() > 1 {
-                    entries.par_iter().map(run_branch).collect()
-                } else {
-                    entries.iter().map(run_branch).collect()
-                };
+            let branches: Vec<Result<(Allocation, LocbsResult), SchedError>> = if entries.len() > 1
+            {
+                entries.par_iter().map(run_branch).collect()
+            } else {
+                entries.iter().map(run_branch).collect()
+            };
 
             // The earliest-ranked branch wins ties, keeping the search
             // deterministic regardless of thread scheduling.
@@ -593,7 +629,9 @@ mod tests {
         let out = LocMps::default().schedule(&g, &cluster).unwrap();
         assert_eq!(out.allocation.np(TaskId(0)), 4);
         assert!((out.makespan() - 8.0).abs() < 1e-9);
-        out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+        out.schedule
+            .validate(&g, &CommModel::new(&cluster))
+            .unwrap();
     }
 
     #[test]
@@ -630,8 +668,14 @@ mod tests {
             "paper reaches 15, got {}",
             out.makespan()
         );
-        assert_eq!(out.allocation.np(t2), 3, "T2 should be widened to all processors");
-        out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+        assert_eq!(
+            out.allocation.np(t2),
+            3,
+            "T2 should be widened to all processors"
+        );
+        out.schedule
+            .validate(&g, &CommModel::new(&cluster))
+            .unwrap();
     }
 
     /// Figure 3: two independent tasks with linear speedup on 4 processors.
@@ -646,7 +690,9 @@ mod tests {
             g
         };
         let cluster = Cluster::new(4, 12.5);
-        let greedy = LocMps::new(LocMpsConfig::greedy()).schedule(&build(), &cluster).unwrap();
+        let greedy = LocMps::new(LocMpsConfig::greedy())
+            .schedule(&build(), &cluster)
+            .unwrap();
         assert!(
             (greedy.makespan() - 40.0).abs() < 1e-6,
             "greedy should be trapped at 40, got {}",
@@ -678,7 +724,9 @@ mod tests {
             "edge widening never triggered: {:?}",
             out.allocation.as_slice()
         );
-        out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+        out.schedule
+            .validate(&g, &CommModel::new(&cluster))
+            .unwrap();
     }
 
     #[test]
@@ -692,7 +740,9 @@ mod tests {
         assert_eq!(icaslb.name(), "iCASLB");
         let out = icaslb.schedule(&g, &cluster).unwrap();
         // Its own (blind) claim ignores the transfer entirely.
-        out.schedule.validate(&g, &CommModel::blind(&cluster)).unwrap();
+        out.schedule
+            .validate(&g, &CommModel::blind(&cluster))
+            .unwrap();
     }
 
     #[test]
@@ -701,7 +751,11 @@ mod tests {
         g.add_task("T1", ExecutionProfile::linear(40.0));
         g.add_task("T2", ExecutionProfile::linear(80.0));
         let cluster = Cluster::new(4, 12.5);
-        let cfg = LocMpsConfig { parallel_entries: 4, corner_starts: false, ..Default::default() };
+        let cfg = LocMpsConfig {
+            parallel_entries: 4,
+            corner_starts: false,
+            ..Default::default()
+        };
         let a = LocMps::new(cfg).schedule(&g, &cluster).unwrap();
         let b = LocMps::new(cfg).schedule(&g, &cluster).unwrap();
         assert_eq!(a.schedule, b.schedule, "rayon must not perturb the result");
@@ -724,10 +778,15 @@ mod tests {
         g.add_edge(c, d, 10.0).unwrap();
         let cluster = Cluster::new(6, 12.5);
         let seq = LocMps::default().schedule(&g, &cluster).unwrap();
-        let par = LocMps::new(LocMpsConfig { parallel_entries: 3, ..Default::default() })
-            .schedule(&g, &cluster)
+        let par = LocMps::new(LocMpsConfig {
+            parallel_entries: 3,
+            ..Default::default()
+        })
+        .schedule(&g, &cluster)
+        .unwrap();
+        par.schedule
+            .validate(&g, &CommModel::new(&cluster))
             .unwrap();
-        par.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
         assert!(
             par.makespan() <= seq.makespan() * 1.10 + 1e-9,
             "parallel {} vs sequential {}",

@@ -42,13 +42,14 @@ fn fig1_schedule_dag_critical_path_is_the_makespan() {
     let cluster = Cluster::new(4, 12.5);
     let model = CommModel::new(&cluster);
     let alloc = Allocation::from_vec(vec![4, 3, 2, 4]);
-    let res = Locbs::new(model, LocbsOptions::default()).run(&g, &alloc).unwrap();
+    let res = Locbs::new(model, LocbsOptions::default())
+        .run(&g, &alloc)
+        .unwrap();
     // The paper's claim: "The makespan of the schedule G', which is the
     // critical path length of G', is 30."
-    let cp = res.schedule_dag.critical_path(
-        |t| g.task(t).profile.time(alloc.np(t)),
-        |_| 0.0,
-    );
+    let cp = res
+        .schedule_dag
+        .critical_path(|t| g.task(t).profile.time(alloc.np(t)), |_| 0.0);
     assert!((cp.length - 30.0).abs() < 1e-9);
     assert!((res.makespan - cp.length).abs() < 1e-9);
 }
@@ -60,7 +61,9 @@ fn fig3_lookahead_beats_greedy_and_matches_data_parallel() {
     g.add_task("T2", ExecutionProfile::linear(80.0));
     let cluster = Cluster::new(4, 12.5);
     let full = LocMps::default().schedule(&g, &cluster).unwrap();
-    let greedy = LocMps::new(LocMpsConfig::greedy()).schedule(&g, &cluster).unwrap();
+    let greedy = LocMps::new(LocMpsConfig::greedy())
+        .schedule(&g, &cluster)
+        .unwrap();
     // Data-parallel reference: both tasks on all 4 procs in sequence.
     let data_parallel = 40.0 / 4.0 + 80.0 / 4.0;
     assert!((full.makespan() - data_parallel).abs() < 1e-6);
@@ -75,5 +78,7 @@ fn lower_bounds_hold_on_all_figure_graphs() {
     let g = fig1_graph();
     let out = LocMps::default().schedule(&g, &cluster).unwrap();
     assert!(out.makespan() + 1e-9 >= makespan_lower_bound(&g, 4));
-    out.schedule.validate(&g, &CommModel::new(&cluster)).unwrap();
+    out.schedule
+        .validate(&g, &CommModel::new(&cluster))
+        .unwrap();
 }

@@ -18,7 +18,9 @@ fn arb_graph() -> impl Strategy<Value = TaskGraph> {
     (2usize..12, any::<u64>(), 0.1..0.4f64).prop_map(|(n, seed, density)| {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = TaskGraph::new();
@@ -32,7 +34,8 @@ fn arb_graph() -> impl Strategy<Value = TaskGraph> {
         for i in 0..n {
             for j in (i + 1)..n {
                 if next() < density {
-                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 100.0 * next()).unwrap();
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 100.0 * next())
+                        .unwrap();
                 }
             }
         }

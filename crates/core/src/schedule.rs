@@ -8,11 +8,13 @@ use serde::{Deserialize, Serialize};
 use crate::commcost::CommModel;
 
 /// Relative tolerance for floating-point time comparisons.
-pub(crate) const TIME_EPS: f64 = 1e-6;
+pub const TIME_EPS: f64 = 1e-6;
 
-/// Scale-aware closeness test for schedule times.
+/// Scale-aware closeness test for schedule times: `TIME_EPS` relative to
+/// the magnitude of `scale` (absolute below 1). Exposed so external tests
+/// can mirror the scheduler's comparison semantics exactly.
 #[inline]
-pub(crate) fn time_eps(scale: f64) -> f64 {
+pub fn time_eps(scale: f64) -> f64 {
     TIME_EPS * scale.abs().max(1.0)
 }
 
@@ -74,10 +76,17 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::Unscheduled(t) => write!(f, "task {t} was never scheduled"),
-            ScheduleError::ProcOutOfRange(t) => write!(f, "task {t} uses an out-of-range processor"),
+            ScheduleError::ProcOutOfRange(t) => {
+                write!(f, "task {t} uses an out-of-range processor")
+            }
             ScheduleError::EmptyProcSet(t) => write!(f, "task {t} has an empty processor set"),
             ScheduleError::BadTiming(t) => write!(f, "task {t} has inconsistent timing"),
-            ScheduleError::PrecedenceViolated { src, dst, required, actual } => write!(
+            ScheduleError::PrecedenceViolated {
+                src,
+                dst,
+                required,
+                actual,
+            } => write!(
                 f,
                 "edge {src} -> {dst} violated: needs {required:.6}, got {actual:.6}"
             ),
@@ -126,7 +135,10 @@ impl Schedule {
 
     /// The entry for task `t`, if present.
     pub fn get(&self, t: TaskId) -> Option<&ScheduledTask> {
-        self.entries.binary_search_by_key(&t, |e| e.task).ok().map(|i| &self.entries[i])
+        self.entries
+            .binary_search_by_key(&t, |e| e.task)
+            .ok()
+            .map(|i| &self.entries[i])
     }
 
     /// All entries in task-id order.
@@ -156,7 +168,11 @@ impl Schedule {
         if ms <= 0.0 || n_procs == 0 {
             return 0.0;
         }
-        let busy: f64 = self.entries.iter().map(|e| (e.finish - e.start) * e.np() as f64).sum();
+        let busy: f64 = self
+            .entries
+            .iter()
+            .map(|e| (e.finish - e.start) * e.np() as f64)
+            .sum();
         busy / (ms * n_procs as f64)
     }
 
@@ -274,12 +290,20 @@ impl Schedule {
             }
         }
         let mut out = String::new();
-        writeln!(out, "makespan = {ms:.2}  (one column ≈ {:.2})", if scale > 0.0 { 1.0 / scale } else { 0.0 }).unwrap();
+        writeln!(
+            out,
+            "makespan = {ms:.2}  (one column ≈ {:.2})",
+            if scale > 0.0 { 1.0 / scale } else { 0.0 }
+        )
+        .unwrap();
         for (p, row) in rows.iter().enumerate() {
             writeln!(out, "p{p:>3} |{}|", row.iter().collect::<String>()).unwrap();
         }
-        let mut legend: Vec<(TaskId, char)> =
-            self.entries.iter().map(|e| (e.task, label_char(e.task.index()))).collect();
+        let mut legend: Vec<(TaskId, char)> = self
+            .entries
+            .iter()
+            .map(|e| (e.task, label_char(e.task.index())))
+            .collect();
         legend.truncate(26);
         write!(out, "tasks:").unwrap();
         for (t, c) in legend {
@@ -314,7 +338,13 @@ mod tests {
     }
 
     fn entry(t: u32, procs: &[u32], start: f64, cstart: f64, finish: f64) -> ScheduledTask {
-        ScheduledTask { task: TaskId(t), procs: set(procs), start, compute_start: cstart, finish }
+        ScheduledTask {
+            task: TaskId(t),
+            procs: set(procs),
+            start,
+            compute_start: cstart,
+            finish,
+        }
     }
 
     #[test]
@@ -365,7 +395,10 @@ mod tests {
             entry(0, &[0], 0.0, 0.0, 10.0),
             entry(1, &[0], 5.0, 5.0, 15.0),
         ]);
-        assert!(matches!(s.validate(&g, &model), Err(ScheduleError::Overlap(_, _))));
+        assert!(matches!(
+            s.validate(&g, &model),
+            Err(ScheduleError::Overlap(_, _))
+        ));
     }
 
     #[test]
@@ -374,17 +407,26 @@ mod tests {
         let cluster = Cluster::new(2, 12.5);
         let model = CommModel::new(&cluster);
         let missing = Schedule::from_entries(vec![entry(0, &[0], 0.0, 0.0, 10.0)]);
-        assert!(matches!(missing.validate(&g, &model), Err(ScheduleError::Unscheduled(_))));
+        assert!(matches!(
+            missing.validate(&g, &model),
+            Err(ScheduleError::Unscheduled(_))
+        ));
         let out_of_range = Schedule::from_entries(vec![
             entry(0, &[5], 0.0, 0.0, 10.0),
             entry(1, &[0], 10.0, 10.0, 20.0),
         ]);
-        assert!(matches!(out_of_range.validate(&g, &model), Err(ScheduleError::ProcOutOfRange(_))));
+        assert!(matches!(
+            out_of_range.validate(&g, &model),
+            Err(ScheduleError::ProcOutOfRange(_))
+        ));
         let bad_timing = Schedule::from_entries(vec![
             entry(0, &[0], 0.0, 0.0, 99.0), // finish != start + et
             entry(1, &[0], 99.0, 99.0, 109.0),
         ]);
-        assert!(matches!(bad_timing.validate(&g, &model), Err(ScheduleError::BadTiming(_))));
+        assert!(matches!(
+            bad_timing.validate(&g, &model),
+            Err(ScheduleError::BadTiming(_))
+        ));
     }
 
     #[test]
@@ -397,7 +439,10 @@ mod tests {
             entry(0, &[0], 0.0, 0.0, 10.0),
             entry(1, &[1], 10.0, 10.0, 20.0),
         ]);
-        assert!(matches!(bad.validate(&g, &model), Err(ScheduleError::CommWindowTooShort(_))));
+        assert!(matches!(
+            bad.validate(&g, &model),
+            Err(ScheduleError::CommWindowTooShort(_))
+        ));
         // With the window, it passes.
         let good = Schedule::from_entries(vec![
             entry(0, &[0], 0.0, 0.0, 10.0),

@@ -27,6 +27,16 @@ pub enum SchedError {
         /// The cluster size.
         p: usize,
     },
+    /// A task's execution profile produced a non-finite run time at its
+    /// allocated width. Priorities and placements compare times with total
+    /// orderings, so a NaN or infinity would otherwise corrupt every
+    /// downstream decision silently; it is rejected up front instead.
+    NonFiniteTime {
+        /// The offending task.
+        task: TaskId,
+        /// The processor count whose `time(np)` was non-finite.
+        np: usize,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -38,6 +48,12 @@ impl std::fmt::Display for SchedError {
             }
             SchedError::AllocationTooWide { task, np, p } => {
                 write!(f, "task {task} allocated {np} > {p} processors")
+            }
+            SchedError::NonFiniteTime { task, np } => {
+                write!(
+                    f,
+                    "task {task} has a non-finite execution time on {np} processors"
+                )
             }
         }
     }

@@ -48,7 +48,10 @@ impl Distribution {
 
     /// Distribution with an explicit processor order.
     pub fn from_ordered(procs: Vec<ProcId>) -> Self {
-        assert!(!procs.is_empty(), "a distribution needs at least one processor");
+        assert!(
+            !procs.is_empty(),
+            "a distribution needs at least one processor"
+        );
         Self { procs }
     }
 
@@ -111,7 +114,12 @@ impl RedistributionMatrix {
                 vol[(k % p) * q + (k % q)] += per_block;
             }
         }
-        Self { src: src.procs().to_vec(), dst: dst.procs().to_vec(), vol, total: total_volume.max(0.0) }
+        Self {
+            src: src.procs().to_vec(),
+            dst: dst.procs().to_vec(),
+            vol,
+            total: total_volume.max(0.0),
+        }
     }
 
     /// The ordered source processor group.
@@ -201,37 +209,34 @@ impl RedistributionMatrix {
 /// // The same layout costs nothing.
 /// assert_eq!(redistribution_time(&src, &src, 100.0, 12.5), 0.0);
 /// ```
-pub fn redistribution_time(
-    src: &ProcSet,
-    dst: &ProcSet,
-    volume: f64,
-    bandwidth: f64,
-) -> f64 {
+pub fn redistribution_time(src: &ProcSet, dst: &ProcSet, volume: f64, bandwidth: f64) -> f64 {
     if volume <= 0.0 || src.is_empty() || dst.is_empty() {
         return 0.0;
     }
-    let s: Vec<ProcId> = src.iter().collect();
-    let d: Vec<ProcId> = dst.iter().collect();
-    let p = s.len();
-    let q = d.len();
+    let p = src.len();
+    let q = dst.len();
     let g = gcd(p, q);
     let period = lcm(p, q);
     let per_pair = volume / period as f64;
 
     // Busy time per physical node: sent + received, minus local pairs.
     // Sets are sorted and duplicate-free, so each physical node occupies at
-    // most one slot per side; walk both in lockstep to find shared nodes.
+    // most one slot per side; walk both in lockstep (no materialized id
+    // vectors — this sits on LoCBS's per-candidate loop) to find shared
+    // nodes, tracking each side's slot index.
     let mut max_busy = 0.0f64;
+    let mut shared = 0usize;
     let (mut i, mut j) = (0usize, 0usize);
-    // First pass: shared nodes (both send and receive, maybe local pair).
-    while i < p && j < q {
-        match s[i].cmp(&d[j]) {
+    let mut si = src.iter().peekable();
+    let mut di = dst.iter().peekable();
+    while let (Some(&a), Some(&b)) = (si.peek(), di.peek()) {
+        match a.cmp(&b) {
             std::cmp::Ordering::Less => {
-                max_busy = max_busy.max(volume / p as f64);
+                si.next();
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                max_busy = max_busy.max(volume / q as f64);
+                di.next();
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
@@ -242,18 +247,22 @@ pub fn redistribution_time(
                     busy -= 2.0 * per_pair;
                 }
                 max_busy = max_busy.max(busy);
+                shared += 1;
+                si.next();
+                di.next();
                 i += 1;
                 j += 1;
             }
         }
     }
-    while i < p {
+    // A send-only node is busy exactly `volume/p`, a receive-only node
+    // `volume/q`; `max` is order-independent, so one comparison per side
+    // replaces the per-node loop.
+    if shared < p {
         max_busy = max_busy.max(volume / p as f64);
-        i += 1;
     }
-    while j < q {
+    if shared < q {
         max_busy = max_busy.max(volume / q as f64);
-        j += 1;
     }
     max_busy.max(0.0) / bandwidth
 }
@@ -271,7 +280,7 @@ mod tests {
         let d = Distribution::block_cyclic(&set(&[0, 1, 2, 3]));
         let m = RedistributionMatrix::compute(&d, &d, 100.0);
         assert!((m.local_volume() - 100.0).abs() < 1e-9);
-        assert_eq!(m.nonlocal_volume().abs() < 1e-9, true);
+        assert!(m.nonlocal_volume().abs() < 1e-9);
         assert_eq!(m.single_port_time(12.5), 0.0);
     }
 
@@ -303,7 +312,8 @@ mod tests {
         let s = Distribution::block_cyclic(&set(&[0, 1, 2]));
         let d = Distribution::block_cyclic(&set(&[1, 2, 3, 4]));
         let m = RedistributionMatrix::compute(&s, &d, 55.0);
-        let sum: f64 = (0..3).flat_map(|i| (0..4).map(move |j| (i, j)))
+        let sum: f64 = (0..3)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
             .map(|(i, j)| m.volume(i, j))
             .sum();
         assert!((sum - 55.0).abs() < 1e-9);
@@ -366,7 +376,10 @@ mod tests {
 
     #[test]
     fn redistribution_time_convenience() {
-        assert_eq!(redistribution_time(&set(&[0]), &set(&[0]), 100.0, 12.5), 0.0);
+        assert_eq!(
+            redistribution_time(&set(&[0]), &set(&[0]), 100.0, 12.5),
+            0.0
+        );
         assert_eq!(redistribution_time(&set(&[0]), &set(&[1]), 0.0, 12.5), 0.0);
         let t = redistribution_time(&set(&[0]), &set(&[1]), 100.0, 12.5);
         assert!((t - 8.0).abs() < 1e-9);

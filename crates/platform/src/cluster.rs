@@ -40,7 +40,12 @@ impl Cluster {
     pub fn new(n_procs: usize, bandwidth: f64) -> Self {
         assert!(n_procs >= 1, "a cluster needs at least one processor");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        Self { n_procs, bandwidth, overlap: CommOverlap::Full, block_mb: 1.0 }
+        Self {
+            n_procs,
+            bandwidth,
+            overlap: CommOverlap::Full,
+            block_mb: 1.0,
+        }
     }
 
     /// Same cluster with the no-overlap communication regime.
@@ -87,7 +92,10 @@ mod tests {
         assert_eq!(c.bandwidth, 12.5);
         assert_eq!(c.overlap, CommOverlap::Full);
         assert_eq!(Cluster::myrinet(8).bandwidth, 250.0);
-        assert_eq!(Cluster::new(4, 1.0).without_overlap().overlap, CommOverlap::None);
+        assert_eq!(
+            Cluster::new(4, 1.0).without_overlap().overlap,
+            CommOverlap::None
+        );
     }
 
     #[test]

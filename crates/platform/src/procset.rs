@@ -172,6 +172,13 @@ impl ProcSet {
             .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
+    /// Removes every member, keeping the allocated capacity so the set can
+    /// be refilled without reallocating (scratch-buffer reuse in hot
+    /// scheduling loops).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
     /// The lowest id in the set.
     pub fn first(&self) -> Option<ProcId> {
         self.iter().next()
@@ -284,6 +291,19 @@ mod tests {
         assert_eq!(a, b);
         a.insert(2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_members() {
+        let mut s: ProcSet = [3u32, 70].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s, ProcSet::new());
+        s.insert(5);
+        assert_eq!(s.to_vec(), vec![5]);
+        // A refilled scratch set equals (and hashes like) a fresh one.
+        let fresh = ProcSet::single(5);
+        assert_eq!(s, fresh);
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl TransferSchedule {
         }
         // Largest first; ties by (src, dst) for determinism.
         pending.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
         });
 
         use std::collections::HashMap;
@@ -75,9 +78,20 @@ impl TransferSchedule {
             insert_interval(busy.entry(s).or_default(), (start, end));
             insert_interval(busy.entry(d).or_default(), (start, end));
             duration = duration.max(end);
-            ops.push(TransferOp { src: s, dst: d, volume: v, start, end });
+            ops.push(TransferOp {
+                src: s,
+                dst: d,
+                volume: v,
+                start,
+                end,
+            });
         }
-        ops.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap().then(a.src.cmp(&b.src)));
+        ops.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap()
+                .then(a.src.cmp(&b.src))
+        });
         TransferSchedule { ops, duration }
     }
 
@@ -97,7 +111,8 @@ fn earliest_gap(a: Option<&Vec<(f64, f64)>>, b: Option<&Vec<(f64, f64)>>, len: f
     candidates.sort_by(|x, y| x.partial_cmp(y).unwrap());
     let fits = |list: Option<&Vec<(f64, f64)>>, s: f64| {
         list.is_none_or(|l| {
-            l.iter().all(|&(bs, be)| be <= s + 1e-12 || bs + 1e-12 >= s + len)
+            l.iter()
+                .all(|&(bs, be)| be <= s + 1e-12 || bs + 1e-12 >= s + len)
         })
     };
     for s in candidates {
@@ -123,7 +138,12 @@ mod tests {
         ids.iter().copied().collect()
     }
 
-    fn schedule_between(a: &[u32], b: &[u32], vol: f64, bw: f64) -> (TransferSchedule, RedistributionMatrix) {
+    fn schedule_between(
+        a: &[u32],
+        b: &[u32],
+        vol: f64,
+        bw: f64,
+    ) -> (TransferSchedule, RedistributionMatrix) {
         let m = RedistributionMatrix::compute(
             &Distribution::block_cyclic(&set(a)),
             &Distribution::block_cyclic(&set(b)),
@@ -136,16 +156,11 @@ mod tests {
     fn assert_single_port(s: &TransferSchedule) {
         for (i, x) in s.ops.iter().enumerate() {
             for y in &s.ops[i + 1..] {
-                let share_endpoint = x.src == y.src
-                    || x.src == y.dst
-                    || x.dst == y.src
-                    || x.dst == y.dst;
+                let share_endpoint =
+                    x.src == y.src || x.src == y.dst || x.dst == y.src || x.dst == y.dst;
                 if share_endpoint {
                     let overlap = x.start < y.end - 1e-12 && y.start < x.end - 1e-12;
-                    assert!(
-                        !overlap,
-                        "single-port violated: {x:?} overlaps {y:?}"
-                    );
+                    assert!(!overlap, "single-port violated: {x:?} overlaps {y:?}");
                 }
             }
         }

@@ -27,7 +27,10 @@ pub struct OnlineConfig {
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        Self { seed: 0, exec_cv: 0.0 }
+        Self {
+            seed: 0,
+            exec_cv: 0.0,
+        }
     }
 }
 
@@ -58,11 +61,9 @@ fn duration_factor(seed: u64, task: TaskId, cv: f64) -> f64 {
     }
     let u1 = (splitmix64(seed ^ (task.0 as u64).wrapping_mul(0x9E37)) >> 11) as f64
         / (1u64 << 53) as f64;
-    let u2 = (splitmix64(seed.rotate_left(17) ^ task.0 as u64) >> 11) as f64
-        / (1u64 << 53) as f64;
+    let u2 = (splitmix64(seed.rotate_left(17) ^ task.0 as u64) >> 11) as f64 / (1u64 << 53) as f64;
     let sigma2 = (1.0 + cv * cv).ln();
-    let z = (-2.0 * u1.max(1e-15).ln()).sqrt()
-        * (2.0 * std::f64::consts::PI * u2).cos();
+    let z = (-2.0 * u1.max(1e-15).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     (sigma2.sqrt() * z - sigma2 / 2.0).exp()
 }
 
@@ -100,14 +101,19 @@ impl<'a> RuntimeEngine<'a> {
     /// Panics if the graph is invalid or the policy launches a task on an
     /// empty/busy processor set (policy bugs must be loud).
     pub fn run(&self, policy: &mut dyn OnlinePolicy) -> ExecutionTrace {
-        self.g.validate().expect("online execution needs a valid DAG");
+        self.g
+            .validate()
+            .expect("online execution needs a valid DAG");
         let model = CommModel::new(self.cluster);
         policy.prepare(self.g, self.cluster);
 
         let n = self.g.n_tasks();
         let mut remaining: Vec<usize> = self.g.task_ids().map(|t| self.g.in_degree(t)).collect();
-        let mut ready: Vec<TaskId> =
-            self.g.task_ids().filter(|&t| remaining[t.index()] == 0).collect();
+        let mut ready: Vec<TaskId> = self
+            .g
+            .task_ids()
+            .filter(|&t| remaining[t.index()] == 0)
+            .collect();
         let mut free = ProcSet::all(self.cluster.n_procs);
         let mut placed: Vec<Option<ScheduledTask>> = vec![None; n];
         let mut finished = 0usize;
@@ -123,7 +129,10 @@ impl<'a> RuntimeEngine<'a> {
             for (t, procs) in launches {
                 assert!(ready.contains(&t), "policy launched a non-ready task {t}");
                 assert!(!procs.is_empty(), "policy launched {t} on no processors");
-                assert!(procs.is_subset(&free), "policy launched {t} on busy processors");
+                assert!(
+                    procs.is_subset(&free),
+                    "policy launched {t} on busy processors"
+                );
                 ready.retain(|&r| r != t);
                 free = free.difference(&procs);
 
@@ -168,7 +177,11 @@ impl<'a> RuntimeEngine<'a> {
             let Some(Reverse((Time(time), done))) = events.pop() else {
                 // Nothing in flight and nothing launched: the policy is
                 // stuck (e.g. waiting for more processors than exist).
-                panic!("deadlock: {} ready tasks, {} free procs", ready.len(), free.len());
+                panic!(
+                    "deadlock: {} ready tasks, {} free procs",
+                    ready.len(),
+                    free.len()
+                );
             };
             now = time;
             finished += 1;
@@ -197,10 +210,17 @@ impl<'a> RuntimeEngine<'a> {
         }
 
         let schedule = Schedule::from_entries(
-            placed.into_iter().map(|e| e.expect("all tasks executed")).collect(),
+            placed
+                .into_iter()
+                .map(|e| e.expect("all tasks executed"))
+                .collect(),
         );
         let makespan = schedule.makespan();
-        ExecutionTrace { schedule, makespan, dispatch_rounds }
+        ExecutionTrace {
+            schedule,
+            makespan,
+            dispatch_rounds,
+        }
     }
 }
 
@@ -224,7 +244,7 @@ mod tests {
         let g = chain2();
         let cluster = Cluster::new(2, 12.5);
         let engine = RuntimeEngine::new(&g, &cluster, OnlineConfig::default());
-        let trace = engine.run(&mut GreedyOneProc::default());
+        let trace = engine.run(&mut GreedyOneProc);
         assert!((trace.makespan - 20.0).abs() < 1e-9);
         assert!(trace.dispatch_rounds >= 2);
     }
@@ -279,8 +299,7 @@ mod tests {
         });
         let cluster = Cluster::new(8, 50.0);
         for seed in 0..5 {
-            let engine =
-                RuntimeEngine::new(&g, &cluster, OnlineConfig { seed, exec_cv: 0.2 });
+            let engine = RuntimeEngine::new(&g, &cluster, OnlineConfig { seed, exec_cv: 0.2 });
             let trace = engine.run(&mut OnlineLocbs::default());
             assert!(trace.makespan.is_finite() && trace.makespan > 0.0);
             // No processor is double-booked in the trace.
@@ -303,7 +322,10 @@ mod tests {
     fn same_seed_same_trace_for_each_policy() {
         let g = chain2();
         let cluster = Cluster::new(2, 12.5);
-        let cfg = OnlineConfig { seed: 9, exec_cv: 0.3 };
+        let cfg = OnlineConfig {
+            seed: 9,
+            exec_cv: 0.3,
+        };
         let a = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
         let b = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
         assert_eq!(a.schedule, b.schedule);

@@ -36,7 +36,10 @@ pub struct PlanFollower {
 impl PlanFollower {
     /// Plans with the given LoC-MPS configuration.
     pub fn new(config: LocMpsConfig) -> Self {
-        Self { scheduler: LocMps::new(config), plan: None }
+        Self {
+            scheduler: LocMps::new(config),
+            plan: None,
+        }
     }
 
     /// Plans with the default LoC-MPS.
@@ -210,7 +213,11 @@ mod tests {
         let cluster = Cluster::new(8, 12.5);
         let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
             .run(&mut OnlineLocbs::default());
-        assert!((trace.makespan - 10.0 / 8.0).abs() < 1e-9, "got {}", trace.makespan);
+        assert!(
+            (trace.makespan - 10.0 / 8.0).abs() < 1e-9,
+            "got {}",
+            trace.makespan
+        );
     }
 
     #[test]
@@ -220,7 +227,11 @@ mod tests {
         let cluster = Cluster::new(8, 12.5);
         let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
             .run(&mut OnlineLocbs::default());
-        assert!((trace.makespan - 5.0).abs() < 1e-9, "got {}", trace.makespan);
+        assert!(
+            (trace.makespan - 5.0).abs() < 1e-9,
+            "got {}",
+            trace.makespan
+        );
         assert!(trace.schedule.entries().iter().all(|e| e.np() == 2));
     }
 
@@ -228,8 +239,8 @@ mod tests {
     fn greedy_uses_one_proc_each() {
         let g = independent(3);
         let cluster = Cluster::new(8, 12.5);
-        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
-            .run(&mut GreedyOneProc);
+        let trace =
+            RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run(&mut GreedyOneProc);
         assert!((trace.makespan - 10.0).abs() < 1e-9);
         assert!(trace.schedule.entries().iter().all(|e| e.np() == 1));
     }
@@ -250,8 +261,8 @@ mod tests {
         let cluster = Cluster::new(8, 12.5);
         let online = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
             .run(&mut OnlineLocbs::default());
-        let greedy = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
-            .run(&mut GreedyOneProc);
+        let greedy =
+            RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run(&mut GreedyOneProc);
         assert!(online.makespan < greedy.makespan);
     }
 }

@@ -49,7 +49,11 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A mild perturbation profile resembling shared-cluster variability.
     pub fn mild(seed: u64) -> Self {
-        Self { seed, exec_cv: 0.08, bw_jitter: 0.15 }
+        Self {
+            seed,
+            exec_cv: 0.08,
+            bw_jitter: 0.15,
+        }
     }
 }
 
@@ -73,7 +77,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { noise: None, locality_aware: true }
+        Self {
+            noise: None,
+            locality_aware: true,
+        }
     }
 }
 
@@ -171,8 +178,7 @@ pub fn simulate(
             CommOverlap::None => {
                 // Occupancy begins once parents are done; inbound
                 // transfers serialize inside the window.
-                let parents_done =
-                    transfers.iter().map(|&(f, _)| f).fold(0.0f64, f64::max);
+                let parents_done = transfers.iter().map(|&(f, _)| f).fold(0.0f64, f64::max);
                 let comm: f64 = transfers.iter().map(|&(_, ct)| ct).sum();
                 let st = res_ready.max(parents_done);
                 (st, st + comm, st + comm + et)
@@ -192,11 +198,19 @@ pub fn simulate(
     }
 
     let executed = Schedule::from_entries(
-        actual.into_iter().map(|e| e.expect("all tasks executed")).collect(),
+        actual
+            .into_iter()
+            .map(|e| e.expect("all tasks executed"))
+            .collect(),
     );
     let makespan = executed.makespan();
     let utilization = executed.utilization(cluster.n_procs);
-    SimReport { executed, makespan, total_comm_time, utilization }
+    SimReport {
+        executed,
+        makespan,
+        total_comm_time,
+        utilization,
+    }
 }
 
 /// Convenience: the as-executed makespan of a scheduler output.
@@ -235,7 +249,10 @@ mod tests {
     #[test]
     fn replay_of_comm_aware_schedule_matches_claim() {
         let g = transfer_chain(50.0);
-        for cluster in [Cluster::new(4, 12.5), Cluster::new(4, 12.5).without_overlap()] {
+        for cluster in [
+            Cluster::new(4, 12.5),
+            Cluster::new(4, 12.5).without_overlap(),
+        ] {
             let out = LocMps::default().schedule(&g, &cluster).unwrap();
             let ms = evaluate(&g, &cluster, &out);
             assert!(
@@ -253,14 +270,13 @@ mod tests {
         // locality cannot absorb the redistribution between group layouts.
         use locmps_speedup::{ProfiledSpeedup, SpeedupModel};
         let mut g = TaskGraph::new();
-        let two_proc =
-            || {
-                ExecutionProfile::new(
-                    20.0,
-                    SpeedupModel::Table(ProfiledSpeedup::from_times(&[20.0, 10.0]).unwrap()),
-                )
-                .unwrap()
-            };
+        let two_proc = || {
+            ExecutionProfile::new(
+                20.0,
+                SpeedupModel::Table(ProfiledSpeedup::from_times(&[20.0, 10.0]).unwrap()),
+            )
+            .unwrap()
+        };
         let a = g.add_task("a", two_proc());
         let b = g.add_task("b", two_proc());
         // Volume large enough that even same-set layouts (zero transfer)
@@ -269,7 +285,9 @@ mod tests {
         // with an occupied locality target.
         g.add_edge(a, b, 125.0).unwrap();
         let cluster = Cluster::new(2, 12.5);
-        let icaslb = LocMps::new(LocMpsConfig::icaslb()).schedule(&g, &cluster).unwrap();
+        let icaslb = LocMps::new(LocMpsConfig::icaslb())
+            .schedule(&g, &cluster)
+            .unwrap();
         let executed = evaluate(&g, &cluster, &icaslb);
         // Blind plan claims no transfer at all; execution may or may not
         // luck into locality, but can never beat the claim.
@@ -290,9 +308,14 @@ mod tests {
     fn executed_schedule_is_valid_under_true_model() {
         let g = transfer_chain(80.0);
         let cluster = Cluster::new(3, 12.5);
-        let out = LocMps::new(LocMpsConfig::icaslb()).schedule(&g, &cluster).unwrap();
+        let out = LocMps::new(LocMpsConfig::icaslb())
+            .schedule(&g, &cluster)
+            .unwrap();
         let report = simulate(&g, &cluster, &out, SimConfig::default());
-        report.executed.validate(&g, &CommModel::new(&cluster)).unwrap();
+        report
+            .executed
+            .validate(&g, &CommModel::new(&cluster))
+            .unwrap();
         assert!(report.utilization > 0.0 && report.utilization <= 1.0);
     }
 
@@ -310,7 +333,9 @@ mod tests {
             g
         };
         let cluster = Cluster::new(3, 12.5);
-        let out = LocMps::new(LocMpsConfig::icaslb()).schedule(&g, &cluster).unwrap();
+        let out = LocMps::new(LocMpsConfig::icaslb())
+            .schedule(&g, &cluster)
+            .unwrap();
         let rep = simulate(&g, &cluster, &out, SimConfig::default());
         let order_on = |s: &locmps_core::Schedule, p: u32| -> Vec<TaskId> {
             let mut tasks: Vec<_> = s
@@ -343,10 +368,16 @@ mod tests {
             &g,
             &cluster,
             &out,
-            SimConfig { locality_aware: false, ..Default::default() },
+            SimConfig {
+                locality_aware: false,
+                ..Default::default()
+            },
         );
         assert!((aware.makespan - 20.0).abs() < 1e-9);
-        assert!((blind.makespan - 30.0).abs() < 1e-9, "125 MB / 12.5 MB/s = 10 s surcharge");
+        assert!(
+            (blind.makespan - 30.0).abs() < 1e-9,
+            "125 MB / 12.5 MB/s = 10 s surcharge"
+        );
         assert!((blind.total_comm_time - 10.0).abs() < 1e-9);
         assert_eq!(aware.total_comm_time, 0.0);
     }
@@ -357,15 +388,26 @@ mod tests {
         let cluster = Cluster::new(2, 12.5);
         let out = LocMps::default().schedule(&g, &cluster).unwrap();
         let base = evaluate(&g, &cluster, &out);
-        let cfg = SimConfig { noise: Some(NoiseModel::mild(42)), ..Default::default() };
+        let cfg = SimConfig {
+            noise: Some(NoiseModel::mild(42)),
+            ..Default::default()
+        };
         let a = simulate(&g, &cluster, &out, cfg).makespan;
         let b = simulate(&g, &cluster, &out, cfg).makespan;
         assert_eq!(a, b, "same seed, same outcome");
         // Across seeds the mean should hover near the deterministic value.
         let mean: f64 = (0..200)
             .map(|s| {
-                simulate(&g, &cluster, &out, SimConfig { noise: Some(NoiseModel::mild(s)), ..Default::default() })
-                    .makespan
+                simulate(
+                    &g,
+                    &cluster,
+                    &out,
+                    SimConfig {
+                        noise: Some(NoiseModel::mild(s)),
+                        ..Default::default()
+                    },
+                )
+                .makespan
             })
             .sum::<f64>()
             / 200.0;
@@ -379,8 +421,10 @@ mod tests {
     fn lognormal_mean_is_one() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| lognormal_unit_mean(&mut rng, 0.2)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| lognormal_unit_mean(&mut rng, 0.2))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
         assert_eq!(lognormal_unit_mean(&mut rng, 0.0), 1.0);
     }

@@ -111,9 +111,18 @@ mod tests {
 
     #[test]
     fn one_processor_has_unit_speedup() {
-        for &(a, sigma) in &[(1.0, 0.0), (4.0, 0.5), (64.0, 1.0), (48.0, 2.0), (10.0, 5.0)] {
+        for &(a, sigma) in &[
+            (1.0, 0.0),
+            (4.0, 0.5),
+            (64.0, 1.0),
+            (48.0, 2.0),
+            (10.0, 5.0),
+        ] {
             let d = DowneyParams::new(a, sigma).unwrap();
-            assert!(close(d.speedup(1), 1.0), "S(1) != 1 for A={a}, sigma={sigma}");
+            assert!(
+                close(d.speedup(1), 1.0),
+                "S(1) != 1 for A={a}, sigma={sigma}"
+            );
         }
     }
 
@@ -140,7 +149,13 @@ mod tests {
 
     #[test]
     fn non_decreasing_in_n() {
-        for &(a, sigma) in &[(64.0, 1.0), (48.0, 2.0), (5.0, 0.25), (12.0, 3.5), (1.0, 0.0)] {
+        for &(a, sigma) in &[
+            (64.0, 1.0),
+            (48.0, 2.0),
+            (5.0, 0.25),
+            (12.0, 3.5),
+            (1.0, 0.0),
+        ] {
             let d = DowneyParams::new(a, sigma).unwrap();
             let mut prev = 0.0;
             for n in 1..=256 {
@@ -149,7 +164,10 @@ mod tests {
                     s >= prev - 1e-12,
                     "S not monotone for A={a} sigma={sigma} at n={n}: {s} < {prev}"
                 );
-                assert!(s <= a + 1e-9, "S exceeds A for A={a} sigma={sigma} at n={n}");
+                assert!(
+                    s <= a + 1e-9,
+                    "S exceeds A for A={a} sigma={sigma} at n={n}"
+                );
                 prev = s;
             }
         }
@@ -164,7 +182,10 @@ mod tests {
             let nf = n as f64;
             let low = (a * nf) / (a + 1.0 * (nf - 1.0) / 2.0);
             let high = (nf * a * 2.0) / (1.0 * (nf + a - 1.0) + a);
-            assert!(close(low, high), "branch mismatch at n={n}: {low} vs {high}");
+            assert!(
+                close(low, high),
+                "branch mismatch at n={n}: {low} vs {high}"
+            );
         }
     }
 
@@ -173,7 +194,10 @@ mod tests {
         // The piecewise definition must be continuous at n = A and n = 2A - 1
         // (sigma <= 1) and at n = A + A*sigma - sigma (sigma >= 1).
         let d = DowneyParams::new(10.0, 0.5).unwrap();
-        assert!(close(d.speedup(10), (10.0 * 10.0) / (0.5 * 9.5 + 10.0 * 0.75)));
+        assert!(close(
+            d.speedup(10),
+            (10.0 * 10.0) / (0.5 * 9.5 + 10.0 * 0.75)
+        ));
         let at_sat = d.speedup(19); // 2A - 1 = 19
         assert!(close(at_sat, 10.0));
 

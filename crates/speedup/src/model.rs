@@ -111,7 +111,10 @@ impl SpeedupModel {
                 value: overhead_frac,
             });
         }
-        Ok(SpeedupModel::WithOverhead { inner: Box::new(self), overhead_frac })
+        Ok(SpeedupModel::WithOverhead {
+            inner: Box::new(self),
+            overhead_frac,
+        })
     }
 
     /// Speedup `S(n)` on `n` processors (`n = 0` treated as 1).
@@ -130,7 +133,10 @@ impl SpeedupModel {
             }
             SpeedupModel::PowerLaw { alpha } => (n as f64).powf(*alpha),
             SpeedupModel::Table(t) => t.speedup(n),
-            SpeedupModel::WithOverhead { inner, overhead_frac } => {
+            SpeedupModel::WithOverhead {
+                inner,
+                overhead_frac,
+            } => {
                 let et = 1.0 / inner.speedup(n) + overhead_frac * (n as f64 - 1.0);
                 1.0 / et
             }
@@ -166,7 +172,10 @@ impl SpeedupModel {
                 let frac = x - lo as f64;
                 t.speedup(lo) * (1.0 - frac) + t.speedup(hi) * frac
             }
-            SpeedupModel::WithOverhead { inner, overhead_frac } => {
+            SpeedupModel::WithOverhead {
+                inner,
+                overhead_frac,
+            } => {
                 let et = 1.0 / inner.speedup_cont(x) + overhead_frac * (x - 1.0);
                 1.0 / et
             }
@@ -259,7 +268,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let m = SpeedupModel::downey(48.0, 2.0).unwrap().with_overhead(0.001).unwrap();
+        let m = SpeedupModel::downey(48.0, 2.0)
+            .unwrap()
+            .with_overhead(0.001)
+            .unwrap();
         let json = serde_json::to_string(&m).unwrap();
         let back: SpeedupModel = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);

@@ -168,6 +168,9 @@ mod tests {
         let p = ExecutionProfile::new(40.0, m).unwrap();
         assert!(p.area(8) > p.area(1), "sublinear speedup wastes area");
         let lin = ExecutionProfile::linear(40.0);
-        assert!((lin.area(8) - lin.area(1)).abs() < 1e-9, "linear preserves area");
+        assert!(
+            (lin.area(8) - lin.area(1)).abs() < 1e-9,
+            "linear preserves area"
+        );
     }
 }

@@ -32,10 +32,14 @@ impl ProfiledSpeedup {
             return Err(ModelError::InvalidTable("table must not be empty"));
         }
         if (values[0] - 1.0).abs() > 1e-9 {
-            return Err(ModelError::InvalidTable("speedup on 1 processor must be 1.0"));
+            return Err(ModelError::InvalidTable(
+                "speedup on 1 processor must be 1.0",
+            ));
         }
         if values.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-            return Err(ModelError::InvalidTable("speedups must be finite and positive"));
+            return Err(ModelError::InvalidTable(
+                "speedups must be finite and positive",
+            ));
         }
         Ok(Self { values })
     }
@@ -48,7 +52,9 @@ impl ProfiledSpeedup {
             return Err(ModelError::InvalidTable("table must not be empty"));
         }
         if times.iter().any(|t| !t.is_finite() || *t <= 0.0) {
-            return Err(ModelError::InvalidTable("times must be finite and positive"));
+            return Err(ModelError::InvalidTable(
+                "times must be finite and positive",
+            ));
         }
         let t1 = times[0];
         Self::new(times.iter().map(|t| t1 / t).collect())

@@ -146,7 +146,10 @@ impl TaskGraph {
     /// Adds a task and returns its id.
     pub fn add_task(&mut self, name: impl Into<String>, profile: ExecutionProfile) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(Task { name: name.into(), profile });
+        self.tasks.push(Task {
+            name: name.into(),
+            profile,
+        });
         self.succ.push(Vec::new());
         self.pred.push(Vec::new());
         id
@@ -158,7 +161,12 @@ impl TaskGraph {
     /// Rejects unknown endpoints, self-loops, duplicate data edges and
     /// invalid volumes. Cycle detection is deferred to
     /// [`TaskGraph::topo_order`] (an `O(V+E)` check unsuitable per-edge).
-    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, volume: f64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        volume: f64,
+    ) -> Result<EdgeId, GraphError> {
         self.add_edge_inner(src, dst, volume, EdgeKind::Data)
     }
 
@@ -195,7 +203,12 @@ impl TaskGraph {
             return Err(GraphError::DuplicateEdge(src, dst));
         }
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { src, dst, volume, kind });
+        self.edges.push(Edge {
+            src,
+            dst,
+            volume,
+            kind,
+        });
         self.succ[src.index()].push(id);
         self.pred[dst.index()].push(id);
         Ok(id)
@@ -203,7 +216,10 @@ impl TaskGraph {
 
     /// Looks up an edge by its endpoints.
     pub fn find_edge(&self, src: TaskId, dst: TaskId) -> Option<EdgeId> {
-        self.succ[src.index()].iter().copied().find(|&e| self.edges[e.index()].dst == dst)
+        self.succ[src.index()]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].dst == dst)
     }
 
     /// Number of tasks `|V|`.
@@ -238,12 +254,18 @@ impl TaskGraph {
 
     /// Iterator over all tasks.
     pub fn tasks(&self) -> impl ExactSizeIterator<Item = (TaskId, &Task)> + '_ {
-        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i as u32), t))
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i as u32), t))
     }
 
     /// Iterator over all edges.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
     /// Outgoing edges of `t`.
@@ -278,12 +300,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.out_degree(t) == 0)
+            .collect()
     }
 
     /// A topological order of the tasks (Kahn's algorithm).
@@ -296,8 +322,7 @@ impl TaskGraph {
             return Err(GraphError::Empty);
         }
         let mut in_deg: Vec<usize> = (0..self.n_tasks()).map(|i| self.pred[i].len()).collect();
-        let mut queue: Vec<TaskId> =
-            self.task_ids().filter(|t| in_deg[t.index()] == 0).collect();
+        let mut queue: Vec<TaskId> = self.task_ids().filter(|t| in_deg[t.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.n_tasks());
         let mut head = 0;
         while head < queue.len() {
@@ -331,10 +356,37 @@ impl TaskGraph {
         }
         for (_, e) in self.edges() {
             if e.kind == EdgeKind::Data {
-                g.add_edge(e.src, e.dst, e.volume).expect("source graph was valid");
+                g.add_edge(e.src, e.dst, e.volume)
+                    .expect("source graph was valid");
             }
         }
         g
+    }
+
+    /// Removes every pseudo-edge in place (back from `G'` to `G` without
+    /// reallocating tasks), so one schedule-DAG buffer can be reused across
+    /// repeated scheduler runs instead of cloning the graph each time.
+    ///
+    /// Data-edge ids are preserved when the pseudo-edges were appended
+    /// after all data edges (always true for schedule-DAGs built by LoCBS);
+    /// with interleaved insertion the surviving data edges are renumbered
+    /// compactly in their original order.
+    pub fn clear_pseudo_edges(&mut self) {
+        if !self.edges.iter().any(|e| e.kind == EdgeKind::Pseudo) {
+            return;
+        }
+        self.edges.retain(|e| e.kind == EdgeKind::Data);
+        for v in &mut self.succ {
+            v.clear();
+        }
+        for v in &mut self.pred {
+            v.clear();
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            self.succ[e.src.index()].push(id);
+            self.pred[e.dst.index()].push(id);
+        }
     }
 
     /// Sum of data volumes entering `t` (MB).
@@ -409,11 +461,26 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let (mut g, [t1, t2, ..]) = diamond();
-        assert_eq!(g.add_edge(t1, t1, 0.0).unwrap_err(), GraphError::SelfLoop(t1));
-        assert_eq!(g.add_edge(t1, t2, 0.0).unwrap_err(), GraphError::DuplicateEdge(t1, t2));
-        assert_eq!(g.add_edge(t1, TaskId(99), 0.0).unwrap_err(), GraphError::UnknownTask(TaskId(99)));
-        assert_eq!(g.add_edge(t1, t2, -1.0).unwrap_err(), GraphError::InvalidVolume);
-        assert_eq!(g.add_edge(t1, t2, f64::NAN).unwrap_err(), GraphError::InvalidVolume);
+        assert_eq!(
+            g.add_edge(t1, t1, 0.0).unwrap_err(),
+            GraphError::SelfLoop(t1)
+        );
+        assert_eq!(
+            g.add_edge(t1, t2, 0.0).unwrap_err(),
+            GraphError::DuplicateEdge(t1, t2)
+        );
+        assert_eq!(
+            g.add_edge(t1, TaskId(99), 0.0).unwrap_err(),
+            GraphError::UnknownTask(TaskId(99))
+        );
+        assert_eq!(
+            g.add_edge(t1, t2, -1.0).unwrap_err(),
+            GraphError::InvalidVolume
+        );
+        assert_eq!(
+            g.add_edge(t1, t2, f64::NAN).unwrap_err(),
+            GraphError::InvalidVolume
+        );
     }
 
     #[test]
@@ -438,6 +505,27 @@ mod tests {
         g.add_pseudo_edge(t2, t3).unwrap();
         assert_ne!(g, original);
         assert_eq!(g.without_pseudo_edges(), original);
+    }
+
+    #[test]
+    fn clear_pseudo_edges_restores_g_in_place() {
+        let (mut g, [t1, t2, t3, t4]) = diamond();
+        let original = g.clone();
+        g.add_pseudo_edge(t2, t3).unwrap();
+        g.add_pseudo_edge(t1, t4).unwrap();
+        assert_ne!(g, original);
+        g.clear_pseudo_edges();
+        assert_eq!(
+            g, original,
+            "stripping in place must equal the pre-pseudo graph"
+        );
+        g.clear_pseudo_edges(); // idempotent on a pseudo-free graph
+        assert_eq!(g, original);
+        // Data-edge ids survive a strip/re-add cycle.
+        let e = g.find_edge(t1, t2).unwrap();
+        g.add_pseudo_edge(t2, t3).unwrap();
+        g.clear_pseudo_edges();
+        assert_eq!(g.find_edge(t1, t2), Some(e));
     }
 
     #[test]

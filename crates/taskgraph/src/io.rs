@@ -43,12 +43,19 @@ impl From<&TaskGraph> for TaskGraphSpec {
         TaskGraphSpec {
             tasks: g
                 .tasks()
-                .map(|(_, t)| TaskSpec { name: t.name.clone(), profile: t.profile.clone() })
+                .map(|(_, t)| TaskSpec {
+                    name: t.name.clone(),
+                    profile: t.profile.clone(),
+                })
                 .collect(),
             edges: g
                 .edges()
                 .filter(|(_, e)| e.kind == EdgeKind::Data)
-                .map(|(_, e)| EdgeSpec { src: e.src.0, dst: e.dst.0, volume: e.volume })
+                .map(|(_, e)| EdgeSpec {
+                    src: e.src.0,
+                    dst: e.dst.0,
+                    volume: e.volume,
+                })
                 .collect(),
         }
     }
@@ -164,12 +171,26 @@ mod tests {
         assert!(TaskGraph::from_json("not json").is_err());
         let spec = TaskGraphSpec {
             tasks: vec![
-                TaskSpec { name: "a".into(), profile: ExecutionProfile::linear(1.0) },
-                TaskSpec { name: "b".into(), profile: ExecutionProfile::linear(1.0) },
+                TaskSpec {
+                    name: "a".into(),
+                    profile: ExecutionProfile::linear(1.0),
+                },
+                TaskSpec {
+                    name: "b".into(),
+                    profile: ExecutionProfile::linear(1.0),
+                },
             ],
             edges: vec![
-                EdgeSpec { src: 0, dst: 1, volume: 0.0 },
-                EdgeSpec { src: 1, dst: 0, volume: 0.0 },
+                EdgeSpec {
+                    src: 0,
+                    dst: 1,
+                    volume: 0.0,
+                },
+                EdgeSpec {
+                    src: 1,
+                    dst: 0,
+                    volume: 0.0,
+                },
             ],
         };
         let json = serde_json::to_string(&spec).unwrap();

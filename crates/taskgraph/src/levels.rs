@@ -76,11 +76,7 @@ impl TaskGraph {
     ///
     /// # Panics
     /// Panics if the graph is cyclic or empty — callers validate first.
-    pub fn levels(
-        &self,
-        node_w: impl Fn(TaskId) -> f64,
-        edge_w: impl Fn(EdgeId) -> f64,
-    ) -> Levels {
+    pub fn levels(&self, node_w: impl Fn(TaskId) -> f64, edge_w: impl Fn(EdgeId) -> f64) -> Levels {
         let order = self.topo_order().expect("levels on invalid graph");
         let n = self.n_tasks();
         let mut top = vec![0.0; n];
@@ -142,10 +138,9 @@ impl TaskGraph {
                 // edge realizes its top level and the successor is on a CP.
                 if (levels.top[dst.index()] - along).abs() <= eps
                     && levels.on_critical_path(dst)
+                    && next.is_none_or(|(_, t)| dst < t)
                 {
-                    if next.is_none_or(|(_, t)| dst < t) {
-                        next = Some((e, dst));
-                    }
+                    next = Some((e, dst));
                 }
             }
             match next {
@@ -157,7 +152,11 @@ impl TaskGraph {
                 None => break,
             }
         }
-        CriticalPath { tasks, edges, length: cp }
+        CriticalPath {
+            tasks,
+            edges,
+            length: cp,
+        }
     }
 }
 

@@ -14,7 +14,9 @@ pub fn arb_dag(max_tasks: usize) -> impl Strategy<Value = TaskGraph> {
         // inputs rather than a giant Vec<bool>.
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let mut g = TaskGraph::new();

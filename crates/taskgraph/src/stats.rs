@@ -41,8 +41,11 @@ impl GraphStats {
             width_at[l] += 1;
         }
         let width = width_at.into_iter().max().unwrap_or(0);
-        let data_edges: Vec<_> =
-            g.edges().filter(|(_, e)| e.kind == EdgeKind::Data).map(|(_, e)| *e).collect();
+        let data_edges: Vec<_> = g
+            .edges()
+            .filter(|(_, e)| e.kind == EdgeKind::Data)
+            .map(|(_, e)| *e)
+            .collect();
         let non_sinks = g.task_ids().filter(|&t| g.out_degree(t) > 0).count();
         GraphStats {
             n_tasks: n,

@@ -21,7 +21,12 @@ pub struct DagStyle {
 
 impl Default for DagStyle {
     fn default() -> Self {
-        Self { x_gap: 110.0, y_gap: 70.0, node_w: 92.0, node_h: 26.0 }
+        Self {
+            x_gap: 110.0,
+            y_gap: 70.0,
+            node_w: 92.0,
+            node_h: 26.0,
+        }
     }
 }
 
@@ -68,7 +73,14 @@ pub fn dag_svg(g: &TaskGraph, style: DagStyle) -> String {
             EdgeKind::Data => "#666666",
             EdgeKind::Pseudo => "#bb4444",
         };
-        c.line(x1, y1 + style.node_h / 2.0, x2, y2 - style.node_h / 2.0, stroke, 1.0);
+        c.line(
+            x1,
+            y1 + style.node_h / 2.0,
+            x2,
+            y2 - style.node_h / 2.0,
+            stroke,
+            1.0,
+        );
         if e.kind == EdgeKind::Data && e.volume > 0.0 {
             c.text_centered(
                 (x1 + x2) / 2.0 + 4.0,

@@ -19,7 +19,11 @@ pub struct GanttStyle {
 
 impl Default for GanttStyle {
     fn default() -> Self {
-        Self { width: 760.0, row_height: 22.0, margin_left: 48.0 }
+        Self {
+            width: 760.0,
+            row_height: 22.0,
+            margin_left: 48.0,
+        }
     }
 }
 
@@ -36,7 +40,14 @@ pub fn gantt_svg(schedule: &Schedule, g: &TaskGraph, n_procs: usize, style: Gant
     for p in 0..n_procs {
         let y = y_of(p);
         let fill = if p % 2 == 0 { "#f7f7f7" } else { "#efefef" };
-        c.rect(style.margin_left, y, style.width, style.row_height, fill, None);
+        c.rect(
+            style.margin_left,
+            y,
+            style.width,
+            style.row_height,
+            fill,
+            None,
+        );
         c.text(4.0, y + style.row_height * 0.7, 10.0, &format!("p{p}"));
     }
 
@@ -76,14 +87,26 @@ pub fn gantt_svg(schedule: &Schedule, g: &TaskGraph, n_procs: usize, style: Gant
 
     // Time axis with ~8 ticks.
     let axis_y = top + n_procs as f64 * style.row_height + 6.0;
-    c.line(style.margin_left, axis_y, style.margin_left + style.width, axis_y, "#333333", 1.0);
+    c.line(
+        style.margin_left,
+        axis_y,
+        style.margin_left + style.width,
+        axis_y,
+        "#333333",
+        1.0,
+    );
     for i in 0..=8 {
         let t = ms * i as f64 / 8.0;
         let x = x_of(t);
         c.line(x, axis_y, x, axis_y + 4.0, "#333333", 1.0);
         c.text_centered(x, axis_y + 16.0, 9.0, &format!("{t:.1}"));
     }
-    c.text(style.margin_left, 14.0, 11.0, &format!("makespan = {ms:.2} s"));
+    c.text(
+        style.margin_left,
+        14.0,
+        11.0,
+        &format!("makespan = {ms:.2} s"),
+    );
     c.finish()
 }
 
@@ -149,6 +172,9 @@ mod tests {
             .run(&g, &locmps_core::Allocation::from_vec(vec![1, 2]))
             .unwrap();
         let svg = gantt_svg(&res.schedule, &g, 2, GanttStyle::default());
-        assert!(svg.contains("#dddddd"), "hatched communication window expected");
+        assert!(
+            svg.contains("#dddddd"),
+            "hatched communication window expected"
+        );
     }
 }

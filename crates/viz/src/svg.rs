@@ -13,7 +13,11 @@ pub struct SvgCanvas {
 impl SvgCanvas {
     /// A canvas of the given pixel size.
     pub fn new(width: f64, height: f64) -> Self {
-        Self { width, height, body: String::new() }
+        Self {
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     /// Axis-aligned rectangle with fill and optional stroke.
@@ -69,7 +73,9 @@ impl SvgCanvas {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// A stable, readable fill color for task `i` (golden-angle hue walk).

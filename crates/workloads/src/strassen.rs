@@ -38,7 +38,12 @@ pub struct StrassenConfig {
 
 impl Default for StrassenConfig {
     fn default() -> Self {
-        Self { n: 1024, levels: 1, flops_per_sec: 4.0e9, mem_bw: 5.0e9 }
+        Self {
+            n: 1024,
+            levels: 1,
+            flops_per_sec: 4.0e9,
+            mem_bw: 5.0e9,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ impl StrassenConfig {
 /// assembly tasks.
 pub fn strassen_graph(cfg: &StrassenConfig) -> TaskGraph {
     assert!(cfg.levels >= 1, "at least one level of Strassen");
-    assert!(cfg.n % (1 << cfg.levels) == 0, "n must be divisible by 2^levels");
+    assert!(
+        cfg.n.is_multiple_of(1 << cfg.levels),
+        "n must be divisible by 2^levels"
+    );
     let mut g = TaskGraph::new();
     build_level(&mut g, cfg, cfg.n / 2, cfg.levels, "", &[]);
     g
@@ -116,11 +124,18 @@ fn build_level(
             // Expand this multiplication into a nested Strassen graph whose
             // inputs come from the parent S tasks; its result is the sum of
             // its own four C blocks, folded into one assembly task.
-            let sub =
-                build_level(g, cfg, m / 2, levels - 1, &format!("{prefix}{name}."), &parents);
+            let sub = build_level(
+                g,
+                cfg,
+                m / 2,
+                levels - 1,
+                &format!("{prefix}{name}."),
+                &parents,
+            );
             let fold = g.add_task(format!("{prefix}{name}"), cfg.add_profile(m));
             for c in sub {
-                g.add_edge(c, fold, StrassenConfig::block_volume_mb(m / 2)).unwrap();
+                g.add_edge(c, fold, StrassenConfig::block_volume_mb(m / 2))
+                    .unwrap();
             }
             mults.push(fold);
         } else {
@@ -133,10 +148,18 @@ fn build_level(
     }
 
     // Output assemblies.
-    let c11 = add(g, format!("{prefix}C11"), &[mults[0], mults[3], mults[4], mults[6]]);
+    let c11 = add(
+        g,
+        format!("{prefix}C11"),
+        &[mults[0], mults[3], mults[4], mults[6]],
+    );
     let c12 = add(g, format!("{prefix}C12"), &[mults[2], mults[4]]);
     let c21 = add(g, format!("{prefix}C21"), &[mults[1], mults[3]]);
-    let c22 = add(g, format!("{prefix}C22"), &[mults[0], mults[1], mults[2], mults[5]]);
+    let c22 = add(
+        g,
+        format!("{prefix}C22"),
+        &[mults[0], mults[1], mults[2], mults[5]],
+    );
     [c11, c12, c21, c22]
 }
 
@@ -159,7 +182,10 @@ mod tests {
 
     #[test]
     fn multiplications_dominate_and_scale() {
-        let cfg = StrassenConfig { n: 4096, ..Default::default() };
+        let cfg = StrassenConfig {
+            n: 4096,
+            ..Default::default()
+        };
         let g = strassen_graph(&cfg);
         let (mult_t, add_t): (Vec<f64>, Vec<f64>) = {
             let m: Vec<f64> = g
@@ -174,16 +200,24 @@ mod tests {
                 .collect();
             (m, a)
         };
-        assert!(mult_t.iter().cloned().fold(f64::MAX, f64::min)
-            > 100.0 * add_t.iter().cloned().fold(0.0, f64::max));
+        assert!(
+            mult_t.iter().cloned().fold(f64::MAX, f64::min)
+                > 100.0 * add_t.iter().cloned().fold(0.0, f64::max)
+        );
         let (_, m1) = g.tasks().find(|(_, t)| t.name == "M1").unwrap();
         assert!(m1.profile.speedup(64) > 30.0, "4096-block mults scale well");
     }
 
     #[test]
     fn small_problem_scales_worse_than_large() {
-        let small = strassen_graph(&StrassenConfig { n: 1024, ..Default::default() });
-        let large = strassen_graph(&StrassenConfig { n: 4096, ..Default::default() });
+        let small = strassen_graph(&StrassenConfig {
+            n: 1024,
+            ..Default::default()
+        });
+        let large = strassen_graph(&StrassenConfig {
+            n: 4096,
+            ..Default::default()
+        });
         let speedup_at = |g: &TaskGraph, p: usize| {
             let (_, t) = g.tasks().find(|(_, t)| t.name == "M1").unwrap();
             t.profile.speedup(p)
@@ -193,7 +227,11 @@ mod tests {
 
     #[test]
     fn two_levels_expand_multiplications() {
-        let cfg = StrassenConfig { n: 1024, levels: 2, ..Default::default() };
+        let cfg = StrassenConfig {
+            n: 1024,
+            levels: 2,
+            ..Default::default()
+        };
         let g = strassen_graph(&cfg);
         g.validate().unwrap();
         // Top level: 10 S + 4 C + 7 folds; each fold hides a 21-task
@@ -207,6 +245,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn rejects_indivisible_sizes() {
-        strassen_graph(&StrassenConfig { n: 1000, levels: 4, ..Default::default() });
+        strassen_graph(&StrassenConfig {
+            n: 1000,
+            levels: 4,
+            ..Default::default()
+        });
     }
 }

@@ -126,7 +126,11 @@ mod tests {
     #[test]
     fn generates_valid_dags_of_requested_size() {
         for n in [1, 10, 30, 50] {
-            let g = synthetic_graph(&SyntheticConfig { n_tasks: n, seed: 3, ..Default::default() });
+            let g = synthetic_graph(&SyntheticConfig {
+                n_tasks: n,
+                seed: 3,
+                ..Default::default()
+            });
             assert_eq!(g.n_tasks(), n);
             g.validate().unwrap();
         }
@@ -134,7 +138,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = SyntheticConfig { n_tasks: 25, ccr: 0.5, seed: 11, ..Default::default() };
+        let cfg = SyntheticConfig {
+            n_tasks: 25,
+            ccr: 0.5,
+            seed: 11,
+            ..Default::default()
+        };
         assert_eq!(synthetic_graph(&cfg), synthetic_graph(&cfg));
         let other = SyntheticConfig { seed: 12, ..cfg };
         assert_ne!(synthetic_graph(&cfg), synthetic_graph(&other));
@@ -142,10 +151,17 @@ mod tests {
 
     #[test]
     fn work_distribution_matches_mean() {
-        let g = synthetic_graph(&SyntheticConfig { n_tasks: 50, seed: 5, ..Default::default() });
+        let g = synthetic_graph(&SyntheticConfig {
+            n_tasks: 50,
+            seed: 5,
+            ..Default::default()
+        });
         let stats = GraphStats::compute(&g);
         let mean = stats.total_work / 50.0;
-        assert!((mean - 30.0).abs() < 6.0, "mean work {mean} too far from 30");
+        assert!(
+            (mean - 30.0).abs() < 6.0,
+            "mean work {mean} too far from 30"
+        );
         for (_, t) in g.tasks() {
             assert!(t.profile.seq_time() >= 10.0 && t.profile.seq_time() <= 50.0);
         }
@@ -153,7 +169,12 @@ mod tests {
 
     #[test]
     fn ccr_zero_means_no_volume() {
-        let g = synthetic_graph(&SyntheticConfig { n_tasks: 20, ccr: 0.0, seed: 2, ..Default::default() });
+        let g = synthetic_graph(&SyntheticConfig {
+            n_tasks: 20,
+            ccr: 0.0,
+            seed: 2,
+            ..Default::default()
+        });
         assert!(g.edges().all(|(_, e)| e.volume == 0.0));
     }
 
@@ -182,7 +203,11 @@ mod tests {
     fn average_degree_near_four() {
         let mut acc = 0.0;
         for seed in 0..8 {
-            let g = synthetic_graph(&SyntheticConfig { n_tasks: 50, seed, ..Default::default() });
+            let g = synthetic_graph(&SyntheticConfig {
+                n_tasks: 50,
+                seed,
+                ..Default::default()
+            });
             acc += g.n_edges() as f64 / 50.0;
         }
         let avg = acc / 8.0;

@@ -37,7 +37,12 @@ pub struct TceConfig {
 impl Default for TceConfig {
     fn default() -> Self {
         // A mid-size correlated calculation on one early-2000s node.
-        Self { n_occ: 60, n_virt: 300, flops_per_sec: 4.0e9, mem_bw: 5.0e9 }
+        Self {
+            n_occ: 60,
+            n_virt: 300,
+            flops_per_sec: 4.0e9,
+            mem_bw: 5.0e9,
+        }
     }
 }
 
@@ -91,7 +96,8 @@ pub fn ccsd_t1_graph(cfg: &TceConfig) -> TaskGraph {
     let i_vv = contraction(&mut g, "I_vv", 2.0 * o * v * v * v);
     // I2_oo[k,i]  = I_ov[k,c] · t1[c,i]           : 2 o²v   (chained)
     let i2_oo = contraction(&mut g, "I2_oo", 2.0 * o * o * v);
-    g.add_edge(i_ov, i2_oo, TceConfig::volume_mb(o * v)).unwrap();
+    g.add_edge(i_ov, i2_oo, TceConfig::volume_mb(o * v))
+        .unwrap();
 
     // --- contractions producing [o,v] residual pieces. ---
     // C_fvv  = f[a,c] · t1[c,i]                   : 2 o v²
@@ -102,7 +108,8 @@ pub fn ccsd_t1_graph(cfg: &TceConfig) -> TaskGraph {
     let c_fov = contraction(&mut g, "C_fov", 2.0 * o * o * v * v);
     // C_iovt2 = I_ov[k,c] · t2[a,c,i,k]           : 2 o²v²  (chained)
     let c_iovt2 = contraction(&mut g, "C_Iov_t2", 2.0 * o * o * v * v);
-    g.add_edge(i_ov, c_iovt2, TceConfig::volume_mb(o * v)).unwrap();
+    g.add_edge(i_ov, c_iovt2, TceConfig::volume_mb(o * v))
+        .unwrap();
     // C_w    = v[k,a,i,c] · t1[c,k]               : 2 o²v²
     let c_w = contraction(&mut g, "C_w", 2.0 * o * o * v * v);
     // C_vvvv-class: v[k,a,c,d] · t2[c,d,i,k]      : 2 o²v³  (the big one)
@@ -111,13 +118,16 @@ pub fn ccsd_t1_graph(cfg: &TceConfig) -> TaskGraph {
     let c_big2 = contraction(&mut g, "C_ooov_t2", 2.0 * o * o * o * v * v);
     // C_ioo  = I_oo[k,i] · t1[a,k]                : 2 o²v   (chained)
     let c_ioo = contraction(&mut g, "C_Ioo_t1", 2.0 * o * o * v);
-    g.add_edge(i_oo, c_ioo, TceConfig::volume_mb(o * o)).unwrap();
+    g.add_edge(i_oo, c_ioo, TceConfig::volume_mb(o * o))
+        .unwrap();
     // C_ivv  = I_vv[a,c] · t1[c,i]                : 2 o v²  (chained)
     let c_ivv = contraction(&mut g, "C_Ivv_t1", 2.0 * o * v * v);
-    g.add_edge(i_vv, c_ivv, TceConfig::volume_mb(v * v)).unwrap();
+    g.add_edge(i_vv, c_ivv, TceConfig::volume_mb(v * v))
+        .unwrap();
     // C_i2oo = I2_oo[k,i] · t1[a,k]               : 2 o²v   (doubly chained)
     let c_i2oo = contraction(&mut g, "C_I2oo_t1", 2.0 * o * o * v);
-    g.add_edge(i2_oo, c_i2oo, TceConfig::volume_mb(o * o)).unwrap();
+    g.add_edge(i2_oo, c_i2oo, TceConfig::volume_mb(o * o))
+        .unwrap();
 
     // --- the accumulation chain over the [o,v] residual. ---
     let residual_elems = o * v;
@@ -133,8 +143,10 @@ pub fn ccsd_t1_graph(cfg: &TceConfig) -> TaskGraph {
                 .unwrap(),
         );
         // Partial product + the next contraction result: two in-edges.
-        g.add_edge(prev, acc, TceConfig::volume_mb(residual_elems)).unwrap();
-        g.add_edge(piece, acc, TceConfig::volume_mb(residual_elems)).unwrap();
+        g.add_edge(prev, acc, TceConfig::volume_mb(residual_elems))
+            .unwrap();
+        g.add_edge(piece, acc, TceConfig::volume_mb(residual_elems))
+            .unwrap();
         prev = acc;
     }
 
@@ -162,7 +174,10 @@ mod tests {
         let mut times: Vec<f64> = g.tasks().map(|(_, t)| t.profile.seq_time()).collect();
         times.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // The two `v[*,*,*,*]·t2` contractions dwarf everything else.
-        assert!(times[0] > 10.0 * times[2], "expected a dominant pair: {times:?}");
+        assert!(
+            times[0] > 10.0 * times[2],
+            "expected a dominant pair: {times:?}"
+        );
         // ... and the majority of tasks are tiny.
         let small = times.iter().filter(|&&t| t < times[0] / 100.0).count();
         assert!(small * 2 > times.len(), "{small} of {} small", times.len());
@@ -173,11 +188,22 @@ mod tests {
         let g = ccsd_t1_graph(&TceConfig::default());
         let (_, big) = g
             .tasks()
-            .max_by(|a, b| a.1.profile.seq_time().partial_cmp(&b.1.profile.seq_time()).unwrap())
+            .max_by(|a, b| {
+                a.1.profile
+                    .seq_time()
+                    .partial_cmp(&b.1.profile.seq_time())
+                    .unwrap()
+            })
             .unwrap();
-        assert!(big.profile.speedup(64) > 30.0, "dominant contraction must scale");
+        assert!(
+            big.profile.speedup(64) > 30.0,
+            "dominant contraction must scale"
+        );
         let (_, acc) = g.tasks().find(|(_, t)| t.name.starts_with("ACC")).unwrap();
-        assert!(acc.profile.speedup(64) < 2.0, "accumulations must not scale");
+        assert!(
+            acc.profile.speedup(64) < 2.0,
+            "accumulations must not scale"
+        );
     }
 
     #[test]
@@ -194,8 +220,16 @@ mod tests {
 
     #[test]
     fn problem_size_scales_work() {
-        let small = ccsd_t1_graph(&TceConfig { n_occ: 20, n_virt: 100, ..Default::default() });
-        let large = ccsd_t1_graph(&TceConfig { n_occ: 40, n_virt: 200, ..Default::default() });
+        let small = ccsd_t1_graph(&TceConfig {
+            n_occ: 20,
+            n_virt: 100,
+            ..Default::default()
+        });
+        let large = ccsd_t1_graph(&TceConfig {
+            n_occ: 40,
+            n_virt: 200,
+            ..Default::default()
+        });
         let w = |g: &TaskGraph| GraphStats::compute(g).total_work;
         assert!(w(&large) > 10.0 * w(&small));
     }

@@ -40,7 +40,10 @@ pub fn independent(n: usize, work: f64, serial_fraction: f64) -> TaskGraph {
     let model = SpeedupModel::amdahl(serial_fraction).expect("valid fraction");
     let mut g = TaskGraph::new();
     for i in 0..n {
-        g.add_task(format!("i{i}"), ExecutionProfile::new(work, model.clone()).unwrap());
+        g.add_task(
+            format!("i{i}"),
+            ExecutionProfile::new(work, model.clone()).unwrap(),
+        );
     }
     g
 }

@@ -32,7 +32,10 @@ fn main() {
     let g = build();
     println!("greedy (no look-ahead): makespan {:.1}", greedy.makespan());
     println!("  allocation: {:?}", greedy.allocation.as_slice());
-    print!("{}", greedy.schedule.gantt(&g, 4, GanttOptions { width: 60 }));
+    print!(
+        "{}",
+        greedy.schedule.gantt(&g, 4, GanttOptions { width: 60 })
+    );
     println!();
     println!("LoC-MPS (look-ahead 20): makespan {:.1}", full.makespan());
     println!("  allocation: {:?}", full.allocation.as_slice());

@@ -15,7 +15,10 @@ use locmps::runtime::{GreedyOneProc, OnlineConfig, OnlineLocbs, PlanFollower, Ru
 use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
 
 fn main() {
-    let p: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
     let g = ccsd_t1_graph(&TceConfig::default());
     let cluster = Cluster::myrinet(p);
     let seeds: Vec<u64> = (0..10).collect();
@@ -38,8 +41,9 @@ fn main() {
             means[1] += RuntimeEngine::new(&g, &cluster, cfg)
                 .run(&mut OnlineLocbs::default())
                 .makespan;
-            means[2] +=
-                RuntimeEngine::new(&g, &cluster, cfg).run(&mut GreedyOneProc).makespan;
+            means[2] += RuntimeEngine::new(&g, &cluster, cfg)
+                .run(&mut GreedyOneProc)
+                .makespan;
         }
         for m in &mut means {
             *m /= seeds.len() as f64;

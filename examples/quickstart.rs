@@ -64,7 +64,11 @@ fn main() {
         );
     }
     println!();
-    print!("{}", out.schedule.gantt(&g, cluster.n_procs, GanttOptions::default()));
+    print!(
+        "{}",
+        out.schedule
+            .gantt(&g, cluster.n_procs, GanttOptions::default())
+    );
     println!(
         "utilization: {:.0} %",
         100.0 * out.schedule.utilization(cluster.n_procs)

@@ -15,7 +15,10 @@ fn main() {
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
     let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
 
-    let g = strassen_graph(&StrassenConfig { n, ..Default::default() });
+    let g = strassen_graph(&StrassenConfig {
+        n,
+        ..Default::default()
+    });
     let cluster = Cluster::myrinet(p);
     println!(
         "Strassen {n}x{n}: {} tasks, {} edges, on {p} processors\n",
@@ -32,11 +35,22 @@ fn main() {
         (Box::new(DataParallel), true),
     ];
 
-    println!("{:<10} {:>12} {:>12} {:>8}", "scheme", "planned (s)", "executed (s)", "util %");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "scheme", "planned (s)", "executed (s)", "util %"
+    );
     let mut reference = None;
     for (s, locality_aware) in schedulers {
         let out = s.schedule(&g, &cluster).expect("schedulable");
-        let rep = simulate(&g, &cluster, &out, SimConfig { locality_aware, ..Default::default() });
+        let rep = simulate(
+            &g,
+            &cluster,
+            &out,
+            SimConfig {
+                locality_aware,
+                ..Default::default()
+            },
+        );
         let reference_ms = *reference.get_or_insert(rep.makespan);
         println!(
             "{:<10} {:>12.3} {:>12.3} {:>7.0}%   (rel {:.3})",

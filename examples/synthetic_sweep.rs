@@ -12,7 +12,10 @@ use locmps::sim::{simulate, SimConfig};
 use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
 
 fn main() {
-    let ccr: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.1);
+    let ccr: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
     let graphs: Vec<TaskGraph> = (0..5)
         .map(|seed| {
             synthetic_graph(&SyntheticConfig {
@@ -45,8 +48,16 @@ fn main() {
                 .iter()
                 .map(|g| {
                     let out = s.schedule(g, &cluster).expect("schedulable");
-                    simulate(g, &cluster, &out, SimConfig { locality_aware, ..Default::default() })
-                        .makespan
+                    simulate(
+                        g,
+                        &cluster,
+                        &out,
+                        SimConfig {
+                            locality_aware,
+                            ..Default::default()
+                        },
+                    )
+                    .makespan
                 })
                 .sum::<f64>()
                 / graphs.len() as f64;

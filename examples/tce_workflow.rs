@@ -27,11 +27,16 @@ fn main() {
         ("full comp/comm overlap", Cluster::myrinet(p)),
         ("no overlap", Cluster::myrinet(p).without_overlap()),
     ] {
-        let out = LocMps::default().schedule(&g, &cluster).expect("schedulable");
+        let out = LocMps::default()
+            .schedule(&g, &cluster)
+            .expect("schedulable");
         let rep = simulate(&g, &cluster, &out, SimConfig::default());
         println!("[{label}]");
         println!("  makespan      : {:.2} s", rep.makespan);
-        println!("  total comm    : {:.2} s across all edges", rep.total_comm_time);
+        println!(
+            "  total comm    : {:.2} s across all edges",
+            rep.total_comm_time
+        );
         println!("  utilization   : {:.0} %", 100.0 * rep.utilization);
         // The widest and narrowest allocations chosen.
         let (mut wid, mut nar) = ((0, 0usize), (0, usize::MAX));

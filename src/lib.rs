@@ -53,9 +53,9 @@ pub use locmps_core as core;
 pub use locmps_platform as platform;
 pub use locmps_runtime as runtime;
 pub use locmps_sim as sim;
-pub use locmps_viz as viz;
 pub use locmps_speedup as speedup;
 pub use locmps_taskgraph as taskgraph;
+pub use locmps_viz as viz;
 pub use locmps_workloads as workloads;
 
 /// Convenience prelude bringing the most-used types into scope.

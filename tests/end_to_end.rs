@@ -36,10 +36,20 @@ fn workloads() -> Vec<(&'static str, TaskGraph)> {
                 ..Default::default()
             }),
         ),
-        ("strassen", strassen_graph(&StrassenConfig { n: 512, ..Default::default() })),
+        (
+            "strassen",
+            strassen_graph(&StrassenConfig {
+                n: 512,
+                ..Default::default()
+            }),
+        ),
         (
             "ccsd_t1",
-            ccsd_t1_graph(&TceConfig { n_occ: 16, n_virt: 64, ..Default::default() }),
+            ccsd_t1_graph(&TceConfig {
+                n_occ: 16,
+                n_virt: 64,
+                ..Default::default()
+            }),
         ),
     ]
 }
@@ -47,7 +57,10 @@ fn workloads() -> Vec<(&'static str, TaskGraph)> {
 #[test]
 fn every_scheduler_handles_every_workload() {
     for (wname, g) in workloads() {
-        for cluster in [Cluster::new(7, 50.0), Cluster::new(7, 50.0).without_overlap()] {
+        for cluster in [
+            Cluster::new(7, 50.0),
+            Cluster::new(7, 50.0).without_overlap(),
+        ] {
             for s in all_schedulers() {
                 let out = s
                     .schedule(&g, &cluster)
@@ -104,7 +117,10 @@ fn comm_aware_schedules_replay_exactly() {
     // LoC-MPS and TASK plan under the model the simulator replays: the
     // claimed and executed makespans must agree to numerical precision.
     for (wname, g) in workloads() {
-        for cluster in [Cluster::new(6, 50.0), Cluster::new(6, 50.0).without_overlap()] {
+        for cluster in [
+            Cluster::new(6, 50.0),
+            Cluster::new(6, 50.0).without_overlap(),
+        ] {
             for s in [&LocMps::default() as &dyn Scheduler, &TaskParallel] {
                 let out = s.schedule(&g, &cluster).unwrap();
                 let rep = simulate(&g, &cluster, &out, SimConfig::default());
@@ -131,7 +147,9 @@ fn schedules_validate_under_their_planning_model() {
         loc.schedule
             .validate(&g, &true_model)
             .unwrap_or_else(|e| panic!("LoC-MPS invalid on {wname}: {e}"));
-        let ica = LocMps::new(LocMpsConfig::icaslb()).schedule(&g, &cluster).unwrap();
+        let ica = LocMps::new(LocMpsConfig::icaslb())
+            .schedule(&g, &cluster)
+            .unwrap();
         ica.schedule
             .validate(&g, &blind)
             .unwrap_or_else(|e| panic!("iCASLB invalid on {wname}: {e}"));
@@ -144,7 +162,12 @@ fn schedules_validate_under_their_planning_model() {
 
 #[test]
 fn bigger_clusters_never_hurt_locmps() {
-    let g = synthetic_graph(&SyntheticConfig { n_tasks: 15, ccr: 0.2, seed: 5, ..Default::default() });
+    let g = synthetic_graph(&SyntheticConfig {
+        n_tasks: 15,
+        ccr: 0.2,
+        seed: 5,
+        ..Default::default()
+    });
     let mut prev = f64::INFINITY;
     for p in [1usize, 2, 4, 8, 16] {
         let cluster = Cluster::fast_ethernet(p);

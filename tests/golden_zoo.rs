@@ -1,0 +1,241 @@
+//! Golden-output pinning for the scheduler hot path: the optimized LoCBS /
+//! LoC-MPS implementations must produce **bit-identical** schedules to the
+//! seed implementation on the full workload zoo.
+//!
+//! Each fingerprint below is an FNV-1a hash of the serialized schedule
+//! (processor sets and full-precision start/compute/finish times), captured
+//! from the pre-optimization implementation. Any behavioral drift in the
+//! placement kernel — candidate enumeration, locality selection, tie
+//! breaking, estimate caching — changes a fingerprint and fails this test.
+//!
+//! Regenerate (after an *intentional* semantic change only) with
+//! `cargo test --release --test golden_zoo -- --nocapture dump_fingerprints --ignored`.
+
+use locmps::core::{Allocation, CommModel, Locbs, LocbsOptions, LocbsScratch};
+use locmps::prelude::*;
+use locmps::workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+use locmps::workloads::toys::{chain, fork_join, independent};
+
+fn workloads() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("chain", chain(6, 10.0, 20.0)),
+        ("fork_join", fork_join(5, 8.0, 15.0)),
+        ("independent", independent(6, 12.0, 0.2)),
+        (
+            "synthetic",
+            synthetic_graph(&SyntheticConfig {
+                n_tasks: 18,
+                ccr: 0.5,
+                seed: 77,
+                ..Default::default()
+            }),
+        ),
+        (
+            "strassen",
+            strassen_graph(&StrassenConfig {
+                n: 512,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ccsd_t1",
+            ccsd_t1_graph(&TceConfig {
+                n_occ: 16,
+                n_virt: 64,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+/// FNV-1a over the serialized schedule: start/compute/finish are printed
+/// with shortest-round-trip precision, so the hash pins exact f64 bits.
+fn fingerprint(s: &locmps::core::Schedule) -> u64 {
+    let text = serde_json::to_string(s).expect("schedules serialize");
+    let mut h = 0xcbf29ce484222325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic mixed-width allocation for the direct-LoCBS cases.
+fn mixed_alloc(g: &TaskGraph, p: usize) -> Allocation {
+    let half = (p / 2).max(1);
+    Allocation::from_vec(g.task_ids().map(|t| 1 + (t.index() * 7) % half).collect())
+}
+
+fn locmps_cases() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (wname, g) in workloads() {
+        for (cname, cluster) in [
+            ("ovl", Cluster::new(7, 50.0)),
+            ("noovl", Cluster::new(7, 50.0).without_overlap()),
+        ] {
+            for sched in [
+                LocMps::default(),
+                LocMps::new(LocMpsConfig::icaslb()),
+                LocMps::new(LocMpsConfig::no_backfill()),
+            ] {
+                let outp = sched.schedule(&g, &cluster).expect("zoo schedules");
+                out.push((
+                    format!("{wname}/{cname}/{}", sched.name()),
+                    fingerprint(&outp.schedule),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn locbs_cases() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (wname, g) in workloads() {
+        for (cname, cluster) in [
+            ("ovl", Cluster::new(7, 50.0)),
+            ("noovl", Cluster::new(7, 50.0).without_overlap()),
+        ] {
+            let model = CommModel::new(&cluster);
+            let locbs = Locbs::new(model, LocbsOptions::default());
+            let res = locbs
+                .run(&g, &mixed_alloc(&g, cluster.n_procs))
+                .expect("zoo places");
+            out.push((
+                format!("{wname}/{cname}/locbs-direct"),
+                fingerprint(&res.schedule),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+#[ignore = "generator: prints the fingerprint tables for the constants below"]
+fn dump_fingerprints() {
+    println!("const LOCMPS_GOLDEN: &[(&str, u64)] = &[");
+    for (name, fp) in locmps_cases() {
+        println!("    (\"{name}\", 0x{fp:016x}),");
+    }
+    println!("];");
+    println!("const LOCBS_GOLDEN: &[(&str, u64)] = &[");
+    for (name, fp) in locbs_cases() {
+        println!("    (\"{name}\", 0x{fp:016x}),");
+    }
+    println!("];");
+}
+
+const LOCMPS_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/LoC-MPS", 0x51b023f5229c1847),
+    ("chain/ovl/iCASLB", 0x51b023f5229c1847),
+    ("chain/ovl/LoC-MPS/no-backfill", 0x51b023f5229c1847),
+    ("chain/noovl/LoC-MPS", 0x51b023f5229c1847),
+    ("chain/noovl/iCASLB", 0x51b023f5229c1847),
+    ("chain/noovl/LoC-MPS/no-backfill", 0x51b023f5229c1847),
+    ("fork_join/ovl/LoC-MPS", 0xcad58329ff4f976a),
+    ("fork_join/ovl/iCASLB", 0xcad58329ff4f976a),
+    ("fork_join/ovl/LoC-MPS/no-backfill", 0xcad58329ff4f976a),
+    ("fork_join/noovl/LoC-MPS", 0xcad58329ff4f976a),
+    ("fork_join/noovl/iCASLB", 0xcad58329ff4f976a),
+    ("fork_join/noovl/LoC-MPS/no-backfill", 0xcad58329ff4f976a),
+    ("independent/ovl/LoC-MPS", 0x9e268f4e2b7a1e2d),
+    ("independent/ovl/iCASLB", 0x9e268f4e2b7a1e2d),
+    ("independent/ovl/LoC-MPS/no-backfill", 0x9e268f4e2b7a1e2d),
+    ("independent/noovl/LoC-MPS", 0x9e268f4e2b7a1e2d),
+    ("independent/noovl/iCASLB", 0x9e268f4e2b7a1e2d),
+    ("independent/noovl/LoC-MPS/no-backfill", 0x9e268f4e2b7a1e2d),
+    ("synthetic/ovl/LoC-MPS", 0x22479f276656b763),
+    ("synthetic/ovl/iCASLB", 0x9001c635e80db80a),
+    ("synthetic/ovl/LoC-MPS/no-backfill", 0x22479f276656b763),
+    ("synthetic/noovl/LoC-MPS", 0x22479f276656b763),
+    ("synthetic/noovl/iCASLB", 0x9001c635e80db80a),
+    ("synthetic/noovl/LoC-MPS/no-backfill", 0x22479f276656b763),
+    ("strassen/ovl/LoC-MPS", 0x5f633311a6ba48c7),
+    ("strassen/ovl/iCASLB", 0xbfb85327f1fe267b),
+    ("strassen/ovl/LoC-MPS/no-backfill", 0x5f633311a6ba48c7),
+    ("strassen/noovl/LoC-MPS", 0x5f633311a6ba48c7),
+    ("strassen/noovl/iCASLB", 0xbfb85327f1fe267b),
+    ("strassen/noovl/LoC-MPS/no-backfill", 0x5f633311a6ba48c7),
+    ("ccsd_t1/ovl/LoC-MPS", 0xfa7989cfa100eb68),
+    ("ccsd_t1/ovl/iCASLB", 0x64efa7fc02c38a58),
+    ("ccsd_t1/ovl/LoC-MPS/no-backfill", 0x201a9b306083fbc2),
+    ("ccsd_t1/noovl/LoC-MPS", 0x12a4482b6f9fe7dc),
+    ("ccsd_t1/noovl/iCASLB", 0x64efa7fc02c38a58),
+    ("ccsd_t1/noovl/LoC-MPS/no-backfill", 0x7699ebfaac22fa29),
+];
+const LOCBS_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/locbs-direct", 0xd3076428d01f69ef),
+    ("chain/noovl/locbs-direct", 0x9e47840b54671825),
+    ("fork_join/ovl/locbs-direct", 0xf1cb617eb7c3088d),
+    ("fork_join/noovl/locbs-direct", 0xaf6bbb7952b0ba64),
+    ("independent/ovl/locbs-direct", 0x9588bddb0d89f255),
+    ("independent/noovl/locbs-direct", 0x9588bddb0d89f255),
+    ("synthetic/ovl/locbs-direct", 0xe96b39a1b4874a63),
+    ("synthetic/noovl/locbs-direct", 0x1bf08da4a0f6065c),
+    ("strassen/ovl/locbs-direct", 0x7e027bda24fea542),
+    ("strassen/noovl/locbs-direct", 0xb4dd641179a8d888),
+    ("ccsd_t1/ovl/locbs-direct", 0xede3d0914594410a),
+    ("ccsd_t1/noovl/locbs-direct", 0x783909ac63a4a579),
+];
+
+fn check(actual: Vec<(String, u64)>, golden: &[(&str, u64)]) {
+    assert_eq!(
+        actual.len(),
+        golden.len(),
+        "case count drifted — regenerate the table"
+    );
+    for ((name, fp), (gname, gfp)) in actual.iter().zip(golden) {
+        assert_eq!(name, gname, "case order drifted — regenerate the table");
+        assert_eq!(
+            *fp, *gfp,
+            "{name}: schedule is no longer bit-identical to the seed implementation"
+        );
+    }
+}
+
+#[test]
+fn locmps_schedules_match_seed_fingerprints() {
+    check(locmps_cases(), LOCMPS_GOLDEN);
+}
+
+#[test]
+fn locbs_placements_match_seed_fingerprints() {
+    check(locbs_cases(), LOCBS_GOLDEN);
+}
+
+/// Buffer reuse must be invisible: `run_into` with one schedule-DAG and one
+/// scratch carried across repeated invocations has to serialize to exactly
+/// the bytes a fresh `run` produces, on every zoo workload.
+#[test]
+fn reused_scratch_serializes_identically_across_zoo() {
+    for (wname, g) in workloads() {
+        for (cname, cluster) in [
+            ("ovl", Cluster::new(7, 50.0)),
+            ("noovl", Cluster::new(7, 50.0).without_overlap()),
+        ] {
+            let model = CommModel::new(&cluster);
+            let locbs = Locbs::new(model, LocbsOptions::default());
+            let alloc = mixed_alloc(&g, cluster.n_procs);
+            let fresh = locbs.run(&g, &alloc).expect("zoo places");
+            let mut dag = g.clone();
+            let mut scratch = LocbsScratch::new();
+            for round in 0..3 {
+                let (schedule, makespan) = locbs
+                    .run_into(&mut dag, &alloc, &mut scratch)
+                    .expect("zoo places");
+                assert_eq!(
+                    serde_json::to_string(&schedule).unwrap(),
+                    serde_json::to_string(&fresh.schedule).unwrap(),
+                    "{wname}/{cname} round {round}: scratch reuse changed the schedule bytes"
+                );
+                assert_eq!(makespan, fresh.makespan, "{wname}/{cname} round {round}");
+            }
+            assert_eq!(
+                dag, fresh.schedule_dag,
+                "{wname}/{cname}: schedule-DAG drifted"
+            );
+        }
+    }
+}

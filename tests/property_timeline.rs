@@ -1,0 +1,142 @@
+//! Property tests pinning the incrementally maintained timeline (sorted
+//! event list + scratch free-set buffers) to a straight re-implementation
+//! of the seed algorithm: per-query gather-and-sort of candidate ends and
+//! freshly allocated free sets.
+//!
+//! Time scales are kept where the length-bounded booking tolerance equals
+//! the seed's purely relative one (durations ≥ 1, times ≪ 1e6), so the two
+//! implementations must agree *exactly* on every query after every random
+//! gated occupy sequence.
+
+use locmps::core::schedule::time_eps;
+use locmps::core::timeline::Timeline;
+use locmps::platform::{ProcId, ProcSet};
+use proptest::prelude::*;
+
+/// The seed implementation, verbatim: one vector of busy intervals per
+/// processor, candidates re-gathered and sorted per query.
+struct RefTimeline {
+    busy: Vec<Vec<(f64, f64)>>,
+}
+
+impl RefTimeline {
+    fn new(n_procs: usize) -> Self {
+        Self {
+            busy: vec![Vec::new(); n_procs],
+        }
+    }
+
+    fn is_free(&self, p: ProcId, start: f64, finish: f64) -> bool {
+        let eps = time_eps(finish);
+        let intervals = &self.busy[p as usize];
+        let idx = intervals.partition_point(|iv| iv.1 <= start + eps);
+        match intervals.get(idx) {
+            Some(&(s, _)) => s + eps >= finish,
+            None => true,
+        }
+    }
+
+    fn occupy(&mut self, procs: &ProcSet, start: f64, finish: f64) {
+        for p in procs.iter() {
+            let intervals = &mut self.busy[p as usize];
+            let idx = intervals.partition_point(|iv| iv.0 < start);
+            intervals.insert(idx, (start, finish));
+        }
+    }
+
+    fn free_set(&self, start: f64, finish: f64) -> Vec<ProcId> {
+        (0..self.busy.len() as ProcId)
+            .filter(|&p| self.is_free(p, start, finish))
+            .collect()
+    }
+
+    fn last_free_time(&self, p: ProcId) -> f64 {
+        self.busy[p as usize].last().map_or(0.0, |iv| iv.1)
+    }
+
+    fn candidate_times(&self, after: f64) -> Vec<f64> {
+        let mut times = vec![after];
+        for intervals in &self.busy {
+            for &(_, end) in intervals {
+                if end > after {
+                    times.push(end);
+                }
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        times.dedup_by(|a, b| (*a - *b).abs() <= time_eps(*a));
+        times
+    }
+}
+
+fn proc_subset(mask: u64, n_procs: usize) -> ProcSet {
+    let mut s = ProcSet::new();
+    for p in 0..n_procs {
+        if mask & (1 << p) != 0 {
+            s.insert(p as ProcId);
+        }
+    }
+    if s.is_empty() {
+        s.insert((mask % n_procs as u64) as ProcId);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn event_list_timeline_matches_seed_reference(
+        n_procs in 2usize..10,
+        ops in proptest::collection::vec(
+            (any::<u64>(), 0.0..500.0f64, 1.0..50.0f64),
+            1..40,
+        ),
+    ) {
+        let mut tl = Timeline::new(n_procs);
+        let mut reference = RefTimeline::new(n_procs);
+        let mut scratch = ProcSet::new();
+
+        for (mask, start, dur) in ops {
+            let procs = proc_subset(mask, n_procs);
+            let finish = start + dur;
+
+            // The implementations must agree on freeness before booking...
+            for p in procs.iter() {
+                prop_assert_eq!(
+                    tl.is_free(p, start, finish),
+                    reference.is_free(p, start, finish),
+                    "is_free(p{}, {}, {})", p, start, finish
+                );
+            }
+            // ...and only conflict-free bookings are applied (occupy panics
+            // on overlap by design).
+            if procs.iter().all(|p| tl.is_free(p, start, finish)) {
+                tl.occupy(&procs, start, finish);
+                reference.occupy(&procs, start, finish);
+            }
+
+            // Candidate enumeration: full, from a booking end, and cut off
+            // at a horizon, against the gather-and-sort reference.
+            for after in [0.0, start, finish, 250.0] {
+                let expect = reference.candidate_times(after);
+                prop_assert_eq!(&tl.candidate_times(after), &expect);
+                for horizon in [after, 100.0, f64::INFINITY] {
+                    let cut: Vec<f64> =
+                        expect.iter().copied().filter(|&c| c < horizon).collect();
+                    prop_assert_eq!(&tl.candidate_times_below(after, horizon), &cut);
+                }
+            }
+
+            // Free sets through the reused scratch buffer.
+            for (ws, wf) in [(start, finish), (0.0, 600.0), (finish, finish + 10.0)] {
+                tl.free_set_into(ws, wf, &mut scratch);
+                prop_assert_eq!(&scratch.to_vec(), &reference.free_set(ws, wf));
+                prop_assert_eq!(&tl.free_set(ws, wf), &scratch);
+            }
+            for p in 0..n_procs as ProcId {
+                prop_assert_eq!(tl.last_free_time(p), reference.last_free_time(p));
+            }
+        }
+    }
+}

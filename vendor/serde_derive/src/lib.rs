@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` facade without `syn`/`quote`: the input item is parsed
+//! by a small hand-rolled token walker that understands exactly the shapes
+//! this workspace uses — named-field structs, tuple structs, and enums with
+//! unit / newtype / tuple / struct variants (externally tagged, matching
+//! real serde's default representation). Generics and `#[serde(...)]`
+//! attributes are intentionally unsupported and fail loudly at compile
+//! time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — arity only.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (vendored facade).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_serialize(&p).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (vendored facade).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_deserialize(&p).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token stream parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = ident_at(&tokens, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("expected type name")?;
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in: generic type `{name}` is unsupported"
+        ));
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err("unsupported struct body".into()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("expected enum body".into()),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside `<...>` nesting.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            ident_at(&part, i).ok_or_else(|| "expected field name".to_string())
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            let name = ident_at(&part, i).ok_or("expected variant name")?;
+            i += 1;
+            let kind = match part.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream())?)
+                }
+                _ => return Err(format!("unsupported variant shape for `{name}`")),
+            };
+            Ok(Variant { name, kind })
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Object(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(obj, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(a.get({i}).ok_or_else(|| ::serde::DeError::expected(\"tuple element\"))?)?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{})",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(a.get({i}).ok_or_else(|| ::serde::DeError::expected(\"variant element\"))?)?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let a = inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array variant\"))?; ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(obj, {f:?})?)?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let obj = inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"struct variant\"))?; ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{ {unit}\n _ => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown {name} variant `{{s}}`\"))) }},\n\
+                   ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                     let (tag, inner) = &m[0];\n\
+                     match tag.as_str() {{ {tagged}\n _ => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown {name} variant `{{tag}}`\"))) }}\n\
+                   }},\n\
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\")),\n\
+                 }}",
+                unit = if unit_arms.is_empty() { String::new() } else { unit_arms.join(",\n ") + "," },
+                tagged = if tagged_arms.is_empty() { String::new() } else { tagged_arms.join(",\n ") + "," },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+}

@@ -1,0 +1,406 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Renders the vendored `serde::Value` tree to JSON text and parses JSON
+//! text back into it. Floats print through Rust's `Display`, which is
+//! shortest-round-trip since Rust 1.0 — the real crate's `float_roundtrip`
+//! feature is therefore always on.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+/// Never fails for the value shapes this workspace produces; the `Result`
+/// mirrors the real crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+///
+/// # Errors
+/// Never fails for the value shapes this workspace produces.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+/// Reports syntax errors and shape mismatches with a position-free message
+/// (this stand-in keeps no span information).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+// ------------------------------------------------------------- rendering
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(items.iter(), out, indent, depth, ('[', ']'), write_value),
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            out,
+            indent,
+            depth,
+            ('{', '}'),
+            |(k, val), out, indent, depth| {
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    items: I,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(I::Item, &mut String, Option<usize>, usize),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(item, out, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        if !empty {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Infinity
+        return;
+    }
+    let s = f.to_string();
+    out.push_str(&s);
+    // Keep the number recognizably floating-point (serde_json does too).
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error(format!("trailing input at byte {}", self.pos)));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".into()))?
+        {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'n' => self.parse_keyword("null", Value::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let c = str_next_char(rest).ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(s),
+                '\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error(format!("invalid number at byte {start}")));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<i64>() {
+                    return Ok(Value::Int(-n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+/// Decodes the first UTF-8 character of `bytes` (the parser only lands on
+/// character boundaries, so the leading byte determines the width).
+fn str_next_char(bytes: &[u8]) -> Option<char> {
+    let width = match *bytes.first()? {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    };
+    std::str::from_utf8(bytes.get(..width)?)
+        .ok()?
+        .chars()
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("A \"quoted\"\nline".into())),
+            (
+                "words".into(),
+                Value::Array(vec![Value::UInt(u64::MAX), Value::Int(-3)]),
+            ),
+            ("x".into(), Value::Float(0.1)),
+            ("flag".into(), Value::Bool(true)),
+            ("nothing".into(), Value::Null),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e300, 5e-324, -2.5, 12.5] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "{s}");
+        }
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let words: Vec<u64> = vec![u64::MAX, 1 << 63, 0];
+        let s = to_string(&words).unwrap();
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+}
