@@ -1,0 +1,301 @@
+//! The diagnostic vocabulary: [`Severity`], [`Diagnostic`], [`Report`] and
+//! the text/JSON renderers shared by every analyzer in this crate.
+
+use serde::{Serialize, Value};
+
+/// How serious a diagnostic is.
+///
+/// Ordered so that `Info < Warn < Error`; [`Report::max_severity`] relies on
+/// this ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Purely informational: metrics and observations, never a defect.
+    Info,
+    /// Suspicious but not provably wrong; `--deny-warnings` promotes these
+    /// to failures.
+    Warn,
+    /// A violated invariant: the input or schedule is definitely broken.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a stable code, a severity, the subject it is about and a
+/// human-readable message, plus machine-readable key/value details.
+///
+/// Codes are grouped by family: `LM0xx` lint the *input* (task graph,
+/// profiles, cluster), `LM1xx` lint a *schedule* against its graph and
+/// communication model, `LM2xx` report schedule *performance* metrics. The
+/// full catalogue lives in `docs/DIAGNOSTICS.md` and [`crate::codes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `"LM105"`.
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// What the finding is about, e.g. `"t3"`, `"edge t1->t4"`, `"graph"`.
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Machine-readable details (insertion order preserved in JSON).
+    pub data: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no extra data.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Attaches one key/value detail (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.data.push((key.into(), value.to_string()));
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.subject, self.message
+        )?;
+        if !self.data.is_empty() {
+            write!(f, " (")?;
+            for (i, (k, v)) in self.data.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".into(), Value::Str(self.code.into())),
+            ("severity".into(), Value::Str(self.severity.as_str().into())),
+            ("subject".into(), Value::Str(self.subject.clone())),
+            ("message".into(), Value::Str(self.message.clone())),
+            (
+                "data".into(),
+                Value::Object(
+                    self.data
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// An ordered collection of diagnostics: what an analyzer returns.
+///
+/// Unlike `Schedule::validate`, which stops at the first violation,
+/// analyzers collect *every* finding into a report so one run paints the
+/// complete picture.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics, in the order the analyzers emitted them.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the report has no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Whether any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// The most severe level present, if any diagnostic exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// All diagnostics carrying `code`.
+    pub fn by_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Whether any diagnostic carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.by_code(code).next().is_some()
+    }
+
+    /// Renders the report as human-readable text, one line per diagnostic,
+    /// followed by a summary line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            writeln!(out, "{d}").unwrap();
+        }
+        writeln!(
+            out,
+            "{} error(s), {} warning(s), {} info(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+        .unwrap();
+        out
+    }
+
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "diagnostics".into(),
+                Value::Array(self.diagnostics.iter().map(|d| d.to_value()).collect()),
+            ),
+            (
+                "errors".into(),
+                Value::UInt(self.count(Severity::Error) as u64),
+            ),
+            (
+                "warnings".into(),
+                Value::UInt(self.count(Severity::Warn) as u64),
+            ),
+            (
+                "infos".into(),
+                Value::UInt(self.count(Severity::Info) as u64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_code_subject_and_data() {
+        let d = Diagnostic::new("LM105", Severity::Error, "edge t1->t2", "violated")
+            .with("required", 12.5)
+            .with("actual", 10.0);
+        let s = d.to_string();
+        assert!(s.starts_with("error[LM105] edge t1->t2: violated"));
+        assert!(s.contains("required=12.5"));
+        assert!(s.contains("actual=10"));
+    }
+
+    #[test]
+    fn report_counts_and_max_severity() {
+        let mut r = Report::new();
+        assert!(r.is_empty());
+        assert_eq!(r.max_severity(), None);
+        r.push(Diagnostic::new("LM200", Severity::Info, "schedule", "m"));
+        r.push(Diagnostic::new("LM012", Severity::Warn, "t0", "m"));
+        assert!(!r.has_errors());
+        assert_eq!(r.max_severity(), Some(Severity::Warn));
+        r.push(Diagnostic::new("LM101", Severity::Error, "t1", "m"));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert!(r.has_code("LM101"));
+        assert!(!r.has_code("LM999"));
+    }
+
+    #[test]
+    fn renderers_produce_text_and_json() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new("LM101", Severity::Error, "t1", "never scheduled").with("task", 1));
+        let text = r.render_text();
+        assert!(text.contains("error[LM101] t1: never scheduled"));
+        assert!(text.contains("1 error(s), 0 warning(s), 0 info(s)"));
+        let json = r.to_json();
+        assert!(json.contains("\"code\""));
+        assert!(json.contains("LM101"));
+        assert!(json.contains("\"errors\": 1"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Diagnostic::new("LM001", Severity::Error, "graph", "empty"));
+        let mut b = Report::new();
+        b.push(Diagnostic::new("LM200", Severity::Info, "schedule", "u"));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+}

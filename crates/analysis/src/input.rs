@@ -1,0 +1,313 @@
+//! The input linter (`LM0xx`): structural checks on the task graph plus
+//! numeric sanity checks on every task's speedup profile over the cluster's
+//! processor range.
+
+use locmps_platform::Cluster;
+use locmps_speedup::SpeedupModel;
+use locmps_taskgraph::{EdgeKind, GraphError, TaskGraph};
+
+use crate::codes;
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// Relative slack for the profile monotonicity/area checks: real profiles
+/// are smooth, so anything beyond one part in 10^9 is a genuine reversal,
+/// not rounding noise.
+const PROFILE_EPS: f64 = 1e-9;
+
+/// Lints a task graph and its execution profiles against `cluster`.
+///
+/// Structural checks (`LM001`–`LM006`) look at the DAG itself; profile
+/// checks (`LM010`–`LM014`) evaluate every task's `et(p)` over
+/// `p = 1..=cluster.n_procs`. The returned [`Report`] collects *all*
+/// findings; an input is schedulable by the algorithms in this workspace iff
+/// the report carries no [`Severity::Error`].
+pub fn lint_input(g: &TaskGraph, cluster: &Cluster) -> Report {
+    let mut report = Report::new();
+    if g.n_tasks() == 0 {
+        report.push(Diagnostic::new(
+            codes::EMPTY_GRAPH,
+            Severity::Error,
+            "graph",
+            "graph has no tasks",
+        ));
+        return report;
+    }
+    if g.topo_order() == Err(GraphError::Cycle) {
+        report.push(Diagnostic::new(
+            codes::CYCLE,
+            Severity::Error,
+            "graph",
+            "graph contains a directed cycle",
+        ));
+    }
+    lint_edges(g, &mut report);
+    lint_isolated(g, &mut report);
+    for t in g.task_ids() {
+        lint_profile(g, t, cluster.n_procs, &mut report);
+    }
+    report
+}
+
+fn lint_edges(g: &TaskGraph, report: &mut Report) {
+    let mut seen = std::collections::HashSet::new();
+    for (_, e) in g.edges() {
+        let subject = format!("edge {}->{}", e.src, e.dst);
+        if e.src == e.dst {
+            report.push(Diagnostic::new(
+                codes::SELF_LOOP,
+                Severity::Error,
+                subject.clone(),
+                "self-loop: a task cannot depend on itself",
+            ));
+        }
+        if e.kind == EdgeKind::Data && !seen.insert((e.src, e.dst)) {
+            report.push(Diagnostic::new(
+                codes::DUPLICATE_EDGE,
+                Severity::Error,
+                subject.clone(),
+                "duplicate data edge between the same ordered pair",
+            ));
+        }
+        if !e.volume.is_finite() || e.volume < 0.0 {
+            report.push(
+                Diagnostic::new(
+                    codes::BAD_VOLUME,
+                    Severity::Error,
+                    subject,
+                    "edge volume must be finite and >= 0",
+                )
+                .with("volume", e.volume),
+            );
+        }
+    }
+}
+
+fn lint_isolated(g: &TaskGraph, report: &mut Report) {
+    if g.n_tasks() < 2 {
+        return; // a single task is trivially "isolated" — not a finding
+    }
+    for t in g.task_ids() {
+        if g.in_degree(t) == 0 && g.out_degree(t) == 0 {
+            report.push(Diagnostic::new(
+                codes::ISOLATED_TASK,
+                Severity::Info,
+                t.to_string(),
+                "task has no edges: it constrains nothing and nothing constrains it",
+            ));
+        }
+    }
+}
+
+fn lint_profile(g: &TaskGraph, t: locmps_taskgraph::TaskId, n_procs: usize, report: &mut Report) {
+    let profile = &g.task(t).profile;
+    let subject = t.to_string();
+
+    if let Err(e) = profile.validate() {
+        report.push(Diagnostic::new(
+            codes::INVALID_MODEL,
+            Severity::Error,
+            subject.clone(),
+            format!("profile fails model validation: {e}"),
+        ));
+        return; // et(p) evaluations of an invalid model are meaningless
+    }
+
+    let times: Vec<f64> = (1..=n_procs).map(|p| profile.time(p)).collect();
+    let mut numeric_ok = true;
+    for (i, &et) in times.iter().enumerate() {
+        let p = i + 1;
+        if !et.is_finite() {
+            report.push(
+                Diagnostic::new(
+                    codes::INVALID_MODEL,
+                    Severity::Error,
+                    subject.clone(),
+                    format!("execution time et({p}) is not finite"),
+                )
+                .with("p", p)
+                .with("et", et),
+            );
+            numeric_ok = false;
+        } else if et <= 0.0 {
+            report.push(
+                Diagnostic::new(
+                    codes::ZERO_WORK,
+                    Severity::Error,
+                    subject.clone(),
+                    format!("execution time et({p}) is not positive (zero-work task)"),
+                )
+                .with("p", p)
+                .with("et", et),
+            );
+            numeric_ok = false;
+        }
+    }
+    if !numeric_ok {
+        return; // shape checks below assume a numerically sane curve
+    }
+
+    // Execution time should not grow with processors beyond rounding noise.
+    // U-shaped curves (e.g. overhead models past Pbest) are legitimate but
+    // worth flagging: allocations above the reversal point waste both time
+    // and processors.
+    if let Some(p) = (1..times.len()).find(|&i| times[i] > times[i - 1] * (1.0 + PROFILE_EPS)) {
+        report.push(
+            Diagnostic::new(
+                codes::NON_MONOTONE_TIME,
+                Severity::Warn,
+                subject.clone(),
+                format!(
+                    "execution time increases from et({p}) to et({}): \
+                     allocations beyond p={p} slow the task down",
+                    p + 1
+                ),
+            )
+            .with("p", p)
+            .with("et_p", times[p - 1])
+            .with("et_p1", times[p]),
+        );
+    }
+
+    // Processor-time area p * et(p) should be non-decreasing (speedup at
+    // most linear); a shrinking area means superlinear speedup, which is
+    // almost always a profile-measurement artifact.
+    if let Some(p) = (1..times.len())
+        .find(|&i| (i as f64 + 1.0) * times[i] < (i as f64) * times[i - 1] * (1.0 - PROFILE_EPS))
+    {
+        report.push(
+            Diagnostic::new(
+                codes::SUPERLINEAR_SPEEDUP,
+                Severity::Warn,
+                subject.clone(),
+                format!(
+                    "processor-time area shrinks from p={p} to p={}: \
+                     superlinear speedup is usually a measurement artifact",
+                    p + 1
+                ),
+            )
+            .with("p", p),
+        );
+    }
+
+    // A Downey task with A > P can never reach its saturation speedup on
+    // this machine — harmless, but useful when sizing experiments.
+    let downey_a = match profile.model() {
+        SpeedupModel::Downey(d) => Some(d.a),
+        SpeedupModel::WithOverhead { inner, .. } => match inner.as_ref() {
+            SpeedupModel::Downey(d) => Some(d.a),
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(a) = downey_a {
+        if a > n_procs as f64 {
+            report.push(
+                Diagnostic::new(
+                    codes::UNSATURATED_DOWNEY,
+                    Severity::Info,
+                    subject,
+                    format!("Downey A = {a:.1} exceeds the machine size P = {n_procs}"),
+                )
+                .with("a", a)
+                .with("n_procs", n_procs),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+    use locmps_taskgraph::TaskGraphSpec;
+
+    fn cluster() -> Cluster {
+        Cluster::new(8, 12.5)
+    }
+
+    fn chain() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(5.0));
+        g.add_edge(a, b, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn clean_graph_yields_no_errors() {
+        let r = lint_input(&chain(), &cluster());
+        assert!(!r.has_errors(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn empty_graph_is_lm001() {
+        let r = lint_input(&TaskGraph::new(), &cluster());
+        assert!(r.has_code(codes::EMPTY_GRAPH));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn cycle_is_lm002() {
+        let mut g = chain();
+        g.add_edge(
+            locmps_taskgraph::TaskId(1),
+            locmps_taskgraph::TaskId(0),
+            0.0,
+        )
+        .unwrap();
+        let r = lint_input(&g, &cluster());
+        assert!(r.has_code(codes::CYCLE));
+    }
+
+    #[test]
+    fn isolated_task_is_info_lm006() {
+        let mut g = chain();
+        g.add_task("loner", ExecutionProfile::linear(2.0));
+        let r = lint_input(&g, &cluster());
+        assert!(r.has_code(codes::ISOLATED_TASK));
+        assert!(!r.has_errors());
+        // A single-task graph is not flagged.
+        let mut solo = TaskGraph::new();
+        solo.add_task("only", ExecutionProfile::linear(1.0));
+        assert!(!lint_input(&solo, &cluster()).has_code(codes::ISOLATED_TASK));
+    }
+
+    #[test]
+    fn invalid_model_is_lm010_family() {
+        // Smuggle an invalid Amdahl fraction through serde.
+        let json = r#"{
+            "tasks": [{"name": "a", "profile": {"seq_time": 1.0,
+                "model": {"Amdahl": {"serial_fraction": 3.0}}}}],
+            "edges": []
+        }"#;
+        let spec: TaskGraphSpec = serde_json::from_str(json).unwrap();
+        let mut g = TaskGraph::new();
+        for t in &spec.tasks {
+            g.add_task(t.name.clone(), t.profile.clone());
+        }
+        let r = lint_input(&g, &cluster());
+        assert!(r.has_code(codes::INVALID_MODEL), "{}", r.render_text());
+    }
+
+    #[test]
+    fn u_shaped_profile_warns_lm012() {
+        let mut g = TaskGraph::new();
+        let m = locmps_speedup::SpeedupModel::Linear
+            .with_overhead(0.2)
+            .unwrap();
+        g.add_task("u", ExecutionProfile::new(10.0, m).unwrap());
+        let r = lint_input(&g, &cluster());
+        assert!(r.has_code(codes::NON_MONOTONE_TIME), "{}", r.render_text());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn downey_a_above_p_is_info_lm014() {
+        let mut g = TaskGraph::new();
+        let m = locmps_speedup::SpeedupModel::downey(64.0, 1.0).unwrap();
+        g.add_task("wide", ExecutionProfile::new(10.0, m).unwrap());
+        let r = lint_input(&g, &cluster());
+        assert!(r.has_code(codes::UNSATURATED_DOWNEY));
+        assert!(!r.has_errors());
+    }
+}

@@ -1,0 +1,103 @@
+//! Static diagnostics for the LoC-MPS workspace: lint task graphs, speedup
+//! profiles and schedules, reporting *every* finding with a stable `LMxxx`
+//! code instead of stopping at the first error.
+//!
+//! Three code families (catalogued in `docs/DIAGNOSTICS.md`):
+//!
+//! * `LM0xx` — input lints ([`input::lint_input`]) over a
+//!   [`TaskGraph`](locmps_taskgraph::TaskGraph) + profiles +
+//!   [`Cluster`](locmps_platform::Cluster);
+//! * `LM1xx` — schedule correctness, an exhaustive generalization of
+//!   `Schedule::validate` ([`sched::analyze_schedule`]);
+//! * `LM2xx` — schedule performance observations (utilization, locality,
+//!   idle gaps), always [`Severity::Info`].
+//!
+//! # Examples
+//! ```
+//! use locmps_analysis::{analyze_schedule, lint_input};
+//! use locmps_core::{CommModel, LocMps, Scheduler};
+//! use locmps_platform::Cluster;
+//! use locmps_speedup::ExecutionProfile;
+//! use locmps_taskgraph::TaskGraph;
+//!
+//! let mut g = TaskGraph::new();
+//! let a = g.add_task("a", ExecutionProfile::linear(10.0));
+//! let b = g.add_task("b", ExecutionProfile::linear(5.0));
+//! g.add_edge(a, b, 20.0).unwrap();
+//! let cluster = Cluster::new(4, 12.5);
+//!
+//! let lint = lint_input(&g, &cluster);
+//! assert!(!lint.has_errors());
+//!
+//! let out = LocMps::default().schedule(&g, &cluster).unwrap();
+//! let report = analyze_schedule(&out.schedule, &g, &CommModel::new(&cluster));
+//! assert!(!report.has_errors(), "{}", report.render_text());
+//! ```
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod input;
+pub mod sched;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use input::lint_input;
+pub use sched::analyze_schedule;
+
+/// The stable diagnostic codes, one constant per `LMxxx` code.
+///
+/// Codes are part of the public interface: scripts match on them, so a code
+/// is never renumbered or reused. New checks get new numbers.
+pub mod codes {
+    /// `LM001` (Error): the graph has no tasks.
+    pub const EMPTY_GRAPH: &str = "LM001";
+    /// `LM002` (Error): the graph contains a directed cycle.
+    pub const CYCLE: &str = "LM002";
+    /// `LM003` (Error): a task depends on itself.
+    pub const SELF_LOOP: &str = "LM003";
+    /// `LM004` (Error): two data edges connect the same ordered pair.
+    pub const DUPLICATE_EDGE: &str = "LM004";
+    /// `LM005` (Error): an edge volume is negative or not finite.
+    pub const BAD_VOLUME: &str = "LM005";
+    /// `LM006` (Info): a task has neither predecessors nor successors.
+    pub const ISOLATED_TASK: &str = "LM006";
+    /// `LM010` (Error): a profile fails model validation or yields a
+    /// non-finite execution time for some `p` in `1..=P`.
+    pub const INVALID_MODEL: &str = "LM010";
+    /// `LM011` (Error): `et(p)` is zero or negative for some `p`.
+    pub const ZERO_WORK: &str = "LM011";
+    /// `LM012` (Warn): `et(p)` increases with `p` somewhere in `1..=P`.
+    pub const NON_MONOTONE_TIME: &str = "LM012";
+    /// `LM013` (Warn): processor-time area `p·et(p)` shrinks with `p`
+    /// (superlinear speedup).
+    pub const SUPERLINEAR_SPEEDUP: &str = "LM013";
+    /// `LM014` (Info): a Downey profile's `A` exceeds the machine size.
+    pub const UNSATURATED_DOWNEY: &str = "LM014";
+    /// `LM101` (Error): a graph task has no schedule entry.
+    pub const UNSCHEDULED: &str = "LM101";
+    /// `LM102` (Error): a task uses a processor outside the cluster.
+    pub const PROC_OUT_OF_RANGE: &str = "LM102";
+    /// `LM103` (Error): a task has an empty processor set.
+    pub const EMPTY_PROCSET: &str = "LM103";
+    /// `LM104` (Error): timing fields are inconsistent.
+    pub const BAD_TIMING: &str = "LM104";
+    /// `LM105` (Error): an edge's precedence/redistribution constraint is
+    /// violated.
+    pub const PRECEDENCE_VIOLATED: &str = "LM105";
+    /// `LM106` (Error): two tasks occupy the same processor at once.
+    pub const DOUBLE_BOOKING: &str = "LM106";
+    /// `LM107` (Error): a communication window is shorter than the inbound
+    /// redistribution it must hold (no-overlap regime).
+    pub const COMM_WINDOW_TOO_SHORT: &str = "LM107";
+    /// `LM109` (Error): a schedule entry references a task not in the graph.
+    pub const STRAY_ENTRY: &str = "LM109";
+    /// `LM110` (Error): the makespan is below the critical path of the
+    /// realized schedule (impossible timestamps).
+    pub const MAKESPAN_BELOW_BOUND: &str = "LM110";
+    /// `LM200` (Info): utilization of the processors × makespan rectangle.
+    pub const UTILIZATION: &str = "LM200";
+    /// `LM201` (Info): fraction of data edges (and volume) delivered to
+    /// processors that already hold the producer's data.
+    pub const LOCALITY: &str = "LM201";
+    /// `LM202` (Info): idle-gap accounting per processor.
+    pub const IDLE_GAPS: &str = "LM202";
+}

@@ -62,7 +62,7 @@ impl Scheduler for Cpa {
                         let prof = &g.task(t).profile;
                         prof.time(np) / np as f64 - prof.time(np + 1) / (np + 1) as f64
                     };
-                    gain(a).partial_cmp(&gain(b)).unwrap().then(b.cmp(&a))
+                    gain(a).total_cmp(&gain(b)).then(b.cmp(&a))
                 });
             let Some(t) = candidate else { break };
             // A non-positive gain for the *best* candidate means widening

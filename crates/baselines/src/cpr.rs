@@ -59,8 +59,7 @@ impl Scheduler for Cpr {
                     g.task(a)
                         .profile
                         .gain(alloc.np(a))
-                        .partial_cmp(&g.task(b).profile.gain(alloc.np(b)))
-                        .unwrap()
+                        .total_cmp(&g.task(b).profile.gain(alloc.np(b)))
                         .then(b.cmp(&a))
                 });
             let Some(t) = candidate else { break };

@@ -20,6 +20,7 @@
 //! (no backfilling, no data-locality subset selection), exactly the
 //! distinction the paper draws in §IV ("they do not use a locality aware
 //! scheduling algorithm").
+#![deny(missing_docs)]
 
 pub mod cpa;
 pub mod cpr;

@@ -76,8 +76,7 @@ impl PlainListScheduler {
                 .enumerate()
                 .max_by(|(_, a), (_, b)| {
                     levels.bottom[a.index()]
-                        .partial_cmp(&levels.bottom[b.index()])
-                        .unwrap()
+                        .total_cmp(&levels.bottom[b.index()])
                         .then(b.cmp(a))
                 })
                 .map(|(i, _)| i)
@@ -87,12 +86,7 @@ impl PlainListScheduler {
 
             // Earliest-available np processors, oblivious to data location.
             let mut procs: Vec<u32> = (0..cluster.n_procs as u32).collect();
-            procs.sort_by(|&a, &b| {
-                eat[a as usize]
-                    .partial_cmp(&eat[b as usize])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
+            procs.sort_by(|&a, &b| eat[a as usize].total_cmp(&eat[b as usize]).then(a.cmp(&b)));
             let chosen: ProcSet = procs.into_iter().take(np).collect();
 
             let est = g

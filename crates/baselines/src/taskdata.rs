@@ -55,8 +55,7 @@ impl Scheduler for DataParallel {
         // bottom level strictly exceeds its successors' along every path).
         order.sort_by(|a, b| {
             levels.bottom[b.index()]
-                .partial_cmp(&levels.bottom[a.index()])
-                .unwrap()
+                .total_cmp(&levels.bottom[a.index()])
                 .then(a.cmp(b))
         });
         let all: ProcSet = ProcSet::all(p);

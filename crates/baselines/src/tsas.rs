@@ -99,7 +99,7 @@ impl Scheduler for Tsas {
                             let prof = &g.task(t).profile;
                             prof.time_cont(x[t.index()]) - prof.time_cont(x[t.index()] + self.step)
                         };
-                        gain(a).partial_cmp(&gain(b)).unwrap().then(b.cmp(&a))
+                        gain(a).total_cmp(&gain(b)).then(b.cmp(&a))
                     });
                 let Some(t) = candidate else { break };
                 let prof = &g.task(t).profile;
@@ -130,7 +130,7 @@ impl Scheduler for Tsas {
                             xi * prof.time_cont(xi)
                                 - (xi - self.step) * prof.time_cont(xi - self.step)
                         };
-                        saved(a).partial_cmp(&saved(b)).unwrap().then(b.cmp(&a))
+                        saved(a).total_cmp(&saved(b)).then(b.cmp(&a))
                     });
                 let Some(t) = candidate else { break };
                 let xi = x[t.index()];

@@ -88,7 +88,7 @@ fn synthetic_relperf_table(
     };
     for p in ctx.procs() {
         let cluster = Cluster::fast_ethernet(p);
-        let results = run_suite(suite, &cluster, kinds, None);
+        let results = run_suite(suite, &cluster, kinds, None, true);
         let rel = relative_performance(&results);
         let mut row = vec![p.to_string()];
         row.extend(rel.iter().map(|(_, v)| fmt(*v)));
@@ -147,7 +147,7 @@ pub fn fig6(ctx: &ExperimentCtx) -> Vec<Table> {
     );
     for p in ctx.procs() {
         let cluster = Cluster::fast_ethernet(p);
-        let results = run_suite(&suite, &cluster, &kinds, None);
+        let results = run_suite(&suite, &cluster, &kinds, None, true);
         let rel = relative_performance(&results);
         perf.push_row(vec![p.to_string(), fmt(rel[0].1), fmt(rel[1].1)]);
         times.push_row(vec![
@@ -180,7 +180,7 @@ fn app_relperf_table(
     let graphs = [g.clone()];
     for p in ctx.procs() {
         let cluster = make_cluster(p);
-        let results = run_suite(&graphs, &cluster, &kinds, None);
+        let results = run_suite(&graphs, &cluster, &kinds, None, true);
         let rel = relative_performance(&results);
         let mut row = vec![p.to_string()];
         row.extend(rel.iter().map(|(_, v)| fmt(*v)));
@@ -264,7 +264,7 @@ pub fn fig10(ctx: &ExperimentCtx) -> Vec<Table> {
         let graphs = [g];
         for p in ctx.procs() {
             let cluster = Cluster::myrinet(p);
-            let results = run_suite(&graphs, &cluster, &kinds, None);
+            let results = run_suite(&graphs, &cluster, &kinds, None, true);
             let mut row = vec![p.to_string()];
             row.extend(
                 results
@@ -310,6 +310,7 @@ pub fn fig11(ctx: &ExperimentCtx) -> Vec<Table> {
                     &cluster,
                     &[kind],
                     Some(NoiseModel::mild(seed * 31 + p as u64)),
+                    true,
                 );
                 acc += results[0].runs[0].executed_makespan;
             }

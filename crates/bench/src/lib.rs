@@ -11,6 +11,7 @@
 //! Results are reported as the paper's *relative performance*:
 //! `makespan(LoC-MPS) / makespan(X)`, averaged over a graph suite; values
 //! below 1 mean scheme `X` trails LoC-MPS.
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod report;

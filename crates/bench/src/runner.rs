@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use locmps_baselines::{Cpa, Cpr, DataParallel, TaskParallel, Tsas};
-use locmps_core::{LocMps, LocMpsConfig, Scheduler, SchedulerOutput};
+use locmps_core::{CommModel, LocMps, LocMpsConfig, Scheduler, SchedulerOutput};
 use locmps_platform::Cluster;
 use locmps_sim::{simulate, NoiseModel, SimConfig};
 use locmps_taskgraph::TaskGraph;
@@ -130,11 +130,18 @@ impl SuiteResult {
 
 /// Runs one scheduler on one graph, timing the scheduling call and
 /// replaying the result under the true model (optionally with noise).
+///
+/// With `analyze` set (and no noise — jittered replays legitimately drift
+/// from the deterministic communication model), the as-executed schedule is
+/// passed through [`locmps_analysis::analyze_schedule`] and any
+/// Error-severity diagnostic is a panic: every measurement then comes with
+/// a proof that the schedule it measured was legal.
 pub fn run_one(
     g: &TaskGraph,
     cluster: &Cluster,
     kind: SchedulerKind,
     noise: Option<NoiseModel>,
+    analyze: bool,
 ) -> RunMeasurement {
     let scheduler = kind.build();
     let t0 = Instant::now();
@@ -151,6 +158,24 @@ pub fn run_one(
             locality_aware: kind.locality_aware_runtime(),
         },
     );
+    if analyze && noise.is_none() {
+        // Locality-oblivious runtimes (CPR/CPA/TSAS) pay the *aggregate*
+        // redistribution estimate, which brackets the exact block-cyclic
+        // transfer time from either side — their executed timestamps are
+        // only meaningful under the communication-blind model.
+        let model = if kind.locality_aware_runtime() {
+            CommModel::new(cluster)
+        } else {
+            CommModel::blind(cluster)
+        };
+        let diags = locmps_analysis::analyze_schedule(&report.executed, g, &model);
+        assert!(
+            !diags.has_errors(),
+            "{} produced a diagnostic-dirty schedule:\n{}",
+            kind.name(),
+            diags.render_text()
+        );
+    }
     RunMeasurement {
         planned_makespan: out.makespan(),
         executed_makespan: report.makespan,
@@ -159,19 +184,21 @@ pub fn run_one(
 }
 
 /// Runs a set of schedulers over a suite of graphs on one cluster size.
-/// Graphs are processed in parallel (rayon).
+/// Graphs are processed in parallel (rayon). `analyze` is forwarded to
+/// [`run_one`] for every cell of the suite.
 pub fn run_suite(
     graphs: &[TaskGraph],
     cluster: &Cluster,
     kinds: &[SchedulerKind],
     noise: Option<NoiseModel>,
+    analyze: bool,
 ) -> Vec<SuiteResult> {
     kinds
         .iter()
         .map(|&kind| {
             let runs: Vec<RunMeasurement> = graphs
                 .par_iter()
-                .map(|g| run_one(g, cluster, kind, noise))
+                .map(|g| run_one(g, cluster, kind, noise, analyze))
                 .collect();
             SuiteResult { kind, runs }
         })
@@ -214,7 +241,7 @@ mod tests {
             ..Default::default()
         });
         let cluster = Cluster::new(4, 12.5);
-        let m = run_one(&g, &cluster, SchedulerKind::Cpa, None);
+        let m = run_one(&g, &cluster, SchedulerKind::Cpa, None, true);
         assert!(m.planned_makespan > 0.0);
         assert!(m.executed_makespan > 0.0);
         assert!(m.scheduling_seconds >= 0.0);
@@ -233,7 +260,7 @@ mod tests {
             .collect();
         let cluster = Cluster::new(4, 12.5);
         let kinds = [SchedulerKind::LocMps, SchedulerKind::Data];
-        let results = run_suite(&graphs, &cluster, &kinds, None);
+        let results = run_suite(&graphs, &cluster, &kinds, None, true);
         let rel = relative_performance(&results);
         let loc = rel
             .iter()
@@ -253,7 +280,7 @@ mod tests {
             ..Default::default()
         });
         let cluster = Cluster::new(8, 12.5);
-        let m = run_one(&g, &cluster, SchedulerKind::LocMps, None);
+        let m = run_one(&g, &cluster, SchedulerKind::LocMps, None, true);
         assert!(
             (m.planned_makespan - m.executed_makespan).abs() < 1e-6 * m.executed_makespan.max(1.0),
             "planned {} vs executed {}",

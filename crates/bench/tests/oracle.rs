@@ -103,7 +103,7 @@ fn locmps_stays_close_to_the_exhaustive_optimum() {
         let cluster = Cluster::new(p, 12.5);
         for (idx, g) in small_graphs().into_iter().enumerate() {
             let oracle = brute_force_best(&g, &cluster);
-            let loc = run_one(&g, &cluster, SchedulerKind::LocMps, None).executed_makespan;
+            let loc = run_one(&g, &cluster, SchedulerKind::LocMps, None, true).executed_makespan;
             assert!(
                 loc <= oracle * 1.25 + 1e-9,
                 "graph {idx} on P={p}: LoC-MPS {loc} vs exhaustive best {oracle}"
@@ -127,7 +127,7 @@ fn locmps_matches_the_oracle_on_most_small_instances() {
         let cluster = Cluster::new(p, 12.5);
         for g in small_graphs() {
             let oracle = brute_force_best(&g, &cluster);
-            let loc = run_one(&g, &cluster, SchedulerKind::LocMps, None).executed_makespan;
+            let loc = run_one(&g, &cluster, SchedulerKind::LocMps, None, true).executed_makespan;
             total += 1;
             if loc <= oracle * (1.0 + 1e-9) {
                 hits += 1;
@@ -148,7 +148,7 @@ fn baselines_never_beat_the_oracle() {
         for kind in [SchedulerKind::Task, SchedulerKind::Data] {
             // TASK and DATA use LoCBS-compatible placements, so the
             // exhaustive LoCBS optimum bounds them from below.
-            let ms = run_one(&g, &cluster, kind, None).executed_makespan;
+            let ms = run_one(&g, &cluster, kind, None, true).executed_makespan;
             assert!(
                 ms + 1e-9 >= oracle,
                 "{} found {ms} below the oracle {oracle}",

@@ -27,6 +27,11 @@ commands:
                                   schedule and report makespans
   compare  <graph.json> --procs P [--bandwidth MB/s] [--no-overlap]
                                   run every scheme and compare
+  analyze  <graph.json> --procs P [--algo NAME|all] [--bandwidth MB/s]
+           [--no-overlap] [--json] [--deny-warnings]
+                                  lint the graph and the (as-executed)
+                                  schedule, reporting LMxxx diagnostics;
+                                  exits nonzero on any error diagnostic
 ";
 
 /// Dispatches one invocation.
@@ -39,6 +44,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("svg") => svg(&args),
         Some("schedule") => schedule(&args),
         Some("compare") => compare(&args),
+        Some("analyze") => analyze(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -70,24 +76,57 @@ fn cluster_from(args: &Args) -> Result<Cluster, String> {
 fn generate(args: &Args) -> Result<(), String> {
     let kind = args.positional(1).ok_or("generate needs a workload kind")?;
     let g = match kind {
-        "synthetic" => synthetic_graph(&SyntheticConfig {
-            n_tasks: args.get_or("tasks", 30usize)?,
-            ccr: args.get_or("ccr", 0.0)?,
-            a_max: args.get_or("amax", 64.0)?,
-            sigma: args.get_or("sigma", 1.0)?,
-            seed: args.get_or("seed", 0u64)?,
-            ..Default::default()
-        }),
-        "ccsd" => ccsd_t1_graph(&TceConfig {
-            n_occ: args.get_or("occ", 60usize)?,
-            n_virt: args.get_or("virt", 300usize)?,
-            ..Default::default()
-        }),
-        "strassen" => strassen_graph(&StrassenConfig {
-            n: args.get_or("n", 1024usize)?,
-            levels: args.get_or("levels", 1usize)?,
-            ..Default::default()
-        }),
+        "synthetic" => {
+            let cfg = SyntheticConfig {
+                n_tasks: args.get_or("tasks", 30usize)?,
+                ccr: args.get_or("ccr", 0.0)?,
+                a_max: args.get_or("amax", 64.0)?,
+                sigma: args.get_or("sigma", 1.0)?,
+                seed: args.get_or("seed", 0u64)?,
+                ..Default::default()
+            };
+            if cfg.n_tasks == 0 {
+                return Err("--tasks must be >= 1".into());
+            }
+            if !cfg.ccr.is_finite() || cfg.ccr < 0.0 {
+                return Err("--ccr must be finite and >= 0".into());
+            }
+            if !cfg.a_max.is_finite() || cfg.a_max < 1.0 {
+                return Err("--amax must be finite and >= 1".into());
+            }
+            if !cfg.sigma.is_finite() || cfg.sigma < 0.0 {
+                return Err("--sigma must be finite and >= 0".into());
+            }
+            synthetic_graph(&cfg)
+        }
+        "ccsd" => {
+            let cfg = TceConfig {
+                n_occ: args.get_or("occ", 60usize)?,
+                n_virt: args.get_or("virt", 300usize)?,
+                ..Default::default()
+            };
+            if cfg.n_occ == 0 || cfg.n_virt == 0 {
+                return Err("--occ and --virt must be >= 1".into());
+            }
+            ccsd_t1_graph(&cfg)
+        }
+        "strassen" => {
+            let cfg = StrassenConfig {
+                n: args.get_or("n", 1024usize)?,
+                levels: args.get_or("levels", 1usize)?,
+                ..Default::default()
+            };
+            if cfg.levels == 0 || cfg.levels >= usize::BITS as usize {
+                return Err("--levels must be >= 1 (and sane)".into());
+            }
+            if cfg.n == 0 || !cfg.n.is_multiple_of(1 << cfg.levels) {
+                return Err(format!(
+                    "--n must be a positive multiple of 2^levels (= {})",
+                    1usize << cfg.levels
+                ));
+            }
+            strassen_graph(&cfg)
+        }
         other => return Err(format!("unknown workload {other:?}")),
     };
     println!("{}", g.to_json());
@@ -189,6 +228,77 @@ fn schedule(args: &Args) -> Result<(), String> {
         );
         std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Names accepted by `analyze --algo all`: the paper's six-scheme set.
+const ANALYZE_ALL: [&str; 6] = ["locmps", "icaslb", "cpr", "cpa", "task", "data"];
+
+fn analyze(args: &Args) -> Result<(), String> {
+    use locmps_analysis::{analyze_schedule, lint_input, Severity};
+    use locmps_core::CommModel;
+
+    let g = load_graph(args)?;
+    let cluster = cluster_from(args)?;
+
+    let mut report = lint_input(&g, &cluster);
+
+    let algo = args.option("algo").unwrap_or("locmps").to_string();
+    let algos: Vec<&str> = if algo == "all" {
+        ANALYZE_ALL.to_vec()
+    } else {
+        vec![algo.as_str()]
+    };
+    // Input errors make scheduling pointless; skip it but still report.
+    if !report.has_errors() {
+        for name in algos {
+            let s = scheduler_by_name(name)?;
+            let out = s.schedule(&g, &cluster).map_err(|e| e.to_string())?;
+            let rep = simulate(
+                &g,
+                &cluster,
+                &out,
+                SimConfig {
+                    locality_aware: locality_aware(name),
+                    ..Default::default()
+                },
+            );
+            // Locality-oblivious runtimes execute under the aggregate cost
+            // estimate; their timestamps are only meaningful against the
+            // communication-blind model (see locmps-bench::runner).
+            let model = if locality_aware(name) {
+                CommModel::new(&cluster)
+            } else {
+                CommModel::blind(&cluster)
+            };
+            let sched_report = analyze_schedule(&rep.executed, &g, &model);
+            eprintln!(
+                "analyzed {} schedule: {} diagnostic(s)",
+                s.name(),
+                sched_report.len()
+            );
+            report.merge(sched_report);
+        }
+    }
+
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if report.has_errors() {
+        return Err(format!(
+            "{} error diagnostic(s) found",
+            report.count(Severity::Error)
+        ));
+    }
+    if args.has("deny-warnings") && report.count(Severity::Warn) > 0 {
+        return Err(format!(
+            "{} warning diagnostic(s) found with --deny-warnings",
+            report.count(Severity::Warn)
+        ));
     }
     Ok(())
 }
@@ -323,5 +433,64 @@ mod tests {
         run(&["generate", "strassen", "--n", "256"]).unwrap();
         run(&["generate", "ccsd", "--occ", "10", "--virt", "40"]).unwrap();
         assert!(run(&["generate", "unknown"]).is_err());
+    }
+
+    #[test]
+    fn analyze_runs_clean_on_generated_graphs() {
+        let path = graph_file();
+        let p = path.to_str().unwrap();
+        run(&["analyze", p, "--procs", "4"]).unwrap();
+        run(&["analyze", p, "--procs", "4", "--algo", "all", "--json"]).unwrap();
+        run(&[
+            "analyze",
+            p,
+            "--procs",
+            "4",
+            "--algo",
+            "cpa",
+            "--no-overlap",
+        ])
+        .unwrap();
+        assert!(run(&["analyze", p]).is_err(), "--procs is required");
+        assert!(run(&["analyze", p, "--procs", "4", "--algo", "nope"]).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_fails_on_error_diagnostics() {
+        // A cyclic graph cannot be loaded (from_json re-validates), so
+        // exercise the failure path with a graph whose profile is invalid
+        // when linted — smuggled past the constructors via raw JSON with an
+        // Amdahl fraction out of range... which from_json also rejects.
+        // The reachable error path is therefore load failure itself plus
+        // the exit-code contract on a clean run, covered above; here we
+        // check that deny-warnings trips on a warning-carrying profile.
+        let mut g = TaskGraph::new();
+        let m = locmps_speedup::SpeedupModel::Linear
+            .with_overhead(0.2)
+            .unwrap();
+        g.add_task("u", locmps_speedup::ExecutionProfile::new(10.0, m).unwrap());
+        let path =
+            std::env::temp_dir().join(format!("locmps_cli_analyze_{}.json", std::process::id()));
+        std::fs::write(&path, g.to_json()).unwrap();
+        let p = path.to_str().unwrap();
+        // U-shaped profile: LM012 warning. Plain analyze passes...
+        run(&["analyze", p, "--procs", "8"]).unwrap();
+        // ...deny-warnings makes it fail.
+        assert!(run(&["analyze", p, "--procs", "8", "--deny-warnings"]).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn generate_rejects_out_of_domain_parameters() {
+        // Each of these would previously trip a library assert (a panic
+        // reachable from user input); they must surface as Err instead.
+        assert!(run(&["generate", "synthetic", "--tasks", "0"]).is_err());
+        assert!(run(&["generate", "synthetic", "--ccr", "-1"]).is_err());
+        assert!(run(&["generate", "synthetic", "--amax", "0.5"]).is_err());
+        assert!(run(&["generate", "synthetic", "--sigma", "-2"]).is_err());
+        assert!(run(&["generate", "strassen", "--levels", "0"]).is_err());
+        assert!(run(&["generate", "strassen", "--n", "100", "--levels", "3"]).is_err());
+        assert!(run(&["generate", "ccsd", "--occ", "0"]).is_err());
     }
 }

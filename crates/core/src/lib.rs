@@ -22,10 +22,12 @@
 //!   (execution-time gain + concurrency ratio), heaviest-edge widening,
 //!   bounded look-ahead and marking;
 //! * [`bounds`] — simple makespan lower bounds used by tests and reports.
+#![deny(missing_docs)]
 
 pub mod allocation;
 pub mod bounds;
 pub mod commcost;
+pub mod invariant;
 pub mod locality;
 pub mod locbs;
 pub mod locmps;

@@ -135,6 +135,11 @@ impl<'a> Locbs<'a> {
         scratch: &mut LocbsScratch,
     ) -> Result<(Schedule, f64), SchedError> {
         dag.clear_pseudo_edges();
+        crate::invariant!(
+            dag.edges()
+                .all(|(_, e)| e.kind == locmps_taskgraph::EdgeKind::Data),
+            "schedule-DAG buffer must enter the placement loop pseudo-free"
+        );
         dag.validate().map_err(SchedError::Graph)?;
         let p_total = self.model.cluster().n_procs;
         if alloc.len() != dag.n_tasks() {
@@ -184,6 +189,10 @@ impl<'a> Locbs<'a> {
                 .priority
                 .push(levels.bottom[t.index()] + heaviest_in);
         }
+        crate::invariant!(
+            scratch.priority.len() == dag.n_tasks() && scratch.edge_est.len() == dag.n_edges(),
+            "scratch priority/estimate buffers must cover the whole graph"
+        );
 
         let mut timeline = Timeline::new(p_total);
         let mut placed: Vec<Option<ScheduledTask>> = vec![None; dag.n_tasks()];
@@ -377,6 +386,10 @@ impl<'a> Locbs<'a> {
             ) {
                 continue;
             }
+            crate::invariant!(
+                scratch.sel.len() == np,
+                "locality selection must return exactly np processors"
+            );
             let procs = &scratch.sel;
 
             let (start, compute_start, finish) = match self.model.cluster().overlap {

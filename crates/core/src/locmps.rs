@@ -170,7 +170,7 @@ impl LocMps {
         if cands.is_empty() {
             return None;
         }
-        cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let k = ((self.config.top_fraction * cands.len() as f64).ceil() as usize)
             .max(self.config.inspect_at_least.max(1).min(cands.len()))
             .min(cands.len());
@@ -179,9 +179,8 @@ impl LocMps {
             .copied()
             .min_by(|a, b| {
                 conc.ratio(a.0)
-                    .partial_cmp(&conc.ratio(b.0))
-                    .unwrap()
-                    .then(b.1.partial_cmp(&a.1).unwrap())
+                    .total_cmp(&conc.ratio(b.0))
+                    .then(b.1.total_cmp(&a.1))
                     .then(a.0.cmp(&b.0))
             })
             .map(|(t, _)| t)
@@ -209,7 +208,7 @@ impl LocMps {
             })
             .filter(|&e| marked.is_none_or(|m| !m.contains(&Entry::Edge(e))))
             .max_by(|&a, &b| {
-                edge_w(a).partial_cmp(&edge_w(b)).unwrap().then(b.cmp(&a)) // lower id wins ties
+                edge_w(a).total_cmp(&edge_w(b)).then(b.cmp(&a)) // lower id wins ties
             })
     }
 
@@ -435,7 +434,7 @@ impl LocMps {
                 .filter(|&t| !marked.contains(&Entry::Task(t)))
                 .map(|t| (t, g.task(t).profile.gain(alloc.np(t))))
                 .collect();
-            rest.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            rest.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             task_entries.extend(rest.into_iter().map(|(t, _)| Entry::Task(t)));
         }
 
@@ -453,7 +452,7 @@ impl LocMps {
             .filter(|&e| !marked.contains(&Entry::Edge(e)))
             .map(|e| (e, edge_w(e)))
             .collect();
-        edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        edges.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let edge_entries: Vec<Entry> = edges.into_iter().map(|(e, _)| Entry::Edge(e)).collect();
 
         // Whichever cost dominates the critical path goes first (step 14).

@@ -257,7 +257,7 @@ impl Schedule {
             }
         }
         for intervals in &mut by_proc {
-            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in intervals.windows(2) {
                 let eps = time_eps(w[1].1);
                 if w[1].0 + eps < w[0].1 {

@@ -93,6 +93,10 @@ impl Timeline {
         }
         let at = self.ends.partition_point(|&e| e < finish);
         self.ends.insert(at, finish);
+        crate::invariant!(
+            self.ends.windows(2).all(|w| w[0] <= w[1]),
+            "candidate-end event list must stay sorted after every insert"
+        );
     }
 
     /// Whether processor `p` is idle throughout `[start, finish)`.

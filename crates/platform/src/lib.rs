@@ -13,6 +13,7 @@
 //!   so one period determines the exact per-processor-pair volumes;
 //! * single-port transfer-time bounds and the paper's aggregate-bandwidth
 //!   estimate `wt(e) = d / (min(np_i, np_j) · bandwidth)` (§III.B).
+#![deny(missing_docs)]
 
 mod blockcyclic;
 mod cluster;

@@ -59,12 +59,7 @@ impl TransferSchedule {
             }
         }
         // Largest first; ties by (src, dst) for determinism.
-        pending.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .unwrap()
-                .then(a.0.cmp(&b.0))
-                .then(a.1.cmp(&b.1))
-        });
+        pending.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
 
         use std::collections::HashMap;
         // Busy intervals per node, kept sorted.
@@ -86,12 +81,7 @@ impl TransferSchedule {
                 end,
             });
         }
-        ops.sort_by(|a, b| {
-            a.start
-                .partial_cmp(&b.start)
-                .unwrap()
-                .then(a.src.cmp(&b.src))
-        });
+        ops.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.src.cmp(&b.src)));
         TransferSchedule { ops, duration }
     }
 
@@ -108,7 +98,7 @@ fn earliest_gap(a: Option<&Vec<(f64, f64)>>, b: Option<&Vec<(f64, f64)>>, len: f
     for list in [a, b].into_iter().flatten() {
         candidates.extend(list.iter().map(|&(_, e)| e));
     }
-    candidates.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    candidates.sort_by(|x, y| x.total_cmp(y));
     let fits = |list: Option<&Vec<(f64, f64)>>, s: f64| {
         list.is_none_or(|l| {
             l.iter()

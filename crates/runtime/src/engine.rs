@@ -78,7 +78,7 @@ impl PartialOrd for Time {
 }
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("times are finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -310,7 +310,7 @@ mod tests {
                 }
             }
             for list in &mut by_proc {
-                list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                list.sort_by(|a, b| a.0.total_cmp(&b.0));
                 for w in list.windows(2) {
                     assert!(w[1].0 + 1e-9 >= w[0].1, "overlapping intervals");
                 }

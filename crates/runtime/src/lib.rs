@@ -20,6 +20,7 @@
 //!
 //! The same seeded perturbation is applied per *task*, independent of the
 //! policy, so policies can be compared on identical realized durations.
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod policy;

@@ -77,7 +77,7 @@ impl OnlinePolicy for PlanFollower {
         order.sort_by(|&a, &b| {
             let sa = plan.schedule.get(a).expect("planned").start;
             let sb = plan.schedule.get(b).expect("planned").start;
-            sa.partial_cmp(&sb).unwrap().then(a.cmp(&b))
+            sa.total_cmp(&sb).then(a.cmp(&b))
         });
         for t in order {
             let procs = &plan.schedule.get(t).expect("planned").procs;
@@ -122,8 +122,7 @@ impl OnlinePolicy for OnlineLocbs {
         let mut order: Vec<TaskId> = ready.to_vec();
         order.sort_by(|&a, &b| {
             levels.bottom[b.index()]
-                .partial_cmp(&levels.bottom[a.index()])
-                .unwrap()
+                .total_cmp(&levels.bottom[a.index()])
                 .then(a.cmp(&b))
         });
         let mut remaining = free.clone();

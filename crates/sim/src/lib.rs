@@ -23,6 +23,7 @@
 //! [`NoiseModel`] adds seeded log-normal execution-time noise and
 //! bandwidth jitter — the substitute for the paper's Figure 11 "actual
 //! execution" runs on the Itanium cluster (see DESIGN.md §2).
+#![deny(missing_docs)]
 
 use locmps_core::{CommModel, Schedule, ScheduledTask, SchedulerOutput};
 use locmps_platform::{Cluster, CommOverlap};
@@ -116,7 +117,7 @@ pub fn simulate(
     order.sort_by(|&a, &b| {
         let ea = out.schedule.get(a).expect("schedule covers all tasks");
         let eb = out.schedule.get(b).expect("schedule covers all tasks");
-        ea.start.partial_cmp(&eb.start).unwrap().then(a.cmp(&b))
+        ea.start.total_cmp(&eb.start).then(a.cmp(&b))
     });
     let mut proc_ready = vec![0.0f64; cluster.n_procs];
     let mut actual: Vec<Option<ScheduledTask>> = vec![None; g.n_tasks()];
@@ -344,7 +345,7 @@ mod tests {
                 .filter(|e| e.procs.contains(p))
                 .map(|e| (e.start, e.task))
                 .collect();
-            tasks.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            tasks.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             tasks.into_iter().map(|(_, t)| t).collect()
         };
         for p in 0..3u32 {

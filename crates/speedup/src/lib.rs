@@ -21,6 +21,7 @@
 //! model, answering `time(p)`, `speedup(p)`, `efficiency(p)` and
 //! [`ExecutionProfile::pbest`] (the least processor count that minimizes the
 //! execution time, used by Algorithm 1 of the paper as the widening bound).
+#![deny(missing_docs)]
 
 mod downey;
 mod model;

@@ -117,6 +117,39 @@ impl SpeedupModel {
         })
     }
 
+    /// Re-checks every construction-time parameter constraint, recursively.
+    ///
+    /// Serde deserialization fills the variants field-by-field and so
+    /// bypasses the checked constructors; models loaded from external files
+    /// (workload JSON) can therefore carry out-of-domain parameters. Call
+    /// this after deserializing to restore the constructor guarantees.
+    ///
+    /// # Errors
+    /// The same [`ModelError`] the corresponding constructor would return.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match self {
+            SpeedupModel::Linear => Ok(()),
+            SpeedupModel::Downey(d) => DowneyParams::new(d.a, d.sigma).map(|_| ()),
+            SpeedupModel::Amdahl { serial_fraction } => {
+                SpeedupModel::amdahl(*serial_fraction).map(|_| ())
+            }
+            SpeedupModel::PowerLaw { alpha } => SpeedupModel::power_law(*alpha).map(|_| ()),
+            SpeedupModel::Table(t) => ProfiledSpeedup::new(t.values().to_vec()).map(|_| ()),
+            SpeedupModel::WithOverhead {
+                inner,
+                overhead_frac,
+            } => {
+                if !overhead_frac.is_finite() || *overhead_frac < 0.0 {
+                    return Err(ModelError::InvalidParameter {
+                        what: "overhead fraction must be finite and >= 0",
+                        value: *overhead_frac,
+                    });
+                }
+                inner.validate()
+            }
+        }
+    }
+
     /// Speedup `S(n)` on `n` processors (`n = 0` treated as 1).
     ///
     /// For [`SpeedupModel::WithOverhead`] this returns the *effective*
@@ -244,7 +277,7 @@ mod tests {
         let argmin = times
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0
             + 1;

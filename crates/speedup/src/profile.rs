@@ -35,6 +35,23 @@ impl ExecutionProfile {
         Self::new(seq_time, SpeedupModel::Linear).expect("caller must pass positive time")
     }
 
+    /// Re-checks the construction-time constraints of the profile and its
+    /// model (see [`SpeedupModel::validate`]): serde deserialization
+    /// bypasses [`ExecutionProfile::new`], so profiles loaded from external
+    /// files must be re-validated before scheduling decisions trust them.
+    ///
+    /// # Errors
+    /// The same [`ModelError`] the constructors would return.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.seq_time.is_finite() || self.seq_time <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "sequential time must be finite and positive",
+                value: self.seq_time,
+            });
+        }
+        self.model.validate()
+    }
+
     /// The sequential execution time `et(t, 1)`.
     pub fn seq_time(&self) -> f64 {
         self.seq_time

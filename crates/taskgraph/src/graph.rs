@@ -81,6 +81,15 @@ pub enum GraphError {
     Cycle,
     /// The graph has no tasks.
     Empty,
+    /// A task's execution profile failed re-validation (serde bypasses the
+    /// checked constructors, so specs loaded from external files can carry
+    /// out-of-domain model parameters).
+    InvalidProfile {
+        /// The task whose profile is invalid.
+        task: TaskId,
+        /// The underlying model error, rendered as text.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -92,6 +101,9 @@ impl std::fmt::Display for GraphError {
             GraphError::InvalidVolume => write!(f, "edge volume must be finite and >= 0"),
             GraphError::Cycle => write!(f, "graph contains a cycle"),
             GraphError::Empty => write!(f, "graph has no tasks"),
+            GraphError::InvalidProfile { task, reason } => {
+                write!(f, "invalid profile on task {task}: {reason}")
+            }
         }
     }
 }

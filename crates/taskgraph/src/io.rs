@@ -63,9 +63,19 @@ impl From<&TaskGraph> for TaskGraphSpec {
 
 impl TaskGraphSpec {
     /// Rebuilds (and re-validates) the graph described by this spec.
+    ///
+    /// Validation covers both the graph structure (edges, acyclicity) and
+    /// every task's execution profile — specs usually arrive from JSON,
+    /// which bypasses the profile constructors.
     pub fn build(&self) -> Result<TaskGraph, GraphError> {
         let mut g = TaskGraph::with_capacity(self.tasks.len());
-        for t in &self.tasks {
+        for (i, t) in self.tasks.iter().enumerate() {
+            t.profile
+                .validate()
+                .map_err(|e| GraphError::InvalidProfile {
+                    task: TaskId(i as u32),
+                    reason: e.to_string(),
+                })?;
             g.add_task(t.name.clone(), t.profile.clone());
         }
         for e in &self.edges {
@@ -194,6 +204,38 @@ mod tests {
             ],
         };
         let json = serde_json::to_string(&spec).unwrap();
+        assert!(TaskGraph::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_smuggled_invalid_profiles() {
+        // serde fills profiles field-by-field, so hand-written JSON can
+        // carry values the constructors would reject; build() must catch it.
+        let bad_seq = r#"{
+            "tasks": [{"name": "a", "profile": {"seq_time": -5.0, "model": "Linear"}}],
+            "edges": []
+        }"#;
+        let err = TaskGraph::from_json(bad_seq).unwrap_err();
+        assert!(err.contains("invalid profile on task t0"), "{err}");
+
+        let bad_downey = r#"{
+            "tasks": [{"name": "a", "profile": {"seq_time": 1.0,
+                "model": {"Downey": {"a": 0.5, "sigma": -1.0}}}}],
+            "edges": []
+        }"#;
+        let err = TaskGraph::from_json(bad_downey).unwrap_err();
+        assert!(err.contains("invalid profile on task t0"), "{err}");
+
+        let spec = TaskGraphSpec {
+            tasks: vec![TaskSpec {
+                name: "bad".into(),
+                profile: ExecutionProfile::linear(1.0),
+            }],
+            edges: vec![],
+        };
+        let json = serde_json::to_string(&spec)
+            .unwrap()
+            .replace("\"Linear\"", "{\"Amdahl\":{\"serial_fraction\":3.0}}");
         assert!(TaskGraph::from_json(&json).is_err());
     }
 

@@ -18,6 +18,7 @@
 //!   resource limitations, §III.A) — the graph plus its pseudo-edges is the
 //!   paper's *schedule-DAG* `G'`;
 //! * DOT and JSON import/export and summary statistics.
+#![deny(missing_docs)]
 
 mod concurrency;
 mod graph;

@@ -6,6 +6,7 @@
 //! output of `locmps schedule --svg out.svg` and the quickest way to *see*
 //! why one schedule beats another (where the holes are, which transfers
 //! block which tasks).
+#![deny(missing_docs)]
 
 mod dag;
 mod gantt;

@@ -4,6 +4,7 @@
 //!
 //! All generators are seeded and deterministic, so every figure of the
 //! reproduction is exactly re-runnable.
+#![deny(missing_docs)]
 
 pub mod strassen;
 pub mod synthetic;

@@ -172,7 +172,7 @@ mod tests {
     fn few_large_many_small() {
         let g = ccsd_t1_graph(&TceConfig::default());
         let mut times: Vec<f64> = g.tasks().map(|(_, t)| t.profile.seq_time()).collect();
-        times.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        times.sort_by(|a, b| b.total_cmp(a));
         // The two `v[*,*,*,*]·t2` contractions dwarf everything else.
         assert!(
             times[0] > 10.0 * times[2],
@@ -188,12 +188,7 @@ mod tests {
         let g = ccsd_t1_graph(&TceConfig::default());
         let (_, big) = g
             .tasks()
-            .max_by(|a, b| {
-                a.1.profile
-                    .seq_time()
-                    .partial_cmp(&b.1.profile.seq_time())
-                    .unwrap()
-            })
+            .max_by(|a, b| a.1.profile.seq_time().total_cmp(&b.1.profile.seq_time()))
             .unwrap();
         assert!(
             big.profile.speedup(64) > 30.0,

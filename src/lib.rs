@@ -23,7 +23,9 @@
 //!   application graphs;
 //! * [`runtime`] — an online (run-time) execution framework with pluggable
 //!   dispatch policies (the paper's future-work item §VI(2));
-//! * [`viz`] — SVG Gantt charts and layered task-graph drawings.
+//! * [`viz`] — SVG Gantt charts and layered task-graph drawings;
+//! * [`analysis`] — static diagnostics: `LMxxx` lints over task graphs,
+//!   speedup profiles and schedules (see `docs/DIAGNOSTICS.md`).
 //!
 //! ## Quickstart
 //!
@@ -47,7 +49,9 @@
 //!     .unwrap();
 //! assert!(schedule.makespan() > 0.0);
 //! ```
+#![deny(missing_docs)]
 
+pub use locmps_analysis as analysis;
 pub use locmps_baselines as baselines;
 pub use locmps_core as core;
 pub use locmps_platform as platform;

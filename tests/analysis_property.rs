@@ -1,0 +1,175 @@
+//! Property tests for the schedule analyzer: take a known-valid executed
+//! schedule, inject a specific corruption, and assert the analyzer reports
+//! the matching `LM1xx` code. The analyzer must be *exhaustive* (it keeps
+//! going after the first problem), so corruptions must never be masked.
+
+use locmps::analysis::{analyze_schedule, codes, Severity};
+use locmps::core::{CommModel, Schedule, ScheduledTask};
+use locmps::platform::{ProcId, ProcSet};
+use locmps::prelude::*;
+use locmps::sim::{simulate, SimConfig};
+use locmps::speedup::DowneyParams;
+use locmps::taskgraph::TaskId;
+use proptest::prelude::*;
+
+/// Random DAG matching the `property_cross` generator idiom.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (3usize..12, any::<u64>(), 0.15..0.45f64).prop_map(|(n, seed, density)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let work = 2.0 + 30.0 * next();
+            let a = 1.0 + 40.0 * next();
+            let sigma = 2.5 * next();
+            let model = SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap());
+            g.add_task(format!("t{i}"), ExecutionProfile::new(work, model).unwrap());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 150.0 * next())
+                        .unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+/// A valid executed schedule to corrupt, plus its graph and cluster.
+fn valid_schedule(g: &TaskGraph, p: usize) -> (Schedule, Cluster) {
+    let cluster = Cluster::new(p, 25.0);
+    let out = LocMps::default().schedule(g, &cluster).unwrap();
+    let rep = simulate(g, &cluster, &out, SimConfig::default());
+    (rep.executed, cluster)
+}
+
+fn entries_of(s: &Schedule) -> Vec<ScheduledTask> {
+    s.entries().to_vec()
+}
+
+/// First processor id outside the cluster, plus a margin.
+fn out_of_range_proc(cluster: &Cluster) -> ProcId {
+    cluster.n_procs as ProcId + 3
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dropping_an_entry_reports_unscheduled(g in arb_graph(), p in 2usize..8, pick in any::<u64>()) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        if s.len() <= 1 { return Ok(()); }
+        let mut entries = entries_of(&s);
+        let victim = entries.remove((pick as usize) % entries.len()).task;
+        let corrupted = Schedule::from_entries(entries);
+        let diag = analyze_schedule(&corrupted, &g, &model);
+        let hits: Vec<_> = diag.by_code(codes::UNSCHEDULED).collect();
+        prop_assert!(
+            hits.iter().any(|d| d.subject == g.task(victim).name || d.subject.contains(&victim.to_string())),
+            "expected LM101 for {victim}:\n{}", diag.render_text()
+        );
+        prop_assert!(diag.has_errors());
+    }
+
+    #[test]
+    fn emptying_a_procset_reports_empty_procset(g in arb_graph(), p in 2usize..8, pick in any::<u64>()) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        let mut entries = entries_of(&s);
+        let i = (pick as usize) % entries.len();
+        entries[i].procs = ProcSet::new();
+        let diag = analyze_schedule(&Schedule::from_entries(entries), &g, &model);
+        prop_assert!(diag.has_code(codes::EMPTY_PROCSET), "{}", diag.render_text());
+        prop_assert!(diag.has_errors());
+    }
+
+    #[test]
+    fn out_of_range_processor_is_reported(g in arb_graph(), p in 2usize..8, pick in any::<u64>()) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        let mut entries = entries_of(&s);
+        let i = (pick as usize) % entries.len();
+        entries[i].procs.insert(out_of_range_proc(&cluster));
+        let diag = analyze_schedule(&Schedule::from_entries(entries), &g, &model);
+        prop_assert!(diag.has_code(codes::PROC_OUT_OF_RANGE), "{}", diag.render_text());
+        prop_assert!(diag.has_errors());
+    }
+
+    #[test]
+    fn negative_duration_reports_bad_timing(g in arb_graph(), p in 2usize..8, pick in any::<u64>()) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        let mut entries = entries_of(&s);
+        let i = (pick as usize) % entries.len();
+        // finish strictly before compute_start: unambiguous timing nonsense.
+        entries[i].finish = entries[i].compute_start - 1.0;
+        let diag = analyze_schedule(&Schedule::from_entries(entries), &g, &model);
+        prop_assert!(diag.has_code(codes::BAD_TIMING), "{}", diag.render_text());
+        prop_assert!(diag.has_errors());
+    }
+
+    #[test]
+    fn overlapping_a_busy_processor_is_caught(g in arb_graph(), p in 2usize..8, pick in any::<u64>()) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        if s.len() <= 1 { return Ok(()); }
+        let mut entries = entries_of(&s);
+        let i = (pick as usize) % entries.len();
+        let j = (i + 1) % entries.len();
+        // Force task j onto task i's processors over task i's exact window,
+        // preserving its duration-vs-et consistency as little as possible —
+        // the analyzer must flag *something* fatal (double booking, timing,
+        // or a precedence break), never pass it.
+        entries[j].procs = entries[i].procs.clone();
+        entries[j].start = entries[i].start;
+        entries[j].compute_start = entries[i].compute_start;
+        entries[j].finish = entries[i].finish;
+        let diag = analyze_schedule(&Schedule::from_entries(entries), &g, &model);
+        prop_assert!(diag.has_errors(), "corruption passed clean:\n{}", diag.render_text());
+        prop_assert!(
+            diag.has_code(codes::DOUBLE_BOOKING)
+                || diag.has_code(codes::BAD_TIMING)
+                || diag.has_code(codes::PRECEDENCE_VIOLATED),
+            "unexpected codes:\n{}", diag.render_text()
+        );
+    }
+
+    #[test]
+    fn shifting_a_consumer_earlier_breaks_precedence(g in arb_graph(), p in 2usize..8) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        // Find a data edge and pull its consumer to time zero; unless the
+        // consumer already started at zero this must produce an error.
+        let Some((_, edge)) = g.edges().find(|(_, e)| {
+            let dst = s.get(e.dst).unwrap();
+            dst.compute_start > 1e-3
+        }) else {
+            return Ok(()); // no suitable edge in this instance
+        };
+        let mut entries = entries_of(&s);
+        let idx = entries.iter().position(|e| e.task == edge.dst).unwrap();
+        let dur = entries[idx].finish - entries[idx].compute_start;
+        entries[idx].start = 0.0;
+        entries[idx].compute_start = 0.0;
+        entries[idx].finish = dur;
+        let diag = analyze_schedule(&Schedule::from_entries(entries), &g, &model);
+        prop_assert!(diag.has_errors(), "{}", diag.render_text());
+    }
+
+    #[test]
+    fn valid_schedules_stay_clean_and_match_validate(g in arb_graph(), p in 2usize..8) {
+        let (s, cluster) = valid_schedule(&g, p);
+        let model = CommModel::new(&cluster);
+        let diag = analyze_schedule(&s, &g, &model);
+        prop_assert_eq!(diag.count(Severity::Error), 0, "{}", diag.render_text());
+        prop_assert!(s.validate(&g, &model).is_ok());
+    }
+}

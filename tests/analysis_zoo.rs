@@ -1,0 +1,176 @@
+//! Diagnostics over the workload zoo: every scheduler in the paper's
+//! comparison set must produce analyzer-clean schedules (zero `LMxxx`
+//! *Error* diagnostics) on every zoo workload, and the schedule analyzer
+//! must agree with [`Schedule::validate`] — analyzer-clean if and only if
+//! validation passes.
+
+use locmps::analysis::{analyze_schedule, codes, lint_input, Severity};
+use locmps::baselines::{Cpa, Cpr, DataParallel, TaskParallel};
+use locmps::core::CommModel;
+use locmps::prelude::*;
+use locmps::sim::{simulate, SimConfig};
+use locmps::workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+use locmps::workloads::toys::{chain, fork_join, independent};
+
+fn workloads() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("chain", chain(6, 10.0, 20.0)),
+        ("fork_join", fork_join(5, 8.0, 15.0)),
+        ("independent", independent(6, 12.0, 0.2)),
+        (
+            "synthetic",
+            synthetic_graph(&SyntheticConfig {
+                n_tasks: 18,
+                ccr: 0.5,
+                seed: 77,
+                ..Default::default()
+            }),
+        ),
+        (
+            "strassen",
+            strassen_graph(&StrassenConfig {
+                n: 512,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ccsd_t1",
+            ccsd_t1_graph(&TceConfig {
+                n_occ: 16,
+                n_virt: 64,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+/// The paper's six-way comparison set, with whether each scheduler's
+/// runtime pays exact (locality-aware) or aggregate (blind) transfer costs.
+/// CPR/CPA plan with aggregate redistribution estimates, so their executed
+/// timestamps are only meaningful under the communication-blind model.
+fn schedulers() -> Vec<(Box<dyn Scheduler>, bool)> {
+    vec![
+        (Box::new(LocMps::default()), true),
+        (Box::new(LocMps::new(LocMpsConfig::icaslb())), true),
+        (Box::new(Cpr), false),
+        (Box::new(Cpa), false),
+        (Box::new(TaskParallel), true),
+        (Box::new(DataParallel), true),
+    ]
+}
+
+#[test]
+fn zoo_inputs_are_lint_clean() {
+    for (name, g) in workloads() {
+        let cluster = Cluster::new(8, 100.0);
+        let report = lint_input(&g, &cluster);
+        assert_eq!(
+            report.count(Severity::Error),
+            0,
+            "{name}: input lint errors:\n{}",
+            report.render_text()
+        );
+        assert_eq!(
+            report.count(Severity::Warn),
+            0,
+            "{name}: input lint warnings:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn zoo_schedules_are_analyzer_clean_for_all_schedulers() {
+    for (wname, g) in workloads() {
+        for overlap in [true, false] {
+            let cluster = if overlap {
+                Cluster::new(8, 100.0)
+            } else {
+                Cluster::new(8, 100.0).without_overlap()
+            };
+            for (s, aware) in schedulers() {
+                let out = s.schedule(&g, &cluster).unwrap();
+                let rep = simulate(
+                    &g,
+                    &cluster,
+                    &out,
+                    SimConfig {
+                        locality_aware: aware,
+                        ..Default::default()
+                    },
+                );
+                let model = if aware {
+                    CommModel::new(&cluster)
+                } else {
+                    CommModel::blind(&cluster)
+                };
+                let diag = analyze_schedule(&rep.executed, &g, &model);
+                assert_eq!(
+                    diag.count(Severity::Error),
+                    0,
+                    "{wname}/{} (overlap={overlap}): analyzer errors:\n{}",
+                    s.name(),
+                    diag.render_text()
+                );
+                // Metrics are always emitted for a fully usable schedule.
+                assert!(diag.has_code(codes::UTILIZATION), "{wname}/{}", s.name());
+                assert!(diag.has_code(codes::IDLE_GAPS), "{wname}/{}", s.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn analyzer_agrees_with_validate_on_the_zoo() {
+    for (wname, g) in workloads() {
+        let cluster = Cluster::new(8, 100.0);
+        for (s, aware) in schedulers() {
+            let out = s.schedule(&g, &cluster).unwrap();
+            let rep = simulate(
+                &g,
+                &cluster,
+                &out,
+                SimConfig {
+                    locality_aware: aware,
+                    ..Default::default()
+                },
+            );
+            let model = if aware {
+                CommModel::new(&cluster)
+            } else {
+                CommModel::blind(&cluster)
+            };
+            let diag = analyze_schedule(&rep.executed, &g, &model);
+            let analyzer_clean = diag.count(Severity::Error) == 0;
+            let validate_ok = rep.executed.validate(&g, &model).is_ok();
+            assert_eq!(
+                analyzer_clean,
+                validate_ok,
+                "{wname}/{}: analyzer said clean={analyzer_clean} but validate said ok={validate_ok}:\n{}\n{:?}",
+                s.name(),
+                diag.render_text(),
+                rep.executed.validate(&g, &model)
+            );
+        }
+    }
+}
+
+#[test]
+fn locality_stats_reported_on_communication_heavy_workloads() {
+    let g = synthetic_graph(&SyntheticConfig {
+        n_tasks: 18,
+        ccr: 2.0,
+        seed: 42,
+        ..Default::default()
+    });
+    let cluster = Cluster::new(8, 100.0);
+    let out = LocMps::default().schedule(&g, &cluster).unwrap();
+    let rep = simulate(&g, &cluster, &out, SimConfig::default());
+    let model = CommModel::new(&cluster);
+    let diag = analyze_schedule(&rep.executed, &g, &model);
+    let loc: Vec<_> = diag.by_code(codes::LOCALITY).collect();
+    assert_eq!(loc.len(), 1, "{}", diag.render_text());
+    assert_eq!(loc[0].severity, Severity::Info);
+}
