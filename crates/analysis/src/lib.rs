@@ -10,7 +10,10 @@
 //! * `LM1xx` — schedule correctness, an exhaustive generalization of
 //!   `Schedule::validate` ([`sched::analyze_schedule`]);
 //! * `LM2xx` — schedule performance observations (utilization, locality,
-//!   idle gaps), always [`Severity::Info`].
+//!   idle gaps), always [`Severity::Info`];
+//! * `LM3xx` — execution-trace audits over the online runtime's event log
+//!   ([`trace::analyze_trace`]): causality, double-booking, orphaned
+//!   tasks, plus resilience metrics (work lost, recovery overhead).
 //!
 //! # Examples
 //! ```
@@ -38,10 +41,12 @@
 pub mod diag;
 pub mod input;
 pub mod sched;
+pub mod trace;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use input::lint_input;
 pub use sched::analyze_schedule;
+pub use trace::analyze_trace;
 
 /// The stable diagnostic codes, one constant per `LMxxx` code.
 ///
@@ -100,4 +105,24 @@ pub mod codes {
     pub const LOCALITY: &str = "LM201";
     /// `LM202` (Info): idle-gap accounting per processor.
     pub const IDLE_GAPS: &str = "LM202";
+    /// `LM300` (Info): fault/recovery summary of an execution trace.
+    pub const FAULT_SUMMARY: &str = "LM300";
+    /// `LM301` (Info): compute work lost to failed attempts.
+    pub const WORK_LOST: &str = "LM301";
+    /// `LM302` (Info): recovery overhead — re-executed compute, replans.
+    pub const RECOVERY_OVERHEAD: &str = "LM302";
+    /// `LM310` (Error): a task never completed and no abort record
+    /// explains why.
+    pub const ORPHANED_TASK: &str = "LM310";
+    /// `LM311` (Error): a task started before a predecessor finished, or
+    /// an end event has no matching start.
+    pub const CAUSALITY_VIOLATION: &str = "LM311";
+    /// `LM312` (Error): an attempt was launched on a failed processor.
+    pub const STARTED_ON_DEAD_PROC: &str = "LM312";
+    /// `LM313` (Error): the event log shows two attempts sharing a
+    /// processor in time.
+    pub const TRACE_DOUBLE_BOOKING: &str = "LM313";
+    /// `LM314` (Error): an attempt started but never finished or crashed
+    /// (and overlapping attempts of the same task).
+    pub const DANGLING_ATTEMPT: &str = "LM314";
 }

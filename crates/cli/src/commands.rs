@@ -32,6 +32,16 @@ commands:
                                   lint the graph and the (as-executed)
                                   schedule, reporting LMxxx diagnostics;
                                   exits nonzero on any error diagnostic
+  run      <graph.json> --procs P [--policy plan|online|greedy]
+           [--recovery failstop|retryshrink|replan] [--faults SPEC]
+           [--seed S] [--cv X] [--bandwidth MB/s] [--no-overlap]
+           [--json] [--deny-warnings]
+                                  execute online with optional injected
+                                  faults (SPEC: fail:P@T, slow:P@T0-T1xF,
+                                  crash:T@F[xN], comma-separated), audit
+                                  the trace with LM3xx diagnostics; exits
+                                  nonzero if the run aborts or any error
+                                  diagnostic fires
 ";
 
 /// Dispatches one invocation.
@@ -45,6 +55,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("schedule") => schedule(&args),
         Some("compare") => compare(&args),
         Some("analyze") => analyze(&args),
+        Some("run") => run_online(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -303,6 +314,137 @@ fn analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// JSON payload of `locmps run --json`: the resilience headline numbers,
+/// the full structured event log and the LM3xx audit.
+#[derive(serde::Serialize)]
+struct RunSummary {
+    policy: String,
+    recovery: String,
+    n_tasks: usize,
+    completed: usize,
+    aborted: bool,
+    makespan: f64,
+    work_lost: f64,
+    retries: usize,
+    replans: usize,
+    procs_lost: usize,
+    trace: locmps_runtime::ExecutionTrace,
+    report: locmps_analysis::Report,
+}
+
+fn run_online(args: &Args) -> Result<(), String> {
+    use locmps_analysis::analyze_trace;
+    use locmps_runtime::{
+        FailStop, FaultPlan, GreedyOneProc, OnlineConfig, OnlineLocbs, OnlinePolicy, PlanFollower,
+        RecoveryPolicy, Replan, RetryShrink, RuntimeEngine,
+    };
+
+    let g = load_graph(args)?;
+    let cluster = cluster_from(args)?;
+
+    let faults = match args.option("faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+        None => FaultPlan::new(),
+    };
+    let cfg = OnlineConfig {
+        seed: args.get_or("seed", 0u64)?,
+        exec_cv: args.get_or("cv", 0.0f64)?,
+    };
+    if !cfg.exec_cv.is_finite() || cfg.exec_cv < 0.0 {
+        return Err("--cv must be finite and >= 0".into());
+    }
+
+    let mut policy: Box<dyn OnlinePolicy> = match args.option("policy").unwrap_or("plan") {
+        "plan" => Box::new(PlanFollower::locmps()),
+        "online" => Box::new(OnlineLocbs::default()),
+        "greedy" => Box::new(GreedyOneProc),
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let mut recovery: Box<dyn RecoveryPolicy> = match args.option("recovery").unwrap_or("failstop")
+    {
+        "failstop" => Box::new(FailStop),
+        "retryshrink" => Box::new(RetryShrink::new()),
+        "replan" => Box::new(Replan::locmps()),
+        other => return Err(format!("unknown recovery {other:?}")),
+    };
+
+    let engine = RuntimeEngine::new(&g, &cluster, cfg);
+    let trace = engine.run_with_faults(policy.as_mut(), &faults, recovery.as_mut());
+    let report = analyze_trace(&trace, &g, &cluster);
+
+    if args.has("json") {
+        let summary = RunSummary {
+            policy: policy.name().to_string(),
+            recovery: recovery.name().to_string(),
+            n_tasks: trace.n_tasks,
+            completed: trace.completed,
+            aborted: trace.aborted,
+            makespan: trace.makespan,
+            work_lost: trace.work_lost(),
+            retries: trace.retries(),
+            replans: trace.replans(),
+            procs_lost: trace.procs_lost(),
+            trace,
+            report,
+        };
+        let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        println!("{json}");
+        let report = &summary.report;
+        check_run_outcome(&summary.trace, report, args)
+    } else {
+        println!("policy    : {}", policy.name());
+        println!("recovery  : {}", recovery.name());
+        println!(
+            "completed : {}/{}{}",
+            trace.completed,
+            trace.n_tasks,
+            if trace.aborted { "  (ABORTED)" } else { "" }
+        );
+        println!("makespan  : {:.3} s", trace.makespan);
+        println!("work lost : {:.3} proc-s", trace.work_lost());
+        println!(
+            "recovery  : {} retry(ies), {} replan(s), {} proc(s) lost",
+            trace.retries(),
+            trace.replans(),
+            trace.procs_lost()
+        );
+        if !report.is_empty() {
+            println!();
+            print!("{}", report.render_text());
+        }
+        check_run_outcome(&trace, &report, args)
+    }
+}
+
+/// Exit-code contract of `locmps run`: incomplete executions and error
+/// diagnostics are failures; warnings only fail under `--deny-warnings`.
+fn check_run_outcome(
+    trace: &locmps_runtime::ExecutionTrace,
+    report: &locmps_analysis::Report,
+    args: &Args,
+) -> Result<(), String> {
+    use locmps_analysis::Severity;
+    if report.has_errors() {
+        return Err(format!(
+            "{} error diagnostic(s) found",
+            report.count(Severity::Error)
+        ));
+    }
+    if !trace.is_complete() {
+        return Err(format!(
+            "execution aborted with {}/{} tasks completed",
+            trace.completed, trace.n_tasks
+        ));
+    }
+    if args.has("deny-warnings") && report.count(Severity::Warn) > 0 {
+        return Err(format!(
+            "{} warning diagnostic(s) found with --deny-warnings",
+            report.count(Severity::Warn)
+        ));
+    }
+    Ok(())
+}
+
 fn compare(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let cluster = cluster_from(args)?;
@@ -478,6 +620,40 @@ mod tests {
         run(&["analyze", p, "--procs", "8"]).unwrap();
         // ...deny-warnings makes it fail.
         assert!(run(&["analyze", p, "--procs", "8", "--deny-warnings"]).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_executes_with_and_without_faults() {
+        let path = graph_file();
+        let p = path.to_str().unwrap();
+        // Fault-free, every policy.
+        for policy in ["plan", "online", "greedy"] {
+            run(&["run", p, "--procs", "4", "--policy", policy]).unwrap();
+        }
+        // A processor failure: failstop aborts (nonzero), the real
+        // recoveries complete.
+        assert!(run(&["run", p, "--procs", "4", "--faults", "fail:0@1"]).is_err());
+        for rec in ["retryshrink", "replan"] {
+            run(&[
+                "run",
+                p,
+                "--procs",
+                "4",
+                "--faults",
+                "fail:0@1",
+                "--recovery",
+                rec,
+                "--json",
+            ])
+            .unwrap();
+        }
+        // Bad inputs surface as errors, not panics.
+        assert!(run(&["run", p, "--procs", "4", "--faults", "bogus"]).is_err());
+        assert!(run(&["run", p, "--procs", "4", "--policy", "nope"]).is_err());
+        assert!(run(&["run", p, "--procs", "4", "--recovery", "nope"]).is_err());
+        assert!(run(&["run", p, "--procs", "4", "--cv", "-1"]).is_err());
+        assert!(run(&["run", p]).is_err(), "--procs is required");
         let _ = std::fs::remove_file(path);
     }
 

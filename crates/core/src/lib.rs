@@ -31,6 +31,7 @@ pub mod invariant;
 pub mod locality;
 pub mod locbs;
 pub mod locmps;
+pub mod residual;
 pub mod schedule;
 pub mod timeline;
 
@@ -40,6 +41,7 @@ pub use allocation::Allocation;
 pub use commcost::{CommModel, EstimateCache};
 pub use locbs::{Locbs, LocbsOptions, LocbsResult, LocbsScratch};
 pub use locmps::{LocMps, LocMpsConfig};
+pub use residual::ResidualDag;
 pub use schedule::{GanttOptions, Schedule, ScheduleError, ScheduledTask};
 pub use scheduler::{SchedError, Scheduler, SchedulerOutput};
 

@@ -94,6 +94,19 @@ impl LocbsScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Re-arms the scratch for a *different* graph: invalidates the
+    /// edge-indexed estimate memo (whose entries would otherwise be served
+    /// stale across graphs) and sizes it for `g`.
+    ///
+    /// Call once before the first [`Locbs::run_into`] on a new graph; the
+    /// remaining buffers are sized per call and need no reset. This is what
+    /// lets one long-lived scratch serve repeated replanning over shrinking
+    /// residual DAGs.
+    pub fn reset_for(&mut self, g: &TaskGraph) {
+        self.estimates.reset_for(g);
+        self.edge_est.clear();
+    }
 }
 
 impl<'a> Locbs<'a> {

@@ -295,7 +295,49 @@ impl Scheduler for LocMps {
     }
 
     fn schedule(&self, g: &TaskGraph, cluster: &Cluster) -> Result<SchedulerOutput, SchedError> {
+        self.schedule_with_scratch(g, cluster, &mut TaskGraph::new(), &mut LocbsScratch::new())
+    }
+}
+
+impl LocMps {
+    /// Runs a top-level LoCBS probe into caller-owned buffers.
+    fn probe(
+        locbs: &Locbs<'_>,
+        g: &TaskGraph,
+        alloc: &Allocation,
+        dag_buf: &mut TaskGraph,
+        scratch: &mut LocbsScratch,
+    ) -> Result<LocbsResult, SchedError> {
+        dag_buf.clone_from(g);
+        let (schedule, makespan) = locbs.run_into(dag_buf, alloc, scratch)?;
+        Ok(LocbsResult {
+            schedule,
+            schedule_dag: dag_buf.clone(),
+            makespan,
+        })
+    }
+
+    /// [`Scheduler::schedule`] with caller-owned working memory.
+    ///
+    /// `dag_buf` and `scratch` are scratch space for the top-level LoCBS
+    /// probes; holding them across calls lets a long-lived caller (the
+    /// runtime's replanning recovery policy) schedule a *sequence* of
+    /// graphs — shrinking residual DAGs over shrinking clusters — without
+    /// re-allocating the LoCBS working set each time. The scratch is
+    /// re-armed for `g` on entry, so any previous contents are safe to
+    /// carry over. Results are identical to [`Scheduler::schedule`].
+    ///
+    /// # Errors
+    /// Exactly those of [`Scheduler::schedule`].
+    pub fn schedule_with_scratch(
+        &self,
+        g: &TaskGraph,
+        cluster: &Cluster,
+        dag_buf: &mut TaskGraph,
+        scratch: &mut LocbsScratch,
+    ) -> Result<SchedulerOutput, SchedError> {
         g.validate().map_err(SchedError::Graph)?;
+        scratch.reset_for(g);
         let p_total = cluster.n_procs;
         let model = if self.config.comm_aware {
             CommModel::new(cluster)
@@ -316,7 +358,7 @@ impl Scheduler for LocMps {
 
         // Steps 1–4: pure task-parallel start.
         let mut best_alloc = Allocation::ones(g.n_tasks());
-        let mut best: LocbsResult = locbs.run(g, &best_alloc)?;
+        let mut best: LocbsResult = Self::probe(&locbs, g, &best_alloc, dag_buf, scratch)?;
         self.search(
             g,
             &locbs,
@@ -348,7 +390,7 @@ impl Scheduler for LocMps {
                     clamped.set(t, width.min(pbest[t.index()]));
                 }
                 for alloc in [plain, clamped] {
-                    let res = locbs.run(g, &alloc)?;
+                    let res = Self::probe(&locbs, g, &alloc, dag_buf, scratch)?;
                     if res.makespan < best.makespan - time_eps(best.makespan) {
                         let mut corner_alloc = alloc;
                         let mut corner_best = res;

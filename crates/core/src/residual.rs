@@ -1,0 +1,124 @@
+//! Residual-DAG extraction for mid-execution replanning.
+//!
+//! When processors fail mid-run, a recovery policy may want to re-plan the
+//! *rest* of the application from scratch: the tasks not yet done (and not
+//! currently running) form a sub-DAG of the original graph, and LoC-MPS can
+//! be re-run on that sub-DAG over the surviving cluster. [`ResidualDag`]
+//! performs the extraction and keeps both directions of the task-id
+//! mapping, since the residual graph is compacted to contiguous ids.
+//!
+//! Only **data** edges between two pending endpoints survive extraction:
+//! pseudo-edges encode placement decisions of the abandoned plan, and a
+//! data edge from an already-finished producer is an *input* of the
+//! residual computation, not a precedence constraint inside it (the
+//! produced blocks are already resident somewhere; the caller's locality
+//! model accounts for them separately if it wants to).
+
+use locmps_taskgraph::{EdgeKind, TaskGraph, TaskId};
+
+/// A compacted sub-DAG of pending tasks plus the id mappings back and
+/// forth to the parent graph.
+#[derive(Debug, Clone)]
+pub struct ResidualDag {
+    /// The residual graph with contiguous task ids `0..n_pending`.
+    pub graph: TaskGraph,
+    /// `to_parent[r.index()]` is the parent-graph id of residual task `r`.
+    pub to_parent: Vec<TaskId>,
+    /// `from_parent[t.index()]` is the residual id of parent task `t`, or
+    /// `None` when `t` is not part of the residual.
+    pub from_parent: Vec<Option<TaskId>>,
+}
+
+impl ResidualDag {
+    /// Extracts the sub-DAG of tasks for which `pending` returns true.
+    ///
+    /// Returns `None` when no task is pending. Task names and execution
+    /// profiles are carried over unchanged; ids are compacted in parent-id
+    /// order, so extraction is deterministic.
+    pub fn extract(g: &TaskGraph, mut pending: impl FnMut(TaskId) -> bool) -> Option<ResidualDag> {
+        let mut from_parent: Vec<Option<TaskId>> = vec![None; g.n_tasks()];
+        let mut to_parent: Vec<TaskId> = Vec::new();
+        let mut graph = TaskGraph::new();
+        for t in g.task_ids() {
+            if pending(t) {
+                let task = g.task(t);
+                let r = graph.add_task(task.name.clone(), task.profile.clone());
+                from_parent[t.index()] = Some(r);
+                to_parent.push(t);
+            }
+        }
+        if to_parent.is_empty() {
+            return None;
+        }
+        for (_, edge) in g.edges() {
+            if edge.kind != EdgeKind::Data {
+                continue;
+            }
+            if let (Some(rs), Some(rd)) =
+                (from_parent[edge.src.index()], from_parent[edge.dst.index()])
+            {
+                graph
+                    .add_edge(rs, rd, edge.volume)
+                    .expect("parent data edges stay valid after compaction");
+            }
+        }
+        Some(ResidualDag {
+            graph,
+            to_parent,
+            from_parent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(20.0));
+        let c = g.add_task("c", ExecutionProfile::linear(30.0));
+        let d = g.add_task("d", ExecutionProfile::linear(40.0));
+        g.add_edge(a, b, 5.0).unwrap();
+        g.add_edge(a, c, 5.0).unwrap();
+        g.add_edge(b, d, 5.0).unwrap();
+        g.add_edge(c, d, 5.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn extracts_pending_suffix_with_internal_edges_only() {
+        let g = diamond();
+        // a done, b running => pending = {c, d}.
+        let pending = [false, false, true, true];
+        let r = ResidualDag::extract(&g, |t| pending[t.index()]).unwrap();
+        assert_eq!(r.graph.n_tasks(), 2);
+        assert_eq!(r.to_parent, vec![TaskId(2), TaskId(3)]);
+        assert_eq!(
+            r.from_parent,
+            vec![None, None, Some(TaskId(0)), Some(TaskId(1))]
+        );
+        // Only the c->d edge survives; the finished/running producers'
+        // edges become external inputs and are dropped.
+        assert_eq!(r.graph.n_edges(), 1);
+        let (_, e) = r.graph.edges().next().unwrap();
+        assert_eq!((e.src, e.dst), (TaskId(0), TaskId(1)));
+        r.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn pseudo_edges_do_not_survive_extraction() {
+        let mut g = diamond();
+        g.add_pseudo_edge(TaskId(1), TaskId(2)).unwrap();
+        let r = ResidualDag::extract(&g, |_| true).unwrap();
+        assert_eq!(r.graph.n_edges(), 4, "pseudo edge must be dropped");
+    }
+
+    #[test]
+    fn empty_residual_is_none() {
+        let g = diamond();
+        assert!(ResidualDag::extract(&g, |_| false).is_none());
+    }
+}

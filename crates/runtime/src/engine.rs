@@ -1,18 +1,28 @@
 //! The event-driven execution engine.
 //!
-//! Discrete events are task completions; at every event (and at time 0)
-//! the policy is offered the current ready set and free processors and
-//! returns launch decisions. Realized task durations are the profile time
-//! on the granted processor count multiplied by a seeded, per-task
-//! log-normal factor — identical across policies for fair comparison.
+//! Discrete events are task completions, scripted task crashes, and
+//! scripted processor failures; at every event (and at time 0) the policy
+//! is offered the current ready set and free processors and returns
+//! launch decisions. Realized task durations are the profile time on the
+//! granted processor count multiplied by a seeded, per-task log-normal
+//! factor (keyed by `TaskId`, see [`locmps_sim::seeding`]) — identical
+//! across policies for fair comparison.
+//!
+//! Faults come from a [`FaultPlan`] and are survived (or not) according
+//! to a [`RecoveryPolicy`](crate::RecoveryPolicy); everything that
+//! happens is recorded in the trace's structured event log, which the
+//! `locmps-analysis` LM3xx diagnostics audit after the fact.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use locmps_core::{CommModel, Schedule, ScheduledTask};
-use locmps_platform::{Cluster, CommOverlap, ProcSet};
+use locmps_platform::{Cluster, CommOverlap, ProcId, ProcSet};
+use locmps_sim::seeding;
 use locmps_taskgraph::{TaskGraph, TaskId};
+use serde::Serialize;
 
+use crate::fault::{FailStop, FaultPlan, RecoveryAction, RecoveryCtx, RecoveryPolicy};
 use crate::policy::OnlinePolicy;
 
 /// Engine configuration.
@@ -34,41 +44,133 @@ impl Default for OnlineConfig {
     }
 }
 
+/// One entry of the structured execution log, in processing order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Simulation time at which the event happened.
+    pub time: f64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The event kinds a trace records.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEventKind {
+    /// An attempt of a task was launched.
+    TaskStart {
+        /// The launched task.
+        task: TaskId,
+        /// 0-based attempt number.
+        attempt: u32,
+        /// Processors granted to this attempt.
+        procs: ProcSet,
+    },
+    /// An attempt completed successfully.
+    TaskFinish {
+        /// The finished task.
+        task: TaskId,
+        /// The attempt that finished.
+        attempt: u32,
+    },
+    /// An attempt died — scripted crash or killed by a processor failure.
+    TaskCrash {
+        /// The failed task.
+        task: TaskId,
+        /// The attempt that died.
+        attempt: u32,
+        /// Compute work lost with it (processor-seconds).
+        lost: f64,
+    },
+    /// A processor failed permanently.
+    ProcDown {
+        /// The failed processor.
+        proc: ProcId,
+    },
+    /// Recovery requeued a failed task for another attempt.
+    Retry {
+        /// The requeued task.
+        task: TaskId,
+        /// The attempt number it will run as.
+        attempt: u32,
+    },
+    /// Recovery re-planned the residual DAG over the survivors.
+    Replan {
+        /// Tasks in the residual DAG.
+        pending: usize,
+        /// Surviving processors planned over.
+        procs: usize,
+    },
+    /// The run gave up; in-flight tasks were drained first.
+    Abort {
+        /// Tasks that never completed.
+        unfinished: Vec<TaskId>,
+    },
+}
+
 /// The outcome of one online execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExecutionTrace {
-    /// As-executed placements and times.
+    /// As-executed placements and times of every *completed* task (a
+    /// partial schedule when the run aborted).
     pub schedule: Schedule,
-    /// Completion time of the last task.
+    /// Completion time of the last finished task.
     pub makespan: f64,
     /// Number of dispatch rounds the policy was consulted.
     pub dispatch_rounds: usize,
+    /// Structured log of everything that happened, in processing order.
+    pub events: Vec<TraceEvent>,
+    /// Tasks in the application graph.
+    pub n_tasks: usize,
+    /// Tasks that completed successfully.
+    pub completed: usize,
+    /// Whether the run gave up before completing every task.
+    pub aborted: bool,
 }
 
-/// SplitMix64: hash a task id into an independent uniform draw.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
-}
-
-/// Per-task log-normal duration factor with unit mean, derived only from
-/// `(seed, task)` so every policy sees the same realized durations.
-fn duration_factor(seed: u64, task: TaskId, cv: f64) -> f64 {
-    if cv <= 0.0 {
-        return 1.0;
+impl ExecutionTrace {
+    /// Whether every task of the graph completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.n_tasks
     }
-    let u1 = (splitmix64(seed ^ (task.0 as u64).wrapping_mul(0x9E37)) >> 11) as f64
-        / (1u64 << 53) as f64;
-    let u2 = (splitmix64(seed.rotate_left(17) ^ task.0 as u64) >> 11) as f64 / (1u64 << 53) as f64;
-    let sigma2 = (1.0 + cv * cv).ln();
-    let z = (-2.0 * u1.max(1e-15).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    (sigma2.sqrt() * z - sigma2 / 2.0).exp()
+
+    /// Total compute work lost to failed attempts (processor-seconds).
+    pub fn work_lost(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                TraceEventKind::TaskCrash { lost, .. } => lost,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of re-attempted launches (starts with `attempt > 0`).
+    pub fn retries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskStart { attempt, .. } if attempt > 0))
+            .count()
+    }
+
+    /// Number of processors that failed during the run.
+    pub fn procs_lost(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::ProcDown { .. }))
+            .count()
+    }
+
+    /// Number of residual-DAG replans recovery performed.
+    pub fn replans(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Replan { .. }))
+            .count()
+    }
 }
 
 /// Ordered f64 wrapper for the event heap.
-#[derive(PartialEq)]
+#[derive(Clone, Copy, PartialEq)]
 struct Time(f64);
 impl Eq for Time {}
 impl PartialOrd for Time {
@@ -79,6 +181,225 @@ impl PartialOrd for Time {
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
+    }
+}
+
+/// Heap event ranks: at equal times, completions resolve before scripted
+/// crashes, and processor failures come last (a task finishing exactly
+/// when its processor dies counts as finished). With no faults only
+/// `RANK_FINISH` exists and the order reduces to the classic
+/// `(time, task)` — fault-free executions are bit-identical to the
+/// pre-fault engine.
+const RANK_FINISH: u8 = 0;
+const RANK_CRASH: u8 = 1;
+const RANK_PROC_FAIL: u8 = 2;
+
+type Ev = Reverse<(Time, u8, u32, u32)>;
+
+/// Mutable execution state, factored out so event handlers and the
+/// dispatch loop can share it.
+struct Exec<'a> {
+    g: &'a TaskGraph,
+    cluster: &'a Cluster,
+    model: CommModel<'a>,
+    cfg: OnlineConfig,
+    faults: &'a FaultPlan,
+    remaining: Vec<usize>,
+    ready: Vec<TaskId>,
+    free: ProcSet,
+    alive: ProcSet,
+    placed: Vec<Option<ScheduledTask>>,
+    done: Vec<bool>,
+    running: Vec<bool>,
+    attempt: Vec<u32>,
+    running_count: usize,
+    completed: usize,
+    events: BinaryHeap<Ev>,
+    now: f64,
+    dispatch_rounds: usize,
+    log: Vec<TraceEvent>,
+    aborted: bool,
+    any_failure: bool,
+}
+
+impl<'a> Exec<'a> {
+    fn ctx(&self) -> RecoveryCtx<'_> {
+        RecoveryCtx {
+            g: self.g,
+            cluster: self.cluster,
+            alive: &self.alive,
+            now: self.now,
+            done: &self.done,
+            running: &self.running,
+            placed: &self.placed,
+        }
+    }
+
+    /// Whether a popped event refers to state that no longer exists.
+    fn is_stale(&self, rank: u8, id: u32, att: u32) -> bool {
+        match rank {
+            RANK_PROC_FAIL => !self.alive.contains(id),
+            _ => {
+                let t = TaskId(id);
+                self.done[t.index()] || !self.running[t.index()] || self.attempt[t.index()] != att
+            }
+        }
+    }
+
+    /// Launches one attempt of `t` on `procs` at the current time.
+    fn launch(&mut self, t: TaskId, procs: ProcSet) {
+        assert!(
+            self.ready.contains(&t),
+            "policy launched a non-ready task {t}"
+        );
+        assert!(!procs.is_empty(), "policy launched {t} on no processors");
+        assert!(
+            procs.is_subset(&self.free),
+            "policy launched {t} on busy processors"
+        );
+        self.ready.retain(|&r| r != t);
+        self.free = self.free.difference(&procs);
+
+        // Timing mirrors the simulator's model: transfers start at
+        // each parent's finish (full overlap) or serialize inside
+        // the occupancy window (no overlap).
+        let np = procs.len();
+        let slow = self.faults.slowdown_factor(&procs, self.now);
+        let et = self.g.task(t).profile.time(np)
+            * seeding::exec_factor(self.cfg.seed, t, self.cfg.exec_cv)
+            * slow;
+        let mut arrivals = self.now;
+        let mut comm_total = 0.0;
+        for e in self.g.in_edges(t) {
+            let edge = self.g.edge(e);
+            let src = self.placed[edge.src.index()]
+                .as_ref()
+                .expect("parents finished before the task became ready");
+            let ct = self.model.transfer_time(&src.procs, &procs, edge.volume);
+            comm_total += ct;
+            arrivals = arrivals.max(src.finish + ct);
+        }
+        let (start, compute_start, finish) = match self.cluster.overlap {
+            CommOverlap::Full => {
+                let st = arrivals.max(self.now);
+                (self.now, st, st + et)
+            }
+            CommOverlap::None => {
+                let cs = self.now + comm_total;
+                (self.now, cs, cs + et)
+            }
+        };
+        let a = self.attempt[t.index()];
+        self.placed[t.index()] = Some(ScheduledTask {
+            task: t,
+            procs: procs.clone(),
+            start,
+            compute_start,
+            finish,
+        });
+        self.running[t.index()] = true;
+        self.running_count += 1;
+        self.log.push(TraceEvent {
+            time: self.now,
+            kind: TraceEventKind::TaskStart {
+                task: t,
+                attempt: a,
+                procs,
+            },
+        });
+        match self.faults.crash_fraction(t, a) {
+            Some(frac) => {
+                let at = compute_start + frac * (finish - compute_start);
+                self.events.push(Reverse((Time(at), RANK_CRASH, t.0, a)));
+            }
+            None => self
+                .events
+                .push(Reverse((Time(finish), RANK_FINISH, t.0, a))),
+        }
+    }
+
+    /// Completes the running attempt of `t`.
+    fn finish(&mut self, t: TaskId, att: u32) {
+        self.running[t.index()] = false;
+        self.running_count -= 1;
+        self.done[t.index()] = true;
+        self.completed += 1;
+        let procs = self.placed[t.index()]
+            .as_ref()
+            .expect("finished tasks were launched")
+            .procs
+            .clone();
+        for p in procs.iter() {
+            if self.alive.contains(p) {
+                self.free.insert(p);
+            }
+        }
+        self.log.push(TraceEvent {
+            time: self.now,
+            kind: TraceEventKind::TaskFinish {
+                task: t,
+                attempt: att,
+            },
+        });
+        for s in self.g.successors(t) {
+            self.remaining[s.index()] -= 1;
+            if self.remaining[s.index()] == 0 {
+                self.ready.push(s);
+            }
+        }
+    }
+
+    /// Kills the running attempt of `t`, freeing its surviving
+    /// processors and logging the lost work.
+    fn fail_running_task(&mut self, t: TaskId) {
+        let entry = self.placed[t.index()]
+            .take()
+            .expect("failed tasks were launched");
+        self.running[t.index()] = false;
+        self.running_count -= 1;
+        for p in entry.procs.iter() {
+            if self.alive.contains(p) {
+                self.free.insert(p);
+            }
+        }
+        let lost = (self.now - entry.compute_start).max(0.0) * entry.procs.len() as f64;
+        let a = self.attempt[t.index()];
+        self.attempt[t.index()] += 1;
+        self.any_failure = true;
+        self.log.push(TraceEvent {
+            time: self.now,
+            kind: TraceEventKind::TaskCrash {
+                task: t,
+                attempt: a,
+                lost,
+            },
+        });
+    }
+
+    /// Takes processor `p` down, killing every attempt running on it.
+    /// Returns the victims in task-id order.
+    fn kill_proc(&mut self, p: ProcId) -> Vec<TaskId> {
+        self.alive.remove(p);
+        self.free.remove(p);
+        self.any_failure = true;
+        self.log.push(TraceEvent {
+            time: self.now,
+            kind: TraceEventKind::ProcDown { proc: p },
+        });
+        let victims: Vec<TaskId> = self
+            .g
+            .task_ids()
+            .filter(|&t| {
+                self.running[t.index()]
+                    && self.placed[t.index()]
+                        .as_ref()
+                        .is_some_and(|e| e.procs.contains(p))
+            })
+            .collect();
+        for &t in &victims {
+            self.fail_running_task(t);
+        }
+        victims
     }
 }
 
@@ -95,131 +416,231 @@ impl<'a> RuntimeEngine<'a> {
         Self { g, cluster, cfg }
     }
 
-    /// Executes the application under `policy`.
+    /// Executes the application under `policy` with no faults.
+    ///
+    /// Equivalent to [`RuntimeEngine::run_with_faults`] with an empty
+    /// [`FaultPlan`] and [`FailStop`] recovery.
     ///
     /// # Panics
     /// Panics if the graph is invalid or the policy launches a task on an
     /// empty/busy processor set (policy bugs must be loud).
     pub fn run(&self, policy: &mut dyn OnlinePolicy) -> ExecutionTrace {
+        self.run_with_faults(policy, &FaultPlan::new(), &mut FailStop)
+    }
+
+    /// Executes the application under `policy`, injecting `faults` and
+    /// recovering per `recovery`.
+    ///
+    /// The returned trace always accounts for every launched attempt:
+    /// even when the run aborts, in-flight tasks are drained first, so
+    /// each `TaskStart` in the event log is closed by a `TaskFinish` or
+    /// `TaskCrash`.
+    ///
+    /// # Panics
+    /// Panics if the graph is invalid, the policy or recovery launches a
+    /// task on an empty/busy processor set, or a *fault-free* execution
+    /// stalls (with faults in play a stall is an honest outcome — the run
+    /// aborts and the trace says so; without them it is a policy bug and
+    /// must be loud).
+    pub fn run_with_faults(
+        &self,
+        policy: &mut dyn OnlinePolicy,
+        faults: &FaultPlan,
+        recovery: &mut dyn RecoveryPolicy,
+    ) -> ExecutionTrace {
         self.g
             .validate()
             .expect("online execution needs a valid DAG");
-        let model = CommModel::new(self.cluster);
         policy.prepare(self.g, self.cluster);
+        recovery.prepare(self.g, self.cluster);
 
         let n = self.g.n_tasks();
-        let mut remaining: Vec<usize> = self.g.task_ids().map(|t| self.g.in_degree(t)).collect();
-        let mut ready: Vec<TaskId> = self
+        let mut exec = Exec {
+            g: self.g,
+            cluster: self.cluster,
+            model: CommModel::new(self.cluster),
+            cfg: self.cfg,
+            faults,
+            remaining: self.g.task_ids().map(|t| self.g.in_degree(t)).collect(),
+            ready: Vec::new(),
+            free: ProcSet::all(self.cluster.n_procs),
+            alive: ProcSet::all(self.cluster.n_procs),
+            placed: vec![None; n],
+            done: vec![false; n],
+            running: vec![false; n],
+            attempt: vec![0; n],
+            running_count: 0,
+            completed: 0,
+            events: BinaryHeap::new(),
+            now: 0.0,
+            dispatch_rounds: 0,
+            log: Vec::new(),
+            aborted: false,
+            any_failure: false,
+        };
+        exec.ready = self
             .g
             .task_ids()
-            .filter(|&t| remaining[t.index()] == 0)
+            .filter(|&t| exec.remaining[t.index()] == 0)
             .collect();
-        let mut free = ProcSet::all(self.cluster.n_procs);
-        let mut placed: Vec<Option<ScheduledTask>> = vec![None; n];
-        let mut finished = 0usize;
-        let mut events: BinaryHeap<Reverse<(Time, TaskId)>> = BinaryHeap::new();
-        let mut now = 0.0f64;
-        let mut dispatch_rounds = 0usize;
-
-        while finished < n {
-            // Offer the policy everything that is ready right now.
-            ready.sort(); // deterministic presentation order
-            let launches = policy.dispatch(now, &ready, &free, self.g, self.cluster);
-            dispatch_rounds += 1;
-            for (t, procs) in launches {
-                assert!(ready.contains(&t), "policy launched a non-ready task {t}");
-                assert!(!procs.is_empty(), "policy launched {t} on no processors");
-                assert!(
-                    procs.is_subset(&free),
-                    "policy launched {t} on busy processors"
-                );
-                ready.retain(|&r| r != t);
-                free = free.difference(&procs);
-
-                // Timing mirrors the simulator's model: transfers start at
-                // each parent's finish (full overlap) or serialize inside
-                // the occupancy window (no overlap).
-                let np = procs.len();
-                let et = self.g.task(t).profile.time(np)
-                    * duration_factor(self.cfg.seed, t, self.cfg.exec_cv);
-                let mut arrivals = now;
-                let mut comm_total = 0.0;
-                for e in self.g.in_edges(t) {
-                    let edge = self.g.edge(e);
-                    let src = placed[edge.src.index()]
-                        .as_ref()
-                        .expect("parents finished before the task became ready");
-                    let ct = model.transfer_time(&src.procs, &procs, edge.volume);
-                    comm_total += ct;
-                    arrivals = arrivals.max(src.finish + ct);
-                }
-                let (start, compute_start, finish) = match self.cluster.overlap {
-                    CommOverlap::Full => {
-                        let st = arrivals.max(now);
-                        (now, st, st + et)
-                    }
-                    CommOverlap::None => {
-                        let cs = now + comm_total;
-                        (now, cs, cs + et)
-                    }
-                };
-                placed[t.index()] = Some(ScheduledTask {
-                    task: t,
-                    procs: procs.clone(),
-                    start,
-                    compute_start,
-                    finish,
-                });
-                events.push(Reverse((Time(finish), t)));
-            }
-
-            // Advance to the next completion.
-            let Some(Reverse((Time(time), done))) = events.pop() else {
-                // Nothing in flight and nothing launched: the policy is
-                // stuck (e.g. waiting for more processors than exist).
-                panic!(
-                    "deadlock: {} ready tasks, {} free procs",
-                    ready.len(),
-                    free.len()
-                );
-            };
-            now = time;
-            finished += 1;
-            free.union_with(&placed[done.index()].as_ref().expect("launched").procs);
-            for s in self.g.successors(done) {
-                remaining[s.index()] -= 1;
-                if remaining[s.index()] == 0 {
-                    ready.push(s);
-                }
-            }
-            // Drain any completions at the exact same time.
-            while let Some(Reverse((Time(t2), _))) = events.peek() {
-                if *t2 > now {
-                    break;
-                }
-                let Reverse((_, done2)) = events.pop().expect("peeked");
-                finished += 1;
-                free.union_with(&placed[done2.index()].as_ref().expect("launched").procs);
-                for s in self.g.successors(done2) {
-                    remaining[s.index()] -= 1;
-                    if remaining[s.index()] == 0 {
-                        ready.push(s);
-                    }
-                }
+        for (p, at) in faults.proc_failures() {
+            if (p as usize) < self.cluster.n_procs {
+                exec.events.push(Reverse((Time(at), RANK_PROC_FAIL, p, 0)));
             }
         }
 
-        let schedule = Schedule::from_entries(
-            placed
-                .into_iter()
-                .map(|e| e.expect("all tasks executed"))
-                .collect(),
-        );
+        while exec.completed < n && !exec.aborted {
+            // Offer the policy everything that is ready right now.
+            exec.ready.sort(); // deterministic presentation order
+            exec.dispatch_rounds += 1;
+            if !recovery.overrides_dispatch() {
+                let launches =
+                    policy.dispatch(exec.now, &exec.ready, &exec.free, self.g, self.cluster);
+                for (t, procs) in launches {
+                    exec.launch(t, procs);
+                }
+            }
+            let stall = exec.running_count == 0;
+            let extra = {
+                let ctx = RecoveryCtx {
+                    g: exec.g,
+                    cluster: exec.cluster,
+                    alive: &exec.alive,
+                    now: exec.now,
+                    done: &exec.done,
+                    running: &exec.running,
+                    placed: &exec.placed,
+                };
+                recovery.dispatch_recovery(&ctx, &exec.ready, &exec.free, stall, &mut exec.log)
+            };
+            for (t, procs) in extra {
+                exec.launch(t, procs);
+            }
+            if exec.running_count == 0 {
+                // Nothing in flight and nothing launched. Queued processor
+                // failures cannot unblock anything, so the run is stuck.
+                if faults.is_empty() && !exec.any_failure {
+                    panic!(
+                        "deadlock: {} ready tasks, {} free procs",
+                        exec.ready.len(),
+                        exec.free.len()
+                    );
+                }
+                exec.aborted = true;
+                break;
+            }
+
+            // Advance to the next live event, then drain its time slice.
+            loop {
+                let Reverse((Time(time), rank, id, att)) =
+                    exec.events.pop().expect("running attempts imply events");
+                if exec.is_stale(rank, id, att) {
+                    continue;
+                }
+                exec.now = time;
+                Self::process(&mut exec, recovery, rank, id, att);
+                break;
+            }
+            while let Some(&Reverse((Time(t2), rank, id, att))) = exec.events.peek() {
+                if t2 > exec.now {
+                    break;
+                }
+                exec.events.pop();
+                if exec.is_stale(rank, id, att) {
+                    continue;
+                }
+                Self::process(&mut exec, recovery, rank, id, att);
+            }
+        }
+
+        if exec.aborted {
+            // Drain in-flight work so every started attempt resolves in
+            // the log (no recovery consultation: the decision is final).
+            while let Some(Reverse((Time(time), rank, id, att))) = exec.events.pop() {
+                if exec.is_stale(rank, id, att) {
+                    continue;
+                }
+                exec.now = time;
+                match rank {
+                    RANK_PROC_FAIL => {
+                        exec.kill_proc(id);
+                    }
+                    RANK_CRASH => exec.fail_running_task(TaskId(id)),
+                    _ => exec.finish(TaskId(id), att),
+                }
+            }
+            let unfinished: Vec<TaskId> = self
+                .g
+                .task_ids()
+                .filter(|&t| !exec.done[t.index()])
+                .collect();
+            exec.log.push(TraceEvent {
+                time: exec.now,
+                kind: TraceEventKind::Abort { unfinished },
+            });
+        }
+
+        let schedule = Schedule::from_entries(exec.placed.into_iter().flatten().collect());
         let makespan = schedule.makespan();
         ExecutionTrace {
             schedule,
             makespan,
-            dispatch_rounds,
+            dispatch_rounds: exec.dispatch_rounds,
+            events: exec.log,
+            n_tasks: n,
+            completed: exec.completed,
+            aborted: exec.aborted,
+        }
+    }
+
+    /// Handles one live event, consulting recovery about failures.
+    fn process(
+        exec: &mut Exec<'_>,
+        recovery: &mut dyn RecoveryPolicy,
+        rank: u8,
+        id: u32,
+        att: u32,
+    ) {
+        match rank {
+            RANK_FINISH => exec.finish(TaskId(id), att),
+            RANK_CRASH => {
+                exec.fail_running_task(TaskId(id));
+                Self::consult(exec, recovery, TaskId(id));
+            }
+            _ => {
+                let victims = exec.kill_proc(id);
+                {
+                    let ctx = exec.ctx();
+                    recovery.on_proc_failure(&ctx, id);
+                }
+                for t in victims {
+                    Self::consult(exec, recovery, t);
+                }
+            }
+        }
+    }
+
+    /// Asks recovery what to do with a failed task.
+    fn consult(exec: &mut Exec<'_>, recovery: &mut dyn RecoveryPolicy, t: TaskId) {
+        if exec.aborted {
+            return;
+        }
+        let action = {
+            let ctx = exec.ctx();
+            recovery.on_task_failure(&ctx, t)
+        };
+        match action {
+            RecoveryAction::Retry => {
+                exec.log.push(TraceEvent {
+                    time: exec.now,
+                    kind: TraceEventKind::Retry {
+                        task: t,
+                        attempt: exec.attempt[t.index()],
+                    },
+                });
+                exec.ready.push(t);
+            }
+            RecoveryAction::Abort => exec.aborted = true,
         }
     }
 }
@@ -227,6 +648,7 @@ impl<'a> RuntimeEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, Replan, RetryShrink};
     use crate::policy::{GreedyOneProc, OnlineLocbs, PlanFollower};
     use locmps_core::{LocMps, Scheduler};
     use locmps_speedup::ExecutionProfile;
@@ -247,21 +669,9 @@ mod tests {
         let trace = engine.run(&mut GreedyOneProc);
         assert!((trace.makespan - 20.0).abs() < 1e-9);
         assert!(trace.dispatch_rounds >= 2);
-    }
-
-    #[test]
-    fn duration_factor_properties() {
-        assert_eq!(duration_factor(1, TaskId(0), 0.0), 1.0);
-        let a = duration_factor(7, TaskId(3), 0.2);
-        let b = duration_factor(7, TaskId(3), 0.2);
-        assert_eq!(a, b, "deterministic per (seed, task)");
-        assert_ne!(a, duration_factor(8, TaskId(3), 0.2));
-        let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|i| duration_factor(42, TaskId(i), 0.15))
-            .sum::<f64>()
-            / n as f64;
-        assert!((mean - 1.0).abs() < 0.01, "unit mean, got {mean}");
+        assert!(trace.is_complete() && !trace.aborted);
+        assert_eq!(trace.events.len(), 4, "2 starts + 2 finishes");
+        assert_eq!(trace.work_lost(), 0.0);
     }
 
     #[test]
@@ -329,5 +739,157 @@ mod tests {
         let a = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
         let b = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
         assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a, b, "whole traces are bit-identical");
+    }
+
+    #[test]
+    fn failstop_aborts_on_crash_but_drains_in_flight() {
+        // Two independent tasks; one crashes halfway. FailStop aborts,
+        // but the surviving task's completion is still in the trace.
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        g.add_task("b", ExecutionProfile::linear(30.0));
+        let cluster = Cluster::new(2, 12.5);
+        let faults = FaultPlan::parse("crash:0@0.5").unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut FailStop,
+        );
+        assert!(trace.aborted && !trace.is_complete());
+        assert_eq!(trace.completed, 1);
+        assert!(
+            trace.events.iter().any(|e| matches!(
+                e.kind,
+                TraceEventKind::TaskCrash { task: TaskId(0), lost, .. } if (lost - 5.0).abs() < 1e-9
+            )),
+            "crash at 50% of 10s on 1 proc loses 5 proc-seconds: {:#?}",
+            trace.events
+        );
+        assert!(matches!(
+            trace.events.last().map(|e| &e.kind),
+            Some(TraceEventKind::Abort { unfinished }) if unfinished == &vec![TaskId(0)]
+        ));
+    }
+
+    #[test]
+    fn retry_shrink_survives_crashes_and_proc_failure() {
+        let g = chain2();
+        let cluster = Cluster::new(2, 12.5);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::Crash {
+            task: TaskId(0),
+            at_frac: 0.5,
+            attempts: 1,
+        })
+        .unwrap();
+        plan.push(Fault::ProcFail { proc: 0, at: 2.0 }).unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &plan,
+            &mut RetryShrink::new(),
+        );
+        assert!(trace.is_complete(), "events: {:#?}", trace.events);
+        assert!(!trace.aborted);
+        assert!(trace.retries() >= 1);
+        assert_eq!(trace.procs_lost(), 1);
+        assert!(trace.work_lost() > 0.0);
+        // The crashed+killed chain still completes, only later.
+        assert!(trace.makespan > 20.0);
+    }
+
+    #[test]
+    fn replan_reschedules_residual_dag_after_proc_failure() {
+        let g = locmps_workloads::synthetic::synthetic_graph(
+            &locmps_workloads::synthetic::SyntheticConfig {
+                n_tasks: 14,
+                ccr: 0.4,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let cluster = Cluster::new(6, 50.0);
+        let base = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
+            .run(&mut PlanFollower::locmps());
+        let faults = FaultPlan::parse(&format!("fail:2@{}", base.makespan * 0.3)).unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut PlanFollower::locmps(),
+            &faults,
+            &mut Replan::locmps(),
+        );
+        assert!(trace.is_complete(), "events: {:#?}", trace.events);
+        assert_eq!(trace.replans(), 1);
+        assert!(trace.makespan >= base.makespan, "5 procs can't beat 6");
+        // The dead processor hosts nothing after its failure.
+        for e in &trace.events {
+            if let TraceEventKind::TaskStart { procs, .. } = &e.kind {
+                if e.time > base.makespan * 0.3 {
+                    assert!(!procs.contains(2), "started on dead proc at {}", e.time);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_affected_tasks_only() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        g.add_task("b", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(2, 12.5);
+        let faults = FaultPlan::parse("slow:0@0-1x3").unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut FailStop,
+        );
+        assert!(trace.is_complete());
+        let a = trace.schedule.get(TaskId(0)).unwrap();
+        let b = trace.schedule.get(TaskId(1)).unwrap();
+        assert!((a.finish - 30.0).abs() < 1e-9, "slowed 3x: {}", a.finish);
+        assert!((b.finish - 10.0).abs() < 1e-9, "unaffected: {}", b.finish);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_equal_to_plain_run() {
+        let g = locmps_workloads::toys::fork_join(4, 6.0, 20.0);
+        let cluster = Cluster::new(4, 25.0);
+        let cfg = OnlineConfig {
+            seed: 3,
+            exec_cv: 0.15,
+        };
+        let plain = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
+        let faulted = RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(
+            &mut OnlineLocbs::default(),
+            &FaultPlan::new(),
+            &mut Replan::locmps(),
+        );
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn all_procs_failing_aborts_instead_of_hanging() {
+        let g = chain2();
+        let cluster = Cluster::new(2, 12.5);
+        let faults = FaultPlan::parse("fail:0@1,fail:1@1").unwrap();
+        for recovery in [true, false] {
+            let trace = if recovery {
+                RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+                    &mut GreedyOneProc,
+                    &faults,
+                    &mut RetryShrink::new(),
+                )
+            } else {
+                RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+                    &mut GreedyOneProc,
+                    &faults,
+                    &mut Replan::locmps(),
+                )
+            };
+            assert!(trace.aborted && !trace.is_complete());
+            assert!(matches!(
+                trace.events.last().map(|e| &e.kind),
+                Some(TraceEventKind::Abort { .. })
+            ));
+        }
     }
 }

@@ -1,0 +1,695 @@
+//! Deterministic fault injection and pluggable recovery.
+//!
+//! A [`FaultPlan`] is a *script* of adversities — permanent processor
+//! failures, transient slowdowns, and task crashes at a fraction of their
+//! runtime — injected into the [`RuntimeEngine`](crate::RuntimeEngine)
+//! event loop. Plans are plain data: parsed from a compact spec string
+//! ([`FaultPlan::parse`]), generated from a seed
+//! ([`FaultPlan::random_proc_failures`]), or built by hand. Identical
+//! plans give bit-identical executions, so resilience experiments are
+//! exactly reproducible.
+//!
+//! What happens *after* a fault is decided by a [`RecoveryPolicy`]:
+//!
+//! * [`FailStop`] — the baseline: any task failure aborts the run (the
+//!   engine still drains in-flight tasks so the trace is complete);
+//! * [`RetryShrink`] — re-molds each failed task onto the surviving free
+//!   processors (shrinking its width) and adopts tasks the base policy
+//!   can no longer place, without discarding the rest of the plan;
+//! * [`Replan`] — re-runs LoC-MPS on the residual DAG over the surviving
+//!   cluster (reusing one long-lived
+//!   [`LocbsScratch`](locmps_core::LocbsScratch) across replans) and
+//!   follows the fresh plan from then on.
+
+use locmps_core::{locality, LocMps, LocMpsConfig, LocbsScratch, ResidualDag, ScheduledTask};
+use locmps_platform::{Cluster, ProcId, ProcSet};
+use locmps_sim::seeding;
+use locmps_taskgraph::{Levels, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{TraceEvent, TraceEventKind};
+
+/// One scripted adversity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Processor `proc` fails permanently at time `at`; tasks running on
+    /// it at that moment are killed.
+    ProcFail {
+        /// The failing processor.
+        proc: ProcId,
+        /// Failure time.
+        at: f64,
+    },
+    /// Processor `proc` runs `factor`× slower for tasks *launched* in
+    /// `[from, until)` (sampled at launch; already-running tasks keep
+    /// their realized duration).
+    Slowdown {
+        /// The degraded processor.
+        proc: ProcId,
+        /// Window start.
+        from: f64,
+        /// Window end (exclusive).
+        until: f64,
+        /// Slowdown multiplier (≥ 1).
+        factor: f64,
+    },
+    /// Task `task` crashes after `at_frac` of its realized compute time,
+    /// on each of its first `attempts` attempts.
+    Crash {
+        /// The crashing task.
+        task: TaskId,
+        /// Crash point as a fraction of compute time, in `(0, 1)`.
+        at_frac: f64,
+        /// How many attempts crash before one succeeds.
+        attempts: u32,
+    },
+}
+
+/// A typed error building or parsing a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault field fails validation.
+    Invalid {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+    /// A spec item could not be parsed.
+    Parse {
+        /// The offending item, verbatim.
+        item: String,
+        /// What was expected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Invalid { what } => write!(f, "invalid fault: {what}"),
+            FaultError::Parse { item, reason } => {
+                write!(f, "cannot parse fault `{item}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A validated script of [`Fault`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no adversity; executions match the plain engine).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fault after validating its fields.
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] when a time is negative or non-finite, a
+    /// slowdown window is empty or its factor below 1, or a crash
+    /// fraction lies outside `(0, 1)` / has zero attempts.
+    pub fn push(&mut self, fault: Fault) -> Result<(), FaultError> {
+        let bad = |what| Err(FaultError::Invalid { what });
+        match &fault {
+            Fault::ProcFail { at, .. } => {
+                if !at.is_finite() || *at < 0.0 {
+                    return bad("failure time must be finite and non-negative");
+                }
+            }
+            Fault::Slowdown {
+                from,
+                until,
+                factor,
+                ..
+            } => {
+                if !from.is_finite() || !until.is_finite() || *from < 0.0 || until <= from {
+                    return bad("slowdown window must be finite with from < until");
+                }
+                if !factor.is_finite() || *factor < 1.0 {
+                    return bad("slowdown factor must be finite and >= 1");
+                }
+            }
+            Fault::Crash {
+                at_frac, attempts, ..
+            } => {
+                if !at_frac.is_finite() || *at_frac <= 0.0 || *at_frac >= 1.0 {
+                    return bad("crash fraction must lie strictly inside (0, 1)");
+                }
+                if *attempts == 0 {
+                    return bad("crash attempts must be >= 1");
+                }
+            }
+        }
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// Parses a comma-separated spec, e.g.
+    /// `"fail:1@8,slow:0@2-9x3,crash:4@0.5x2"`:
+    ///
+    /// * `fail:P@T` — processor `P` fails at time `T`;
+    /// * `slow:P@T0-T1xF` — processor `P` is `F`× slower in `[T0, T1)`;
+    /// * `crash:T@F` or `crash:T@FxN` — task `T` crashes at fraction `F`
+    ///   of its compute time on its first `N` attempts (default 1).
+    ///
+    /// # Errors
+    /// [`FaultError::Parse`] on malformed items, [`FaultError::Invalid`]
+    /// on out-of-range fields.
+    pub fn parse(spec: &str) -> Result<Self, FaultError> {
+        let mut plan = FaultPlan::new();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let err = |reason| FaultError::Parse {
+                item: item.to_string(),
+                reason,
+            };
+            let (kind, rest) = item
+                .split_once(':')
+                .ok_or_else(|| err("expected kind:spec"))?;
+            let (target, when) = rest
+                .split_once('@')
+                .ok_or_else(|| err("expected target@timing"))?;
+            match kind {
+                "fail" => {
+                    let proc: ProcId = target.parse().map_err(|_| err("bad processor id"))?;
+                    let at: f64 = when.parse().map_err(|_| err("bad failure time"))?;
+                    plan.push(Fault::ProcFail { proc, at })?;
+                }
+                "slow" => {
+                    let proc: ProcId = target.parse().map_err(|_| err("bad processor id"))?;
+                    let (window, factor) = when
+                        .split_once('x')
+                        .ok_or_else(|| err("expected T0-T1xF"))?;
+                    let (from, until) = window
+                        .split_once('-')
+                        .ok_or_else(|| err("expected T0-T1xF"))?;
+                    let from: f64 = from.parse().map_err(|_| err("bad window start"))?;
+                    let until: f64 = until.parse().map_err(|_| err("bad window end"))?;
+                    let factor: f64 = factor.parse().map_err(|_| err("bad slowdown factor"))?;
+                    plan.push(Fault::Slowdown {
+                        proc,
+                        from,
+                        until,
+                        factor,
+                    })?;
+                }
+                "crash" => {
+                    let task: u32 = target.parse().map_err(|_| err("bad task id"))?;
+                    let (frac, attempts) = match when.split_once('x') {
+                        Some((f, n)) => (f, n.parse().map_err(|_| err("bad attempt count"))?),
+                        None => (when, 1u32),
+                    };
+                    let at_frac: f64 = frac.parse().map_err(|_| err("bad crash fraction"))?;
+                    plan.push(Fault::Crash {
+                        task: TaskId(task),
+                        at_frac,
+                        attempts,
+                    })?;
+                }
+                _ => return Err(err("unknown kind (fail|slow|crash)")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A seeded plan of `count` distinct permanent processor failures at
+    /// times inside `(0, horizon)`, always sparing at least one processor
+    /// of the `n_procs` so recovery has somewhere to go. Draws are keyed
+    /// by `(seed, index)` ([`seeding::keyed_unit`]) — pure data, no RNG
+    /// state.
+    pub fn random_proc_failures(seed: u64, n_procs: usize, count: usize, horizon: f64) -> Self {
+        let count = count.min(n_procs.saturating_sub(1));
+        let mut candidates: Vec<ProcId> = (0..n_procs as ProcId).collect();
+        let mut plan = FaultPlan::new();
+        for i in 0..count {
+            let pick = (seeding::keyed_unit(seed, 2 * i as u64) * candidates.len() as f64) as usize;
+            let proc = candidates.remove(pick.min(candidates.len() - 1));
+            let at = horizon.max(0.0) * (0.1 + 0.8 * seeding::keyed_unit(seed, 2 * i as u64 + 1));
+            plan.faults.push(Fault::ProcFail { proc, at });
+        }
+        plan
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scripted faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The scripted permanent processor failures as `(proc, at)` pairs.
+    pub fn proc_failures(&self) -> impl Iterator<Item = (ProcId, f64)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            Fault::ProcFail { proc, at } => Some((*proc, *at)),
+            _ => None,
+        })
+    }
+
+    /// The compound slowdown multiplier for launching a task on `procs`
+    /// at time `now`: per processor, active windows multiply; across the
+    /// set the task runs at the slowest member's speed (max).
+    pub fn slowdown_factor(&self, procs: &ProcSet, now: f64) -> f64 {
+        let mut worst = 1.0f64;
+        for p in procs.iter() {
+            let mut f = 1.0;
+            for fault in &self.faults {
+                if let Fault::Slowdown {
+                    proc,
+                    from,
+                    until,
+                    factor,
+                } = fault
+                {
+                    if *proc == p && now >= *from && now < *until {
+                        f *= factor;
+                    }
+                }
+            }
+            worst = worst.max(f);
+        }
+        worst
+    }
+
+    /// Whether attempt number `attempt` (0-based) of `task` is scripted
+    /// to crash, and at which fraction of its compute time.
+    pub fn crash_fraction(&self, task: TaskId, attempt: u32) -> Option<f64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Crash {
+                task: t,
+                at_frac,
+                attempts,
+            } if *t == task && attempt < *attempts => Some(*at_frac),
+            _ => None,
+        })
+    }
+}
+
+/// What the engine should do with one failed task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Give up: stop launching work, drain in-flight tasks, return a
+    /// partial trace.
+    Abort,
+    /// Put the task back into the ready set for another attempt.
+    Retry,
+}
+
+/// Read-only execution state handed to a [`RecoveryPolicy`].
+pub struct RecoveryCtx<'a> {
+    /// The application graph.
+    pub g: &'a TaskGraph,
+    /// The (original) cluster.
+    pub cluster: &'a Cluster,
+    /// Processors still alive.
+    pub alive: &'a ProcSet,
+    /// Current simulation time.
+    pub now: f64,
+    /// Per task: completed successfully.
+    pub done: &'a [bool],
+    /// Per task: an attempt is executing right now.
+    pub running: &'a [bool],
+    /// Per task: placement of the finished or in-flight attempt, if any.
+    pub placed: &'a [Option<ScheduledTask>],
+}
+
+/// Decides how execution continues after faults.
+///
+/// The engine consults the policy on every failure and once per dispatch
+/// round (after the base [`OnlinePolicy`](crate::OnlinePolicy) has
+/// launched, or instead of it when [`RecoveryPolicy::overrides_dispatch`]
+/// is true). Recovery launches obey the same rules as policy launches:
+/// disjoint subsets of the free processors, ready tasks only.
+pub trait RecoveryPolicy {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// One-time setup before execution starts.
+    fn prepare(&mut self, _g: &TaskGraph, _cluster: &Cluster) {}
+
+    /// A processor just failed permanently (its victims are reported to
+    /// [`RecoveryPolicy::on_task_failure`] individually, right after).
+    fn on_proc_failure(&mut self, _ctx: &RecoveryCtx<'_>, _proc: ProcId) {}
+
+    /// A task attempt just died (scripted crash or killed by a processor
+    /// failure). Returns what the engine should do with it.
+    fn on_task_failure(&mut self, _ctx: &RecoveryCtx<'_>, _task: TaskId) -> RecoveryAction {
+        RecoveryAction::Abort
+    }
+
+    /// When true, the base policy is no longer consulted and
+    /// [`RecoveryPolicy::dispatch_recovery`] owns all launch decisions.
+    fn overrides_dispatch(&self) -> bool {
+        false
+    }
+
+    /// Offered the still-unlaunched `ready` tasks and `free` processors
+    /// once per dispatch round; returns extra launches. `stall` is true
+    /// when nothing is running and the round has launched nothing — the
+    /// last chance to make progress before the engine aborts the run.
+    fn dispatch_recovery(
+        &mut self,
+        _ctx: &RecoveryCtx<'_>,
+        _ready: &[TaskId],
+        _free: &ProcSet,
+        _stall: bool,
+        _log: &mut Vec<TraceEvent>,
+    ) -> Vec<(TaskId, ProcSet)> {
+        Vec::new()
+    }
+}
+
+/// Baseline recovery: the first task failure aborts the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailStop;
+
+impl RecoveryPolicy for FailStop {
+    fn name(&self) -> &'static str {
+        "fail-stop"
+    }
+}
+
+/// Re-molds failed tasks onto the surviving processors.
+///
+/// Every failed task is retried; retried (and stall-stranded) tasks are
+/// placed by LoCBS's run-time rule — highest bottom level first, width
+/// `min(Pbest, free)`, on the locality-maximal free subset given where
+/// their finished parents actually ran. The base policy keeps driving
+/// the untouched part of the plan.
+#[derive(Default)]
+pub struct RetryShrink {
+    levels: Option<Levels>,
+    orphaned: Vec<bool>,
+}
+
+impl RetryShrink {
+    /// A fresh policy (state is built in `prepare`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RecoveryPolicy for RetryShrink {
+    fn name(&self) -> &'static str {
+        "retry-shrink"
+    }
+
+    fn prepare(&mut self, g: &TaskGraph, _cluster: &Cluster) {
+        self.levels = Some(g.levels(|t| g.task(t).profile.time(1), |_| 0.0));
+        self.orphaned = vec![false; g.n_tasks()];
+    }
+
+    fn on_task_failure(&mut self, _ctx: &RecoveryCtx<'_>, task: TaskId) -> RecoveryAction {
+        self.orphaned[task.index()] = true;
+        RecoveryAction::Retry
+    }
+
+    fn dispatch_recovery(
+        &mut self,
+        ctx: &RecoveryCtx<'_>,
+        ready: &[TaskId],
+        free: &ProcSet,
+        stall: bool,
+        _log: &mut Vec<TraceEvent>,
+    ) -> Vec<(TaskId, ProcSet)> {
+        let levels = self.levels.as_ref().expect("prepare ran");
+        let mut mine: Vec<TaskId> = ready
+            .iter()
+            .copied()
+            .filter(|t| self.orphaned[t.index()])
+            .collect();
+        if stall && mine.is_empty() {
+            // The base policy can make no progress (e.g. the plan wants
+            // dead processors): adopt whatever is stranded.
+            mine = ready.to_vec();
+            for &t in &mine {
+                self.orphaned[t.index()] = true;
+            }
+        }
+        mine.sort_by(|&a, &b| {
+            levels.bottom[b.index()]
+                .total_cmp(&levels.bottom[a.index()])
+                .then(a.cmp(&b))
+        });
+        let mut remaining = free.clone();
+        let mut launches = Vec::new();
+        for t in mine {
+            if remaining.is_empty() {
+                break;
+            }
+            let np = ctx
+                .g
+                .task(t)
+                .profile
+                .pbest(ctx.cluster.n_procs)
+                .min(remaining.len())
+                .max(1);
+            let scores = locality::input_locality_scores(ctx.g, t, ctx.cluster.n_procs, |p| {
+                ctx.placed[p.index()]
+                    .as_ref()
+                    .map(|e| e.procs.clone())
+                    .unwrap_or_default()
+            });
+            let Some(procs) = locality::select_max_locality(&remaining, np, &scores) else {
+                break;
+            };
+            remaining = remaining.difference(&procs);
+            launches.push((t, procs));
+        }
+        launches
+    }
+}
+
+/// Re-runs LoC-MPS on the residual DAG over the surviving cluster.
+///
+/// On the first failure the policy takes over dispatch entirely: the
+/// pending tasks (not done, not running) are extracted as a
+/// [`ResidualDag`], the surviving processors are compacted into a dense
+/// sub-cluster, LoC-MPS is re-run (reusing one long-lived
+/// [`LocbsScratch`] and schedule-DAG buffer across replans), and the
+/// resulting plan — mapped back to real processor ids — is followed until
+/// the next failure dirties it again.
+pub struct Replan {
+    scheduler: LocMps,
+    active: bool,
+    dirty: bool,
+    plan: Vec<Option<(f64, ProcSet)>>,
+    scratch: LocbsScratch,
+    dag_buf: TaskGraph,
+}
+
+impl Replan {
+    /// Replans with the given LoC-MPS configuration.
+    pub fn new(config: LocMpsConfig) -> Self {
+        Self {
+            scheduler: LocMps::new(config),
+            active: false,
+            dirty: false,
+            plan: Vec::new(),
+            scratch: LocbsScratch::new(),
+            dag_buf: TaskGraph::new(),
+        }
+    }
+
+    /// Replans with the default LoC-MPS.
+    pub fn locmps() -> Self {
+        Self::new(LocMpsConfig::default())
+    }
+
+    fn replan(&mut self, ctx: &RecoveryCtx<'_>, log: &mut Vec<TraceEvent>) {
+        for slot in &mut self.plan {
+            *slot = None;
+        }
+        let n_alive = ctx.alive.len();
+        if n_alive == 0 {
+            return;
+        }
+        let Some(res) =
+            ResidualDag::extract(ctx.g, |t| !ctx.done[t.index()] && !ctx.running[t.index()])
+        else {
+            return;
+        };
+        let dense = Cluster {
+            n_procs: n_alive,
+            ..ctx.cluster.clone()
+        };
+        let alive_ids = ctx.alive.to_vec();
+        let Ok(out) = self.scheduler.schedule_with_scratch(
+            &res.graph,
+            &dense,
+            &mut self.dag_buf,
+            &mut self.scratch,
+        ) else {
+            // Leave the plan empty; the engine's stall handling aborts.
+            return;
+        };
+        for (ri, &parent) in res.to_parent.iter().enumerate() {
+            let entry = out
+                .schedule
+                .get(TaskId(ri as u32))
+                .expect("residual plan covers the residual graph");
+            let mut procs = ProcSet::new();
+            for p in entry.procs.iter() {
+                procs.insert(alive_ids[p as usize]);
+            }
+            self.plan[parent.index()] = Some((entry.start, procs));
+        }
+        log.push(TraceEvent {
+            time: ctx.now,
+            kind: TraceEventKind::Replan {
+                pending: res.graph.n_tasks(),
+                procs: n_alive,
+            },
+        });
+    }
+}
+
+impl Default for Replan {
+    fn default() -> Self {
+        Self::locmps()
+    }
+}
+
+impl RecoveryPolicy for Replan {
+    fn name(&self) -> &'static str {
+        "replan"
+    }
+
+    fn prepare(&mut self, g: &TaskGraph, _cluster: &Cluster) {
+        self.plan = vec![None; g.n_tasks()];
+    }
+
+    fn on_proc_failure(&mut self, _ctx: &RecoveryCtx<'_>, _proc: ProcId) {
+        self.active = true;
+        self.dirty = true;
+    }
+
+    fn on_task_failure(&mut self, _ctx: &RecoveryCtx<'_>, _task: TaskId) -> RecoveryAction {
+        self.active = true;
+        self.dirty = true;
+        RecoveryAction::Retry
+    }
+
+    fn overrides_dispatch(&self) -> bool {
+        self.active
+    }
+
+    fn dispatch_recovery(
+        &mut self,
+        ctx: &RecoveryCtx<'_>,
+        ready: &[TaskId],
+        free: &ProcSet,
+        stall: bool,
+        log: &mut Vec<TraceEvent>,
+    ) -> Vec<(TaskId, ProcSet)> {
+        if !self.active {
+            return Vec::new();
+        }
+        if self.dirty {
+            self.replan(ctx, log);
+            self.dirty = false;
+        }
+        let mut order: Vec<TaskId> = ready.to_vec();
+        order.sort_by(|&a, &b| {
+            let sa = self.plan[a.index()].as_ref().map_or(f64::INFINITY, |p| p.0);
+            let sb = self.plan[b.index()].as_ref().map_or(f64::INFINITY, |p| p.0);
+            sa.total_cmp(&sb).then(a.cmp(&b))
+        });
+        let mut remaining = free.clone();
+        let mut launches = Vec::new();
+        for t in order {
+            if let Some((_, procs)) = &self.plan[t.index()] {
+                if !procs.is_empty() && procs.is_subset(&remaining) {
+                    remaining = remaining.difference(procs);
+                    launches.push((t, procs.clone()));
+                }
+            }
+        }
+        if launches.is_empty() && stall && !remaining.is_empty() {
+            // Safety net for plans invalidated between replans: mold the
+            // first ready task onto the free survivors so the run keeps
+            // making progress instead of aborting.
+            if let Some(&t) = ready.first() {
+                let np = ctx
+                    .g
+                    .task(t)
+                    .profile
+                    .pbest(ctx.cluster.n_procs)
+                    .min(remaining.len())
+                    .max(1);
+                let scores = vec![0.0; ctx.cluster.n_procs];
+                if let Some(procs) = locality::select_max_locality(&remaining, np, &scores) {
+                    launches.push((t, procs));
+                }
+            }
+        }
+        launches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_kind() {
+        let plan = FaultPlan::parse("fail:1@8, slow:0@2-9x3, crash:4@0.5x2, crash:7@0.25").unwrap();
+        assert_eq!(plan.faults().len(), 4);
+        assert_eq!(plan.proc_failures().collect::<Vec<_>>(), vec![(1, 8.0)]);
+        assert_eq!(plan.crash_fraction(TaskId(4), 0), Some(0.5));
+        assert_eq!(plan.crash_fraction(TaskId(4), 1), Some(0.5));
+        assert_eq!(plan.crash_fraction(TaskId(4), 2), None);
+        assert_eq!(plan.crash_fraction(TaskId(7), 0), Some(0.25));
+        assert_eq!(plan.crash_fraction(TaskId(7), 1), None);
+        assert_eq!(plan.crash_fraction(TaskId(5), 0), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_invalid() {
+        assert!(FaultPlan::parse("nope:1@2").is_err());
+        assert!(FaultPlan::parse("fail:x@2").is_err());
+        assert!(FaultPlan::parse("fail:1@-2").is_err());
+        assert!(FaultPlan::parse("slow:1@5-2x3").is_err());
+        assert!(FaultPlan::parse("slow:1@2-5x0.5").is_err());
+        assert!(FaultPlan::parse("crash:1@1.5").is_err());
+        assert!(FaultPlan::parse("crash:1@0.5x0").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn slowdown_compounds_per_proc_and_maxes_across_set() {
+        let plan = FaultPlan::parse("slow:0@0-10x2,slow:0@5-10x3,slow:1@0-10x4").unwrap();
+        let p0 = ProcSet::single(0);
+        assert_eq!(plan.slowdown_factor(&p0, 2.0), 2.0);
+        assert_eq!(plan.slowdown_factor(&p0, 7.0), 6.0, "windows compound");
+        assert_eq!(plan.slowdown_factor(&p0, 10.0), 1.0, "until is exclusive");
+        let mut both = ProcSet::single(0);
+        both.insert(1);
+        assert_eq!(plan.slowdown_factor(&both, 2.0), 4.0, "slowest member");
+    }
+
+    #[test]
+    fn random_failures_are_distinct_seeded_and_spare_one_proc() {
+        let a = FaultPlan::random_proc_failures(7, 4, 10, 100.0);
+        assert_eq!(a.faults().len(), 3, "clamped to n_procs - 1");
+        let mut procs: Vec<ProcId> = a.proc_failures().map(|(p, _)| p).collect();
+        procs.sort_unstable();
+        procs.dedup();
+        assert_eq!(procs.len(), 3, "distinct processors");
+        for (_, at) in a.proc_failures() {
+            assert!(at > 0.0 && at < 100.0);
+        }
+        assert_eq!(a, FaultPlan::random_proc_failures(7, 4, 10, 100.0));
+        assert_ne!(a, FaultPlan::random_proc_failures(8, 4, 10, 100.0));
+    }
+}

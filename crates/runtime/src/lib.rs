@@ -20,10 +20,27 @@
 //!
 //! The same seeded perturbation is applied per *task*, independent of the
 //! policy, so policies can be compared on identical realized durations.
+//!
+//! Beyond benign noise, the engine executes under scripted *adversity*: a
+//! [`fault::FaultPlan`] injects permanent processor failures, transient
+//! slowdowns and task crashes into the event loop, and a pluggable
+//! [`fault::RecoveryPolicy`] decides what happens next —
+//! [`fault::FailStop`] (abort, the baseline), [`fault::RetryShrink`]
+//! (re-mold failed tasks onto the survivors) or [`fault::Replan`]
+//! (re-run LoC-MPS on the residual DAG over the surviving cluster).
+//! Every execution returns an [`ExecutionTrace`] whose structured event
+//! log records starts, finishes, crashes, processor failures, retries,
+//! replans and aborts; the `locmps-analysis` LM3xx diagnostics audit that
+//! log for causality violations, orphaned tasks and lost work.
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod policy;
 
-pub use engine::{ExecutionTrace, OnlineConfig, RuntimeEngine};
+pub use engine::{ExecutionTrace, OnlineConfig, RuntimeEngine, TraceEvent, TraceEventKind};
+pub use fault::{
+    FailStop, Fault, FaultError, FaultPlan, RecoveryAction, RecoveryCtx, RecoveryPolicy, Replan,
+    RetryShrink,
+};
 pub use policy::{GreedyOneProc, OnlineLocbs, OnlinePolicy, PlanFollower};

@@ -28,8 +28,8 @@
 use locmps_core::{CommModel, Schedule, ScheduledTask, SchedulerOutput};
 use locmps_platform::{Cluster, CommOverlap};
 use locmps_taskgraph::{TaskGraph, TaskId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub mod seeding;
 
 /// Seeded stochastic perturbation of task runtimes and link bandwidth.
 ///
@@ -37,6 +37,12 @@ use rand::{Rng, SeedableRng};
 /// and coefficient of variation ≈ `exec_cv`; each transfer's bandwidth is
 /// multiplied by a factor drawn uniformly from
 /// `[1 − bw_jitter, 1 + bw_jitter]`.
+///
+/// Every draw is keyed by the perturbed entity (`TaskId` for durations,
+/// `EdgeId` for bandwidth — see [`seeding`]), never by replay order: the
+/// same `(seed, entity)` yields the same factor in every schedule of the
+/// same graph, so perturbations are comparable across schedulers and
+/// across the offline simulator and the online runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
     /// RNG seed (same seed ⇒ same perturbation).
@@ -110,7 +116,6 @@ pub fn simulate(
     cfg: SimConfig,
 ) -> SimReport {
     let model = CommModel::new(cluster);
-    let mut rng = cfg.noise.map(|n| StdRng::seed_from_u64(n.seed));
 
     // Recover per-processor task orderings from the planned start times.
     let mut order: Vec<TaskId> = g.task_ids().collect();
@@ -128,8 +133,8 @@ pub fn simulate(
         let np = planned.np();
         // Perturbed execution time.
         let mut et = g.task(t).profile.time(np);
-        if let (Some(rng), Some(noise)) = (rng.as_mut(), cfg.noise.as_ref()) {
-            et *= lognormal_unit_mean(rng, noise.exec_cv);
+        if let Some(noise) = cfg.noise.as_ref() {
+            et *= seeding::exec_factor(noise.seed, t, noise.exec_cv);
         }
         // Resource readiness: every processor must have drained its queue.
         let res_ready = planned
@@ -155,9 +160,9 @@ pub fn simulate(
                     cluster.bandwidth,
                 )
             };
-            if let (Some(rng), Some(noise)) = (rng.as_mut(), cfg.noise.as_ref()) {
+            if let Some(noise) = cfg.noise.as_ref() {
                 if ct > 0.0 && noise.bw_jitter > 0.0 {
-                    let f = 1.0 + noise.bw_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                    let f = seeding::bw_factor(noise.seed, e, noise.bw_jitter);
                     ct /= f.max(0.05);
                 }
             }
@@ -217,20 +222,6 @@ pub fn simulate(
 /// Convenience: the as-executed makespan of a scheduler output.
 pub fn evaluate(g: &TaskGraph, cluster: &Cluster, out: &SchedulerOutput) -> f64 {
     simulate(g, cluster, out, SimConfig::default()).makespan
-}
-
-/// Log-normal multiplier with mean 1 and standard deviation ≈ `cv`.
-fn lognormal_unit_mean(rng: &mut StdRng, cv: f64) -> f64 {
-    if cv <= 0.0 {
-        return 1.0;
-    }
-    let sigma2 = (1.0 + cv * cv).ln();
-    let sigma = sigma2.sqrt();
-    // Box-Muller normal draw.
-    let u1: f64 = rng.gen::<f64>().max(1e-12);
-    let u2: f64 = rng.gen();
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    (sigma * z - sigma2 / 2.0).exp()
 }
 
 #[cfg(test)]
@@ -419,14 +410,50 @@ mod tests {
     }
 
     #[test]
-    fn lognormal_mean_is_one() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|_| lognormal_unit_mean(&mut rng, 0.2))
-            .sum::<f64>()
-            / n as f64;
-        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
-        assert_eq!(lognormal_unit_mean(&mut rng, 0.0), 1.0);
+    fn noise_draws_are_keyed_by_task_not_replay_order() {
+        // Two schedules of the same graph with *different* per-processor
+        // start orders must realize identical per-task compute durations
+        // under the same NoiseModel: draws are keyed by TaskId, not by the
+        // order in which the replay happens to visit tasks.
+        use locmps_baselines::DataParallel;
+        let g = {
+            let mut g = TaskGraph::new();
+            for i in 0..10 {
+                g.add_task(format!("t{i}"), ExecutionProfile::linear(4.0 + i as f64));
+            }
+            g.add_edge(TaskId(0), TaskId(6), 30.0).unwrap();
+            g.add_edge(TaskId(1), TaskId(7), 30.0).unwrap();
+            g.add_edge(TaskId(2), TaskId(8), 30.0).unwrap();
+            g
+        };
+        let cluster = Cluster::new(4, 12.5);
+        let a = LocMps::default().schedule(&g, &cluster).unwrap();
+        let b = DataParallel.schedule(&g, &cluster).unwrap();
+        // Different decisions => different visit orders for the replay.
+        assert_ne!(a.schedule, b.schedule, "want two distinct schedules");
+        let cfg = SimConfig {
+            noise: Some(NoiseModel {
+                seed: 11,
+                exec_cv: 0.25,
+                bw_jitter: 0.0,
+            }),
+            ..Default::default()
+        };
+        let ra = simulate(&g, &cluster, &a, cfg);
+        let rb = simulate(&g, &cluster, &b, cfg);
+        for t in g.task_ids() {
+            let ea = ra.executed.get(t).unwrap();
+            let eb = rb.executed.get(t).unwrap();
+            // Compare realized duration normalized by the profile time at
+            // the granted width: that ratio is exactly the noise factor.
+            let fa = (ea.finish - ea.compute_start) / g.task(t).profile.time(ea.np());
+            let fb = (eb.finish - eb.compute_start) / g.task(t).profile.time(eb.np());
+            assert!(
+                (fa - fb).abs() < 1e-12,
+                "{t}: factor {fa} vs {fb} differ across schedules"
+            );
+            let expect = seeding::exec_factor(11, t, 0.25);
+            assert!((fa - expect).abs() < 1e-9, "{t}: {fa} != keyed {expect}");
+        }
     }
 }

@@ -1,0 +1,102 @@
+//! Deterministic, key-addressed noise streams shared by the offline
+//! simulator and the online runtime.
+//!
+//! Every draw is a pure function of `(seed, entity)` — the [`TaskId`]
+//! whose duration is perturbed, the [`EdgeId`] whose bandwidth jitters —
+//! never of the order in which events happen to be processed. Two replays
+//! of the same workload under the same seed therefore see *identical*
+//! perturbations even when their event interleavings differ (different
+//! policies, different recovery decisions, different per-processor
+//! orders), which is what makes cross-policy makespan comparisons fair.
+
+use locmps_taskgraph::{EdgeId, TaskId};
+
+/// SplitMix64: a statistically strong 64-bit mixer used to hash an
+/// entity key into an independent uniform draw.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a mixed 64-bit key.
+fn unit(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Per-task log-normal duration factor with unit mean and coefficient of
+/// variation ≈ `cv`, derived only from `(seed, task)`.
+///
+/// `cv <= 0` disables perturbation (returns exactly `1.0`). The factor is
+/// identical across attempts of the same task: a retried task re-runs for
+/// the same realized duration it would have taken the first time.
+pub fn exec_factor(seed: u64, task: TaskId, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let u1 = unit(seed ^ (task.0 as u64).wrapping_mul(0x9E37));
+    let u2 = (splitmix64(seed.rotate_left(17) ^ task.0 as u64) >> 11) as f64 / (1u64 << 53) as f64;
+    let sigma2 = (1.0 + cv * cv).ln();
+    let z = (-2.0 * u1.max(1e-15).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma2.sqrt() * z - sigma2 / 2.0).exp()
+}
+
+/// Per-edge bandwidth jitter factor drawn uniformly from
+/// `[1 − jitter, 1 + jitter]`, derived only from `(seed, edge)`.
+///
+/// `jitter <= 0` disables perturbation (returns exactly `1.0`).
+pub fn bw_factor(seed: u64, edge: EdgeId, jitter: f64) -> f64 {
+    if jitter <= 0.0 {
+        return 1.0;
+    }
+    let u = unit(seed.rotate_left(31) ^ (edge.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    1.0 + jitter * (2.0 * u - 1.0)
+}
+
+/// Uniform draw in `[0, 1)` keyed by `(seed, index)` — the building block
+/// for derived deterministic choices such as random fault plans.
+pub fn keyed_unit(seed: u64, index: u64) -> f64 {
+    unit(seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_factor_is_deterministic_with_unit_mean() {
+        assert_eq!(exec_factor(1, TaskId(0), 0.0), 1.0);
+        let a = exec_factor(7, TaskId(3), 0.2);
+        assert_eq!(a, exec_factor(7, TaskId(3), 0.2), "pure in (seed, task)");
+        assert_ne!(a, exec_factor(8, TaskId(3), 0.2));
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| exec_factor(42, TaskId(i), 0.15))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "unit mean, got {mean}");
+    }
+
+    #[test]
+    fn bw_factor_is_bounded_and_keyed() {
+        assert_eq!(bw_factor(9, EdgeId(0), 0.0), 1.0);
+        for i in 0..1000 {
+            let f = bw_factor(9, EdgeId(i), 0.2);
+            assert!((0.8..=1.2).contains(&f), "factor {f} out of range");
+        }
+        assert_eq!(bw_factor(9, EdgeId(5), 0.2), bw_factor(9, EdgeId(5), 0.2));
+        assert_ne!(bw_factor(9, EdgeId(5), 0.2), bw_factor(10, EdgeId(5), 0.2));
+    }
+
+    #[test]
+    fn keyed_unit_is_uniformish() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| keyed_unit(3, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for i in 0..n {
+            let u = keyed_unit(3, i);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

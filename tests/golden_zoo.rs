@@ -112,6 +112,33 @@ fn locbs_cases() -> Vec<(String, u64)> {
     out
 }
 
+/// Fault-free `OnlineLocbs` execution traces, fingerprinted whole —
+/// events, schedule and makespan bits. Pins the run-time moulding +
+/// placement path and the engine's event ordering, complementing the
+/// offline tables above.
+fn online_cases() -> Vec<(String, u64)> {
+    use locmps::runtime::{OnlineConfig, OnlineLocbs, RuntimeEngine};
+    let mut out = Vec::new();
+    for (wname, g) in workloads() {
+        for (cname, cluster) in [
+            ("ovl", Cluster::new(7, 50.0)),
+            ("noovl", Cluster::new(7, 50.0).without_overlap()),
+        ] {
+            let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
+                .run(&mut OnlineLocbs::default());
+            assert!(trace.is_complete(), "{wname}/{cname}: fault-free zoo run");
+            let text = serde_json::to_string(&trace).expect("traces serialize");
+            let mut h = 0xcbf29ce484222325u64;
+            for b in text.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            out.push((format!("{wname}/{cname}/online-locbs"), h));
+        }
+    }
+    out
+}
+
 #[test]
 #[ignore = "generator: prints the fingerprint tables for the constants below"]
 fn dump_fingerprints() {
@@ -122,6 +149,11 @@ fn dump_fingerprints() {
     println!("];");
     println!("const LOCBS_GOLDEN: &[(&str, u64)] = &[");
     for (name, fp) in locbs_cases() {
+        println!("    (\"{name}\", 0x{fp:016x}),");
+    }
+    println!("];");
+    println!("const ONLINE_GOLDEN: &[(&str, u64)] = &[");
+    for (name, fp) in online_cases() {
         println!("    (\"{name}\", 0x{fp:016x}),");
     }
     println!("];");
@@ -203,6 +235,26 @@ fn locmps_schedules_match_seed_fingerprints() {
 #[test]
 fn locbs_placements_match_seed_fingerprints() {
     check(locbs_cases(), LOCBS_GOLDEN);
+}
+
+const ONLINE_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/online-locbs", 0x2f27a9a230875a07),
+    ("chain/noovl/online-locbs", 0x2f27a9a230875a07),
+    ("fork_join/ovl/online-locbs", 0xa07ab444da17e82c),
+    ("fork_join/noovl/online-locbs", 0xbc8a92bc7a1dd01d),
+    ("independent/ovl/online-locbs", 0x88777aa2c347230f),
+    ("independent/noovl/online-locbs", 0x88777aa2c347230f),
+    ("synthetic/ovl/online-locbs", 0x2050c643bb33c7ca),
+    ("synthetic/noovl/online-locbs", 0x012bd9e409ae32ab),
+    ("strassen/ovl/online-locbs", 0xc3692116786fa996),
+    ("strassen/noovl/online-locbs", 0xeed236db07ee3ba4),
+    ("ccsd_t1/ovl/online-locbs", 0x99c14045cdd17f7b),
+    ("ccsd_t1/noovl/online-locbs", 0x78983ddd702114c7),
+];
+
+#[test]
+fn online_traces_match_pinned_fingerprints() {
+    check(online_cases(), ONLINE_GOLDEN);
 }
 
 /// Buffer reuse must be invisible: `run_into` with one schedule-DAG and one

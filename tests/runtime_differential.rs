@@ -1,0 +1,159 @@
+//! Differential replay oracle: with **zero noise and an empty fault
+//! plan**, the online runtime executing a LoC-MPS plan through
+//! `PlanFollower` must reproduce the `locmps-sim` replay of that same
+//! plan — per task, not just in aggregate.
+//!
+//! The two implementations are independent: the simulator walks tasks in
+//! planned start order against per-processor queues; the engine is an
+//! event-driven loop dispatching whenever a planned processor set frees
+//! up. Both apply the identical communication model, so every task's
+//! compute start and finish must agree to within a tolerance bounded by
+//! the schedule length (f64 accumulation differs, semantics must not).
+//! A drift in either implementation shows up here as a per-task diff.
+
+use locmps::prelude::*;
+use locmps::runtime::{OnlineConfig, PlanFollower, RuntimeEngine};
+use locmps::sim::{simulate, SimConfig};
+use locmps::workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+use locmps::workloads::toys::{chain, fork_join, independent};
+
+/// The golden-zoo workload set (kept in sync with `tests/golden_zoo.rs`).
+fn workloads() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("chain", chain(6, 10.0, 20.0)),
+        ("fork_join", fork_join(5, 8.0, 15.0)),
+        ("independent", independent(6, 12.0, 0.2)),
+        (
+            "synthetic",
+            synthetic_graph(&SyntheticConfig {
+                n_tasks: 18,
+                ccr: 0.5,
+                seed: 77,
+                ..Default::default()
+            }),
+        ),
+        (
+            "strassen",
+            strassen_graph(&StrassenConfig {
+                n: 512,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ccsd_t1",
+            ccsd_t1_graph(&TceConfig {
+                n_occ: 16,
+                n_virt: 64,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn plan_follower_replays_the_simulator_task_for_task() {
+    for (wname, g) in workloads() {
+        for (cname, cluster) in [
+            ("ovl", Cluster::new(7, 50.0)),
+            ("noovl", Cluster::new(7, 50.0).without_overlap()),
+        ] {
+            let out = LocMps::default()
+                .schedule(&g, &cluster)
+                .expect("zoo schedules");
+            let rep = simulate(&g, &cluster, &out, SimConfig::default());
+
+            let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
+                .run(&mut PlanFollower::locmps());
+            assert!(
+                trace.is_complete() && !trace.aborted,
+                "{wname}/{cname}: fault-free run must complete"
+            );
+
+            // Tolerance bounded by the schedule length: the two
+            // implementations accumulate the same sums in different
+            // orders, nothing more.
+            let eps = 1e-9 * rep.makespan.abs().max(1.0);
+            assert!(
+                (trace.makespan - rep.makespan).abs() <= eps,
+                "{wname}/{cname}: makespan diverged — engine {} vs sim {}",
+                trace.makespan,
+                rep.makespan
+            );
+            for t in g.task_ids() {
+                let sim_t = rep.executed.get(t).expect("sim covers all tasks");
+                let eng_t = trace.schedule.get(t).expect("engine covers all tasks");
+                assert_eq!(
+                    sim_t.procs, eng_t.procs,
+                    "{wname}/{cname}/{t}: placement diverged"
+                );
+                assert!(
+                    (sim_t.compute_start - eng_t.compute_start).abs() <= eps,
+                    "{wname}/{cname}/{t}: compute start diverged — engine {} vs sim {}",
+                    eng_t.compute_start,
+                    sim_t.compute_start
+                );
+                assert!(
+                    (sim_t.finish - eng_t.finish).abs() <= eps,
+                    "{wname}/{cname}/{t}: finish diverged — engine {} vs sim {}",
+                    eng_t.finish,
+                    sim_t.finish
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn noisy_replay_still_matches_when_keyed_identically() {
+    // The same per-task noise keying is used by both implementations, so
+    // the oracle extends to noisy runs: seed the engine and the simulator
+    // identically and per-task times must still agree.
+    let g = synthetic_graph(&SyntheticConfig {
+        n_tasks: 18,
+        ccr: 0.5,
+        seed: 77,
+        ..Default::default()
+    });
+    let cluster = Cluster::new(7, 50.0);
+    let out = LocMps::default()
+        .schedule(&g, &cluster)
+        .expect("zoo schedules");
+    for seed in [1u64, 42, 1234] {
+        let noise = locmps::sim::NoiseModel {
+            seed,
+            exec_cv: 0.25,
+            bw_jitter: 0.0,
+        };
+        let rep = simulate(
+            &g,
+            &cluster,
+            &out,
+            SimConfig {
+                noise: Some(noise),
+                ..Default::default()
+            },
+        );
+        let trace = RuntimeEngine::new(
+            &g,
+            &cluster,
+            OnlineConfig {
+                seed,
+                exec_cv: 0.25,
+            },
+        )
+        .run(&mut PlanFollower::locmps());
+        let eps = 1e-9 * rep.makespan.abs().max(1.0);
+        for t in g.task_ids() {
+            let sim_t = rep.executed.get(t).expect("sim covers all tasks");
+            let eng_t = trace.schedule.get(t).expect("engine covers all tasks");
+            assert!(
+                (sim_t.finish - eng_t.finish).abs() <= eps,
+                "seed {seed}/{t}: finish diverged — engine {} vs sim {}",
+                eng_t.finish,
+                sim_t.finish
+            );
+        }
+    }
+}
