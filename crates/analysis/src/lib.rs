@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use input::lint_input;
-pub use sched::analyze_schedule;
+pub use sched::{analyze_schedule, search_effort_diagnostic};
 pub use trace::analyze_trace;
 
 /// The stable diagnostic codes, one constant per `LMxxx` code.
@@ -105,6 +105,10 @@ pub mod codes {
     pub const LOCALITY: &str = "LM201";
     /// `LM202` (Info): idle-gap accounting per processor.
     pub const IDLE_GAPS: &str = "LM202";
+    /// `LM210` (Info): search-effort counters of the scheduler run that
+    /// produced the schedule (LoCBS passes, memo hits, aborted probes,
+    /// pruned branches, look-ahead cutoffs, pool tasks, commits).
+    pub const SEARCH_EFFORT: &str = "LM210";
     /// `LM300` (Info): fault/recovery summary of an execution trace.
     pub const FAULT_SUMMARY: &str = "LM300";
     /// `LM301` (Info): compute work lost to failed attempts.

@@ -385,6 +385,41 @@ fn push_metrics(s: &Schedule, g: &TaskGraph, model: &CommModel<'_>, report: &mut
     );
 }
 
+/// Builds the `LM210` search-effort diagnostic from a scheduler run's
+/// deterministic counters, or `None` when the run recorded no search work
+/// (every baseline without a refinement search).
+///
+/// Unlike the other `LM2xx` metrics this one cannot be derived from the
+/// schedule itself — it describes how the schedule was *found* — so callers
+/// that kept the [`SchedulerOutput`](locmps_core::SchedulerOutput) around
+/// push it next to [`analyze_schedule`]'s report.
+pub fn search_effort_diagnostic(counters: &locmps_core::SearchCounters) -> Option<Diagnostic> {
+    if !counters.any() {
+        return None;
+    }
+    Some(
+        Diagnostic::new(
+            codes::SEARCH_EFFORT,
+            Severity::Info,
+            "scheduler",
+            format!(
+                "{} LoCBS passes ({} memoized, {} probes aborted) over {} commit(s)",
+                counters.locbs_passes,
+                counters.pass_memo_hits,
+                counters.probes_aborted,
+                counters.commits
+            ),
+        )
+        .with("locbs_passes", counters.locbs_passes)
+        .with("pass_memo_hits", counters.pass_memo_hits)
+        .with("probes_aborted", counters.probes_aborted)
+        .with("branches_pruned", counters.branches_pruned)
+        .with("lookahead_cutoffs", counters.lookahead_cutoffs)
+        .with("pool_tasks", counters.pool_tasks)
+        .with("commits", counters.commits),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,5 +589,32 @@ mod tests {
             .data
             .iter()
             .any(|(k, v)| k == "edge_fraction" && v.starts_with("1.0")));
+    }
+
+    #[test]
+    fn search_effort_diagnostic_reflects_counters() {
+        // Baselines run no search: no diagnostic.
+        let zeros = locmps_core::SearchCounters::default();
+        assert!(search_effort_diagnostic(&zeros).is_none());
+
+        // A real LoC-MPS run reports LM210 with every counter attached.
+        let g = chain(40.0);
+        let cluster = Cluster::new(4, 12.5);
+        let out = locmps_core::LocMps::default()
+            .schedule(&g, &cluster)
+            .unwrap();
+        assert!(out.counters.any());
+        let d = search_effort_diagnostic(&out.counters).unwrap();
+        assert_eq!(d.code, codes::SEARCH_EFFORT);
+        assert_eq!(d.severity, Severity::Info);
+        let get = |k: &str| {
+            d.data
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("locbs_passes"), out.counters.locbs_passes.to_string());
+        assert_eq!(get("commits"), out.counters.commits.to_string());
     }
 }

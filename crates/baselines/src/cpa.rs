@@ -14,7 +14,7 @@
 //! earliest-available processors (no backfilling, no locality) — the same
 //! placement backend as CPR, per the paper's characterization of both.
 
-use locmps_core::{Allocation, CommModel, SchedError, Scheduler, SchedulerOutput};
+use locmps_core::{Allocation, CommModel, SchedError, Scheduler, SchedulerOutput, SearchCounters};
 use locmps_platform::Cluster;
 use locmps_taskgraph::TaskGraph;
 
@@ -81,6 +81,7 @@ impl Scheduler for Cpa {
             schedule: res.schedule,
             allocation: alloc,
             schedule_dag: None,
+            counters: SearchCounters::default(),
         })
     }
 }

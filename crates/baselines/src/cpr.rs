@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 
-use locmps_core::{Allocation, CommModel, SchedError, Scheduler, SchedulerOutput};
+use locmps_core::{Allocation, CommModel, SchedError, Scheduler, SchedulerOutput, SearchCounters};
 use locmps_platform::Cluster;
 use locmps_taskgraph::{TaskGraph, TaskId};
 
@@ -80,6 +80,7 @@ impl Scheduler for Cpr {
             schedule: best.schedule,
             allocation: alloc,
             schedule_dag: None,
+            counters: SearchCounters::default(),
         })
     }
 }

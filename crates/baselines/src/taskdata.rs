@@ -2,7 +2,7 @@
 
 use locmps_core::{
     Allocation, CommModel, Locbs, LocbsOptions, SchedError, Schedule, ScheduledTask, Scheduler,
-    SchedulerOutput,
+    SchedulerOutput, SearchCounters,
 };
 use locmps_platform::{Cluster, ProcSet};
 use locmps_taskgraph::TaskGraph;
@@ -25,6 +25,7 @@ impl Scheduler for TaskParallel {
             schedule: res.schedule,
             allocation: alloc,
             schedule_dag: Some(res.schedule_dag),
+            counters: SearchCounters::default(),
         })
     }
 }
@@ -76,6 +77,7 @@ impl Scheduler for DataParallel {
             schedule: Schedule::from_entries(entries),
             allocation: alloc,
             schedule_dag: None,
+            counters: SearchCounters::default(),
         })
     }
 }

@@ -21,7 +21,7 @@
 //!    shared with CPR/CPA via [`PlainListScheduler`]; like them, TSAS is
 //!    not locality aware.
 
-use locmps_core::{Allocation, CommModel, SchedError, Scheduler, SchedulerOutput};
+use locmps_core::{Allocation, CommModel, SchedError, Scheduler, SchedulerOutput, SearchCounters};
 use locmps_platform::Cluster;
 use locmps_taskgraph::{TaskGraph, TaskId};
 
@@ -152,6 +152,7 @@ impl Scheduler for Tsas {
             schedule: res.schedule,
             allocation: alloc,
             schedule_dag: None,
+            counters: SearchCounters::default(),
         })
     }
 }

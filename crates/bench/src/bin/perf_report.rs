@@ -1,22 +1,44 @@
-//! Performance-regression harness for the LoCBS placement kernel.
+//! Performance-regression harness for the LoCBS placement kernel and the
+//! end-to-end LoC-MPS search.
 //!
-//! Times `Locbs::run` — the inner loop LoC-MPS executes hundreds of times
-//! per schedule — on synthetic graphs at the three scale points
-//! `(|V|, P) ∈ {(100, 32), (500, 64), (1000, 128)}` and writes the wall
-//! times to `BENCH_locbs.json` (first CLI argument overrides the path).
-//! The schedule makespans are recorded alongside so a speed change that
-//! silently alters scheduling decisions is caught by diffing the report.
+//! Two modes, selected by the first CLI argument:
 //!
-//! Run with `cargo run --release -p locmps-bench --bin perf_report`.
+//! * **default** — times `Locbs::run`, the inner loop LoC-MPS executes
+//!   hundreds of times per schedule, on synthetic graphs at the three
+//!   scale points `(|V|, P) ∈ {(100, 32), (500, 64), (1000, 128)}` and
+//!   writes the wall times to `BENCH_locbs.json` (first CLI argument
+//!   overrides the path). The schedule makespans are recorded alongside so
+//!   a speed change that silently alters scheduling decisions is caught by
+//!   diffing the report.
+//! * **`locmps`** — times the full `LocMps::schedule` search at the same
+//!   three scale points, once with the default configuration (admissible
+//!   pruning, bounded-horizon probes, pass memo) and once with
+//!   [`LocMpsConfig::exhaustive`] — the pre-optimization reference that
+//!   runs every LoCBS pass to completion — and writes both wall times,
+//!   the deterministic [`SearchCounters`] and the full-pass reduction to
+//!   `BENCH_locmps.json` (second CLI argument overrides the path). The two
+//!   runs must produce bit-identical makespans and allocations; the
+//!   harness asserts it on every case. The larger cases cap `max_rounds`
+//!   (identically for both configurations, so the comparison stays
+//!   trajectory-for-trajectory fair) to keep the harness runnable on one
+//!   machine; the cap is recorded in the report.
+//!
+//! Run with `cargo run --release -p locmps-bench --bin perf_report`
+//! (placement kernel) or
+//! `cargo run --release -p locmps-bench --bin perf_report -- locmps`
+//! (end-to-end search).
 
 use std::time::Instant;
 
-use locmps_core::{Allocation, CommModel, Locbs, LocbsOptions};
+use locmps_core::{
+    Allocation, CommModel, LocMps, LocMpsConfig, Locbs, LocbsOptions, Scheduler, SearchCounters,
+};
 use locmps_platform::Cluster;
 use locmps_taskgraph::TaskGraph;
 use locmps_workloads::synthetic::{synthetic_graph, SyntheticConfig};
 
-/// One benchmark case: graph size, machine size and measured wall times.
+/// One placement-kernel case: graph size, machine size and measured wall
+/// times.
 struct Case {
     n_tasks: usize,
     p: usize,
@@ -83,10 +105,7 @@ fn time_case(n_tasks: usize, p: usize) -> Case {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_locbs.json".to_string());
+fn locbs_mode(out_path: &str) {
     let cases: Vec<Case> = [(100usize, 32usize), (500, 64), (1000, 128)]
         .into_iter()
         .map(|(n, p)| {
@@ -116,6 +135,157 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write benchmark report");
+    std::fs::write(out_path, &json).expect("write benchmark report");
     println!("wrote {out_path}");
+}
+
+/// One end-to-end search case: both configurations on the same graph.
+struct LocmpsCase {
+    n_tasks: usize,
+    p: usize,
+    max_rounds: usize,
+    default_s: f64,
+    exhaustive_s: f64,
+    makespan: f64,
+    default_counters: SearchCounters,
+    exhaustive_passes: u64,
+}
+
+impl LocmpsCase {
+    fn speedup(&self) -> f64 {
+        self.exhaustive_s / self.default_s
+    }
+
+    /// Fraction of the exhaustive run's full LoCBS passes the optimized
+    /// search never executes (memoized, aborted or pruned outright).
+    fn full_pass_reduction(&self) -> f64 {
+        1.0 - self.default_counters.locbs_passes as f64 / self.exhaustive_passes as f64
+    }
+}
+
+fn time_locmps_case(n_tasks: usize, p: usize, max_rounds: usize) -> LocmpsCase {
+    let g = build(n_tasks);
+    let cluster = Cluster::fast_ethernet(p);
+    let run = |config: LocMpsConfig| {
+        let scheduler = LocMps::new(config);
+        let t0 = Instant::now();
+        let out = scheduler
+            .schedule(&g, &cluster)
+            .expect("benchmark graph schedules");
+        (t0.elapsed().as_secs_f64(), out)
+    };
+
+    let (default_s, default_out) = run(LocMpsConfig {
+        max_rounds,
+        ..LocMpsConfig::default()
+    });
+    let (exhaustive_s, exhaustive_out) = run(LocMpsConfig {
+        max_rounds,
+        ..LocMpsConfig::exhaustive()
+    });
+
+    // The whole point of the pruned search: bit-identical results.
+    assert_eq!(
+        default_out.makespan().to_bits(),
+        exhaustive_out.makespan().to_bits(),
+        "pruned search diverged from the exhaustive reference"
+    );
+    assert_eq!(
+        default_out.allocation.as_slice(),
+        exhaustive_out.allocation.as_slice(),
+        "pruned search chose a different allocation"
+    );
+    // The exhaustive reference does strictly no memoized or aborted work.
+    assert_eq!(exhaustive_out.counters.pass_memo_hits, 0);
+    assert_eq!(exhaustive_out.counters.probes_aborted, 0);
+    assert_eq!(exhaustive_out.counters.branches_pruned, 0);
+
+    LocmpsCase {
+        n_tasks,
+        p,
+        max_rounds,
+        default_s,
+        exhaustive_s,
+        makespan: default_out.makespan(),
+        default_counters: default_out.counters,
+        exhaustive_passes: exhaustive_out.counters.locbs_passes,
+    }
+}
+
+fn locmps_mode(out_path: &str) {
+    // (100, 32) runs to natural convergence. The larger points cap the
+    // outer rounds — identically for both configurations — so the harness
+    // finishes in minutes instead of hours; per-round work is what the
+    // optimizations change, so the capped comparison measures the same
+    // thing the uncapped one would.
+    let cases: Vec<LocmpsCase> = [
+        (100usize, 32usize, 10_000usize),
+        (500, 64, 60),
+        (1000, 128, 36),
+    ]
+    .into_iter()
+    .map(|(n, p, rounds)| {
+        eprintln!("timing locmps search: |V|={n} P={p} max_rounds={rounds} ...");
+        let c = time_locmps_case(n, p, rounds);
+        eprintln!(
+            "  default {:.2} s vs exhaustive {:.2} s ({:.2}x), \
+                 {} of {} full passes avoided ({:.1}%)",
+            c.default_s,
+            c.exhaustive_s,
+            c.speedup(),
+            c.exhaustive_passes - c.default_counters.locbs_passes,
+            c.exhaustive_passes,
+            100.0 * c.full_pass_reduction()
+        );
+        c
+    })
+    .collect();
+
+    let mut json = String::from("{\n  \"bench\": \"locmps_search\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let k = &c.default_counters;
+        json.push_str(&format!(
+            "    {{\"n_tasks\": {}, \"p\": {}, \"max_rounds\": {}, \
+             \"default_s\": {:.3}, \"exhaustive_s\": {:.3}, \"speedup\": {:.3}, \
+             \"makespan\": {:.6}, \"exhaustive_passes\": {}, \
+             \"full_pass_reduction\": {:.4}, \"counters\": {{\
+             \"locbs_passes\": {}, \"pass_memo_hits\": {}, \"probes_aborted\": {}, \
+             \"branches_pruned\": {}, \"lookahead_cutoffs\": {}, \
+             \"pool_tasks\": {}, \"commits\": {}}}}}{}\n",
+            c.n_tasks,
+            c.p,
+            c.max_rounds,
+            c.default_s,
+            c.exhaustive_s,
+            c.speedup(),
+            c.makespan,
+            c.exhaustive_passes,
+            c.full_pass_reduction(),
+            k.locbs_passes,
+            k.pass_memo_hits,
+            k.probes_aborted,
+            k.branches_pruned,
+            k.lookahead_cutoffs,
+            k.pool_tasks,
+            k.commits,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("locmps") => {
+            let path = args
+                .next()
+                .unwrap_or_else(|| "BENCH_locmps.json".to_string());
+            locmps_mode(&path);
+        }
+        Some(path) => locbs_mode(path),
+        None => locbs_mode("BENCH_locbs.json"),
+    }
 }

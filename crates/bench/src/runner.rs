@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use locmps_baselines::{Cpa, Cpr, DataParallel, TaskParallel, Tsas};
-use locmps_core::{CommModel, LocMps, LocMpsConfig, Scheduler, SchedulerOutput};
+use locmps_core::{CommModel, LocMps, LocMpsConfig, Scheduler, SchedulerOutput, SearchCounters};
 use locmps_platform::Cluster;
 use locmps_sim::{simulate, NoiseModel, SimConfig};
 use locmps_taskgraph::TaskGraph;
@@ -105,6 +105,9 @@ pub struct RunMeasurement {
     pub executed_makespan: f64,
     /// Wall-clock seconds the scheduler itself took (Figures 6/10).
     pub scheduling_seconds: f64,
+    /// Deterministic search-effort counters of the scheduling run (all
+    /// zeros for schedulers without a refinement search).
+    pub search: SearchCounters,
 }
 
 /// Aggregated suite results for one scheduler at one processor count.
@@ -180,6 +183,7 @@ pub fn run_one(
         planned_makespan: out.makespan(),
         executed_makespan: report.makespan,
         scheduling_seconds,
+        search: out.counters,
     }
 }
 
@@ -245,6 +249,8 @@ mod tests {
         assert!(m.planned_makespan > 0.0);
         assert!(m.executed_makespan > 0.0);
         assert!(m.scheduling_seconds >= 0.0);
+        // CPA runs no refinement search: its counters stay all-zero.
+        assert!(!m.search.any());
     }
 
     #[test]
@@ -287,6 +293,9 @@ mod tests {
             m.planned_makespan,
             m.executed_makespan
         );
+        // The refinement search records its effort.
+        assert!(m.search.any());
+        assert!(m.search.locbs_passes > 0);
     }
 
     #[test]

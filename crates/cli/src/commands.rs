@@ -222,6 +222,20 @@ fn schedule(args: &Args) -> Result<(), String> {
     println!("total redistribution: {:.3} s", rep.total_comm_time);
     println!("utilization        : {:.1} %", 100.0 * rep.utilization);
     println!("scheduling took    : {took:.4} s");
+    if out.counters.any() {
+        let c = out.counters;
+        println!(
+            "search effort      : {} LoCBS passes, {} memo hits, {} probes aborted, \
+             {} branches pruned, {} look-ahead cutoffs, {} pool tasks, {} commits",
+            c.locbs_passes,
+            c.pass_memo_hits,
+            c.probes_aborted,
+            c.branches_pruned,
+            c.lookahead_cutoffs,
+            c.pool_tasks,
+            c.commits
+        );
+    }
     if args.has("gantt") {
         println!();
         print!(
@@ -283,7 +297,10 @@ fn analyze(args: &Args) -> Result<(), String> {
             } else {
                 CommModel::blind(&cluster)
             };
-            let sched_report = analyze_schedule(&rep.executed, &g, &model);
+            let mut sched_report = analyze_schedule(&rep.executed, &g, &model);
+            if let Some(d) = locmps_analysis::search_effort_diagnostic(&out.counters) {
+                sched_report.push(d);
+            }
             eprintln!(
                 "analyzed {} schedule: {} diagnostic(s)",
                 s.name(),

@@ -139,6 +139,14 @@ impl EstimateCache {
             self.entries.resize(g.n_edges(), (0, 0, 0.0));
         }
     }
+
+    /// Whether no entry holds a cached value (all width tags are the
+    /// never-valid 0): the state [`EstimateCache::reset_for`] guarantees.
+    pub fn is_clear(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|&(src, dst, _)| src == 0 && dst == 0)
+    }
 }
 
 #[cfg(test)]

@@ -38,12 +38,13 @@ pub mod timeline;
 mod scheduler;
 
 pub use allocation::Allocation;
+pub use bounds::{allocation_lower_bound, makespan_lower_bound, WideningBounds};
 pub use commcost::{CommModel, EstimateCache};
 pub use locbs::{Locbs, LocbsOptions, LocbsResult, LocbsScratch};
 pub use locmps::{LocMps, LocMpsConfig};
 pub use residual::ResidualDag;
 pub use schedule::{GanttOptions, Schedule, ScheduleError, ScheduledTask};
-pub use scheduler::{SchedError, Scheduler, SchedulerOutput};
+pub use scheduler::{SchedError, Scheduler, SchedulerOutput, SearchCounters};
 
 #[cfg(test)]
 mod paper_figures;

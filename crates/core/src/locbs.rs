@@ -106,6 +106,13 @@ impl LocbsScratch {
     pub fn reset_for(&mut self, g: &TaskGraph) {
         self.estimates.reset_for(g);
         self.edge_est.clear();
+        // The pool workers' thread-local scratches cycle through many
+        // graphs; a reset that left a stale memo entry behind would serve
+        // wrong estimates *silently*, so verify full clearing here.
+        debug_assert!(
+            self.edge_est.is_empty() && self.estimates.is_clear(),
+            "reset_for must leave no carried estimate state"
+        );
     }
 }
 
@@ -147,6 +154,53 @@ impl<'a> Locbs<'a> {
         alloc: &Allocation,
         scratch: &mut LocbsScratch,
     ) -> Result<(Schedule, f64), SchedError> {
+        match self.run_into_bounded(dag, alloc, scratch, f64::INFINITY)? {
+            Some(out) => Ok(out),
+            // No finite finish time exceeds an infinite horizon.
+            None => unreachable!("an unbounded pass never aborts"),
+        }
+    }
+
+    /// [`Locbs::run_into`] with an abort **horizon** for probe passes.
+    ///
+    /// The pass aborts — `Ok(None)` is returned immediately — as soon as
+    /// the final makespan provably exceeds `horizon`:
+    ///
+    /// * before any placement, when the allocation's zero-communication
+    ///   critical path or its processor-area `Σ np·et / P` already exceeds
+    ///   the horizon (both are admissible lower bounds on any schedule of
+    ///   this allocation);
+    /// * during placement, when some placed task's finish time plus the
+    ///   zero-communication bottom level of its successors exceeds the
+    ///   horizon — placements never move once made and every successor
+    ///   chain still has to execute after that finish, so the completed
+    ///   pass would have ended past the horizon.
+    ///
+    /// Every early trigger implies the plain `finish > horizon` test would
+    /// have fired on the completed pass (the makespan-achieving task's
+    /// finish *is* the makespan), so the set of aborting passes — and with
+    /// it every deterministic search counter — is identical to detecting
+    /// the overrun late; the probe just stops paying for placements whose
+    /// outcome is already decided. A caller probing against an incumbent
+    /// of length `horizon` learns everything it needs from the abort
+    /// alone. LoC-MPS aborts its corner-restart probes this way; passes
+    /// whose schedule is consumed (committed passes, look-ahead steps that
+    /// feed the next refinement) must use the unbounded form.
+    ///
+    /// On abort, `dag` may carry a partial set of this pass's pseudo-edges;
+    /// it remains valid scratch for the next `run_into`, which strips them
+    /// on entry.
+    ///
+    /// # Errors
+    /// Exactly those of [`Locbs::run_into`]; input validation happens
+    /// before any placement, so an abort can only occur on valid inputs.
+    pub fn run_into_bounded(
+        &self,
+        dag: &mut TaskGraph,
+        alloc: &Allocation,
+        scratch: &mut LocbsScratch,
+        horizon: f64,
+    ) -> Result<Option<(Schedule, f64)>, SchedError> {
         dag.clear_pseudo_edges();
         crate::invariant!(
             dag.edges()
@@ -207,6 +261,35 @@ impl<'a> Locbs<'a> {
             "scratch priority/estimate buffers must cover the whole graph"
         );
 
+        // Bounded passes precompute the zero-communication bottom levels:
+        // `chain_below[t]` is the longest pure-compute successor chain of
+        // `t` at the current widths, an admissible lower bound on the time
+        // that must still elapse after `t` finishes. Unbounded (committed)
+        // passes skip all of this.
+        let chain_below: Option<Vec<f64>> = horizon.is_finite().then(|| {
+            let zero = dag.levels(|t| dag.task(t).profile.time(alloc.np(t)), |_| 0.0);
+            dag.task_ids()
+                .map(|t| zero.bottom[t.index()] - dag.task(t).profile.time(alloc.np(t)))
+                .collect()
+        });
+        if let Some(chain_below) = &chain_below {
+            // Whole-allocation lower bounds: the zero-communication critical
+            // path and the processor-area bound. Either above the horizon
+            // decides the probe before a single task is placed.
+            let cp0 = dag
+                .task_ids()
+                .map(|t| chain_below[t.index()] + dag.task(t).profile.time(alloc.np(t)))
+                .fold(0.0f64, f64::max);
+            let area = dag
+                .task_ids()
+                .map(|t| alloc.np(t) as f64 * dag.task(t).profile.time(alloc.np(t)))
+                .sum::<f64>()
+                / p_total as f64;
+            if cp0.max(area) > horizon {
+                return Ok(None);
+            }
+        }
+
         let mut timeline = Timeline::new(p_total);
         let mut placed: Vec<Option<ScheduledTask>> = vec![None; dag.n_tasks()];
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
@@ -218,6 +301,14 @@ impl<'a> Locbs<'a> {
         while let Some(pos) = pick_highest_priority(&ready, &scratch.priority) {
             let t = ready.swap_remove(pos);
             let placement = self.place(dag, alloc, t, &placed, &timeline, scratch);
+            let below = chain_below.as_ref().map_or(0.0, |c| c[t.index()]);
+            if placement.finish + below > horizon {
+                // Placements are final and every successor chain of `t`
+                // still has to run after this finish: the completed
+                // schedule would end past the horizon, so the pass cannot
+                // beat the caller's incumbent. Stop paying for the rest.
+                return Ok(None);
+            }
             timeline.occupy(&placement.procs, placement.start, placement.finish);
 
             // Pseudo-edges: the task is resource-blocked when it occupies
@@ -266,7 +357,7 @@ impl<'a> Locbs<'a> {
         let schedule = Schedule::from_entries(entries);
         let makespan = schedule.makespan();
         debug_assert!(dag.validate().is_ok(), "pseudo edges must keep G' acyclic");
-        Ok((schedule, makespan))
+        Ok(Some((schedule, makespan)))
     }
 
     /// The earliest start time `est(t) = max(ft(t0) + ct(t0, t))` given the

@@ -17,17 +17,41 @@
 //! through temporarily worse schedules; if a look-ahead fails to improve,
 //! its entry point is **marked** and skipped by future searches; a success
 //! commits the allocation and unmarks everything.
+//!
+//! At scale the dominant cost is the LoCBS passes run inside look-ahead
+//! branches. Three *provably lossless* accelerations cut that work while
+//! keeping every schedule bit-identical ([`LocMpsConfig::prune`] and
+//! [`LocMpsConfig::bounded_probes`], both on by default):
+//!
+//! * look-ahead branches whose widening-cone lower bound
+//!   ([`crate::bounds::WideningBounds`]) already reaches the incumbent
+//!   makespan are skipped — valid because refinement moves only ever
+//!   *widen* allocations, so every state a branch can visit lies in the
+//!   cone the bound covers;
+//! * a branch walk stops early once the cone bound of its current
+//!   allocation reaches the branch's own best makespan;
+//! * corner-restart probes are bound-checked and then run under a bounded
+//!   horizon ([`Locbs::run_into_bounded`]): placements are final, so the
+//!   first one past the incumbent aborts the pass.
+//!
+//! Deterministic [`SearchCounters`] in the output report the work done and
+//! the work skipped; they are pure functions of the input, never of thread
+//! timing, so CI pins their exact values.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use locmps_platform::Cluster;
 use locmps_taskgraph::{ConcurrencyInfo, CriticalPath, EdgeId, EdgeKind, TaskGraph, TaskId};
 
 use crate::allocation::Allocation;
+use crate::bounds::{allocation_lower_bound, WideningBounds};
 use crate::commcost::CommModel;
 use crate::locbs::{Locbs, LocbsOptions, LocbsResult, LocbsScratch};
 use crate::schedule::time_eps;
-use crate::scheduler::{SchedError, Scheduler, SchedulerOutput};
+use crate::scheduler::{SchedError, Scheduler, SchedulerOutput, SearchCounters};
 
 /// Tunables of Algorithm 1. [`Default`] reproduces the paper's settings.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +94,20 @@ pub struct LocMpsConfig {
     /// best outcome is committed, and a fruitless round marks every tried
     /// entry at once.
     pub parallel_entries: usize,
+    /// Skip search work an admissible lower bound proves fruitless: entry
+    /// branches whose widening-cone bound cannot beat the incumbent,
+    /// branch walks whose cone bound reaches the branch's own best, corner
+    /// probes bounded below the incumbent, and whole searches whose
+    /// incumbent already sits on its cone bound. Lossless — the schedule,
+    /// allocation and schedule-DAG are bit-identical either way — so this
+    /// defaults to on; `false` exists as the reference for the equivalence
+    /// property tests and for measuring the pruning win itself.
+    pub prune: bool,
+    /// Run corner-restart probes under a bounded horizon
+    /// ([`Locbs::run_into_bounded`]) so they abort at the first placement
+    /// past the incumbent instead of finishing a schedule that already
+    /// lost. Equally lossless; `false` is the measurement reference.
+    pub bounded_probes: bool,
 }
 
 impl Default for LocMpsConfig {
@@ -83,6 +121,8 @@ impl Default for LocMpsConfig {
             max_rounds: 10_000,
             corner_starts: true,
             parallel_entries: 1,
+            prune: true,
+            bounded_probes: true,
         }
     }
 }
@@ -115,6 +155,18 @@ impl LocMpsConfig {
             ..Self::default()
         }
     }
+
+    /// The exhaustive reference: no bound-driven pruning, no bounded
+    /// probes. Produces bit-identical schedules to [`Default`] while doing
+    /// every LoCBS pass in full — the baseline the equivalence property
+    /// tests and the `BENCH_locmps` report compare against.
+    pub fn exhaustive() -> Self {
+        Self {
+            prune: false,
+            bounded_probes: false,
+            ..Self::default()
+        }
+    }
 }
 
 /// What a look-ahead search started from.
@@ -122,6 +174,101 @@ impl LocMpsConfig {
 enum Entry {
     Task(TaskId),
     Edge(EdgeId),
+}
+
+/// Shared tally behind the [`SearchCounters`] snapshot. Branches running on
+/// pool workers bump these concurrently; every increment is a deterministic
+/// function of the scheduling input (never of thread timing), so relaxed
+/// ordering cannot perturb the totals.
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    locbs_passes: AtomicU64,
+    probes_aborted: AtomicU64,
+    branches_pruned: AtomicU64,
+    lookahead_cutoffs: AtomicU64,
+    pass_memo_hits: AtomicU64,
+    pool_tasks: AtomicU64,
+    commits: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn bump(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SearchCounters {
+        SearchCounters {
+            locbs_passes: self.locbs_passes.load(Ordering::Relaxed),
+            probes_aborted: self.probes_aborted.load(Ordering::Relaxed),
+            branches_pruned: self.branches_pruned.load(Ordering::Relaxed),
+            lookahead_cutoffs: self.lookahead_cutoffs.load(Ordering::Relaxed),
+            pass_memo_hits: self.pass_memo_hits.load(Ordering::Relaxed),
+            pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One memoized LoCBS pass: everything a look-ahead step consumes.
+struct MemoEntry {
+    schedule: crate::schedule::Schedule,
+    /// The pseudo-edges the pass added, in insertion order, so a hit can
+    /// replay the exact schedule-DAG the pass would have left behind.
+    pseudo: Vec<(TaskId, TaskId)>,
+    makespan: f64,
+}
+
+/// Allocation-keyed memo of completed look-ahead passes.
+///
+/// [`Locbs::run_into`] strips all pseudo-edges on entry, so a pass is a
+/// pure function of the data graph and the allocation — two branches that
+/// reach the same allocation get the same schedule, the same makespan and
+/// the same pseudo-edges. Failed look-ahead rounds re-walk the search
+/// space from one incumbent with different entry points, and those walks
+/// merge onto shared allocation trajectories after a step or two, so most
+/// of their passes are replays.
+///
+/// Because hits are exact, entries never expire: commits move the
+/// incumbent but the winning branch's tail states — and the restarts from
+/// other corners — revisit earlier allocations constantly, so the memo is
+/// kept for the whole search. Its footprint is bounded by the number of
+/// distinct allocations placed, i.e. by the executed-pass counter the memo
+/// itself keeps small. It is only consulted in sequential searches
+/// (`parallel_entries == 1`, the default): under a shared memo, *which*
+/// thread computes and which one hits would depend on scheduling, and the
+/// [`SearchCounters`] promise — pure functions of the input — would break.
+#[derive(Default)]
+struct PassMemo {
+    map: HashMap<Vec<usize>, MemoEntry>,
+}
+
+/// The immutable per-run context threaded through the search: the problem,
+/// the placer, the precomputed metadata, the optional pruning bounds and
+/// the work tally.
+struct SearchCtx<'a> {
+    g: &'a TaskGraph,
+    locbs: &'a Locbs<'a>,
+    conc: &'a ConcurrencyInfo,
+    pbest: &'a [usize],
+    model: &'a CommModel<'a>,
+    p_total: usize,
+    /// `Some` exactly when [`LocMpsConfig::prune`] is on.
+    wb: Option<&'a WideningBounds>,
+    /// `Some` exactly when the pass memo applies (pruning on and the
+    /// search sequential); the mutex is uncontended in that case.
+    memo: Option<&'a Mutex<PassMemo>>,
+    counters: &'a AtomicCounters,
+}
+
+thread_local! {
+    /// Per-worker look-ahead working set: one schedule-DAG buffer and one
+    /// LoCBS scratch, reused by every branch a pool worker (or the caller
+    /// thread) runs instead of allocating a fresh graph clone and scratch
+    /// per branch. `clone_from` / `reset_for` re-arm them for the branch's
+    /// graph, so buffers carried across graphs — or across schedulers on
+    /// the same thread — are safe.
+    static BRANCH_BUFFERS: RefCell<(TaskGraph, LocbsScratch)> =
+        RefCell::new((TaskGraph::new(), LocbsScratch::new()));
 }
 
 /// The LoC-MPS scheduler.
@@ -239,19 +386,16 @@ impl LocMps {
     /// it executes. (The paper's `d/(min(np)·bw)` closed form is the
     /// group-agnostic stand-in; it remains the planning estimate inside
     /// LoCBS's priorities where groups are not yet placed.)
-    #[allow(clippy::too_many_arguments)]
     fn refine(
         &self,
-        g: &TaskGraph,
+        ctx: &SearchCtx<'_>,
         dag: &TaskGraph,
         schedule: &crate::schedule::Schedule,
         alloc: &mut Allocation,
-        conc: &ConcurrencyInfo,
-        pbest: &[usize],
-        model: &CommModel<'_>,
-        p_total: usize,
         marked: Option<&HashSet<Entry>>,
     ) -> Option<Entry> {
+        let (g, conc, pbest) = (ctx.g, ctx.conc, ctx.pbest);
+        let (model, p_total) = (ctx.model, ctx.p_total);
         let edge_w = |e: EdgeId| {
             let edge = dag.edge(e);
             match (schedule.get(edge.src), schedule.get(edge.dst)) {
@@ -302,14 +446,14 @@ impl Scheduler for LocMps {
 impl LocMps {
     /// Runs a top-level LoCBS probe into caller-owned buffers.
     fn probe(
-        locbs: &Locbs<'_>,
-        g: &TaskGraph,
+        ctx: &SearchCtx<'_>,
         alloc: &Allocation,
         dag_buf: &mut TaskGraph,
         scratch: &mut LocbsScratch,
     ) -> Result<LocbsResult, SchedError> {
-        dag_buf.clone_from(g);
-        let (schedule, makespan) = locbs.run_into(dag_buf, alloc, scratch)?;
+        dag_buf.clone_from(ctx.g);
+        let (schedule, makespan) = ctx.locbs.run_into(dag_buf, alloc, scratch)?;
+        AtomicCounters::bump(&ctx.counters.locbs_passes, 1);
         Ok(LocbsResult {
             schedule,
             schedule_dag: dag_buf.clone(),
@@ -355,20 +499,26 @@ impl LocMps {
             .task_ids()
             .map(|t| g.task(t).profile.pbest(p_total))
             .collect();
+        let wb = self.config.prune.then(|| WideningBounds::new(g, p_total));
+        let memo = (self.config.prune && self.config.parallel_entries.max(1) == 1)
+            .then(Mutex::<PassMemo>::default);
+        let counters = AtomicCounters::default();
+        let ctx = SearchCtx {
+            g,
+            locbs: &locbs,
+            conc: &conc,
+            pbest: &pbest,
+            model: &model,
+            p_total,
+            wb: wb.as_ref(),
+            memo: memo.as_ref(),
+            counters: &counters,
+        };
 
         // Steps 1–4: pure task-parallel start.
         let mut best_alloc = Allocation::ones(g.n_tasks());
-        let mut best: LocbsResult = Self::probe(&locbs, g, &best_alloc, dag_buf, scratch)?;
-        self.search(
-            g,
-            &locbs,
-            &conc,
-            &pbest,
-            &model,
-            p_total,
-            &mut best_alloc,
-            &mut best,
-        )?;
+        let mut best: LocbsResult = Self::probe(&ctx, &best_alloc, dag_buf, scratch)?;
+        self.search(&ctx, &mut best_alloc, &mut best)?;
 
         // Wide-corner restarts (extension, see `LocMpsConfig::corner_starts`):
         // Figure 3 shows the data-parallel corner can be the optimum and the
@@ -390,20 +540,43 @@ impl LocMps {
                     clamped.set(t, width.min(pbest[t.index()]));
                 }
                 for alloc in [plain, clamped] {
-                    let res = Self::probe(&locbs, g, &alloc, dag_buf, scratch)?;
+                    // A corner only matters if its probe beats the incumbent
+                    // by more than the commit epsilon. The allocation-level
+                    // bound settles many corners without placing a single
+                    // task; the rest run under a bounded horizon so the
+                    // first placement past the incumbent aborts the pass.
+                    // Both tests leave an epsilon of slack, so floating-
+                    // point noise in the bound cannot veto a real winner.
+                    if self.config.prune
+                        && allocation_lower_bound(g, &alloc, p_total) >= best.makespan
+                    {
+                        AtomicCounters::bump(&counters.branches_pruned, 1);
+                        continue;
+                    }
+                    let res = if self.config.bounded_probes {
+                        let horizon = best.makespan - time_eps(best.makespan);
+                        dag_buf.clone_from(g);
+                        match locbs.run_into_bounded(dag_buf, &alloc, scratch, horizon)? {
+                            Some((schedule, makespan)) => {
+                                AtomicCounters::bump(&counters.locbs_passes, 1);
+                                LocbsResult {
+                                    schedule,
+                                    schedule_dag: dag_buf.clone(),
+                                    makespan,
+                                }
+                            }
+                            None => {
+                                AtomicCounters::bump(&counters.probes_aborted, 1);
+                                continue;
+                            }
+                        }
+                    } else {
+                        Self::probe(&ctx, &alloc, dag_buf, scratch)?
+                    };
                     if res.makespan < best.makespan - time_eps(best.makespan) {
                         let mut corner_alloc = alloc;
                         let mut corner_best = res;
-                        self.search(
-                            g,
-                            &locbs,
-                            &conc,
-                            &pbest,
-                            &model,
-                            p_total,
-                            &mut corner_alloc,
-                            &mut corner_best,
-                        )?;
+                        self.search(&ctx, &mut corner_alloc, &mut corner_best)?;
                         if corner_best.makespan < best.makespan - time_eps(best.makespan) {
                             best_alloc = corner_alloc;
                             best = corner_best;
@@ -417,6 +590,7 @@ impl LocMps {
             schedule: best.schedule,
             allocation: best_alloc,
             schedule_dag: Some(best.schedule_dag),
+            counters: counters.snapshot(),
         })
     }
 }
@@ -435,20 +609,17 @@ impl LocMps {
     /// `k = 1` this is exactly Algorithm 1's entry choice; larger `k`
     /// feeds the parallel multi-entry look-ahead (the paper's future-work
     /// item §VI(1)).
-    #[allow(clippy::too_many_arguments)]
     fn entry_candidates(
         &self,
-        g: &TaskGraph,
+        ctx: &SearchCtx<'_>,
         dag: &TaskGraph,
         schedule: &crate::schedule::Schedule,
         alloc: &Allocation,
-        conc: &ConcurrencyInfo,
-        pbest: &[usize],
-        model: &CommModel<'_>,
-        p_total: usize,
         marked: &HashSet<Entry>,
         k: usize,
     ) -> Vec<Entry> {
+        let (g, conc, pbest) = (ctx.g, ctx.conc, ctx.pbest);
+        let (model, p_total) = (ctx.model, ctx.p_total);
         let edge_w = |e: EdgeId| {
             let edge = dag.edge(e);
             match (schedule.get(edge.src), schedule.get(edge.dst)) {
@@ -509,71 +680,168 @@ impl LocMps {
     /// One bounded look-ahead trajectory (steps 10–35) forced to begin at
     /// `entry`. Returns the best (allocation, schedule) seen along the way.
     ///
-    /// The branch owns a single schedule-DAG copy and one LoCBS scratch:
-    /// every iteration re-schedules in place via [`Locbs::run_into`]
-    /// (stripping the previous iteration's pseudo-edges instead of cloning
-    /// the graph) with the edge-estimate memo carried across iterations —
-    /// only edges incident to the just-widened task recompute. Each branch
-    /// is self-contained, so the parallel multi-entry rounds stay safe.
-    #[allow(clippy::too_many_arguments)]
+    /// The branch borrows its worker's thread-local schedule-DAG buffer and
+    /// LoCBS scratch ([`BRANCH_BUFFERS`]): every iteration re-schedules in
+    /// place via [`Locbs::run_into`] (stripping the previous iteration's
+    /// pseudo-edges instead of cloning the graph) with the edge-estimate
+    /// memo carried across iterations — only edges incident to the
+    /// just-widened task recompute. Branches never share a buffer, so the
+    /// parallel multi-entry rounds stay safe.
+    ///
+    /// With pruning on, the walk stops as soon as the widening window of
+    /// the current allocation provably cannot beat `branch_best`: each
+    /// remaining refinement move widens some task by at most one processor,
+    /// so [`WideningBounds::cone_bound_within`] at the remaining depth
+    /// covers every state the rest of the walk could reach. Repeated
+    /// allocations (branch walks merge quickly once they leave their entry
+    /// point) are answered from the pass memo, and the final pass of a walk
+    /// runs under a bounded horizon because nothing downstream consumes an
+    /// over-horizon result.
     fn lookahead_branch(
         &self,
-        g: &TaskGraph,
-        locbs: &Locbs<'_>,
-        conc: &ConcurrencyInfo,
-        pbest: &[usize],
-        model: &CommModel<'_>,
-        p_total: usize,
+        ctx: &SearchCtx<'_>,
         start_alloc: &Allocation,
         start_dag: &TaskGraph,
         entry: Entry,
     ) -> Result<(Allocation, LocbsResult), SchedError> {
+        let (g, p_total) = (ctx.g, ctx.p_total);
         let mut alloc = start_alloc.clone();
         Self::apply_entry(start_dag, &mut alloc, entry, p_total);
-        let mut dag = g.clone();
-        let mut scratch = LocbsScratch::new();
-        let (mut schedule, mut makespan) = locbs.run_into(&mut dag, &alloc, &mut scratch)?;
-        let mut branch_alloc = alloc.clone();
-        let mut branch_best = LocbsResult {
-            schedule: schedule.clone(),
-            schedule_dag: dag.clone(),
-            makespan,
-        };
-
-        for _ in 1..self.config.lookahead_depth.max(1) {
-            let step = self.refine(
-                g, &dag, &schedule, &mut alloc, conc, pbest, model, p_total, None,
-            );
-            if step.is_none() {
-                break;
-            }
-            (schedule, makespan) = locbs.run_into(&mut dag, &alloc, &mut scratch)?;
-            if makespan < branch_best.makespan - time_eps(branch_best.makespan) {
-                branch_alloc = alloc.clone();
-                branch_best = LocbsResult {
-                    schedule: schedule.clone(),
-                    schedule_dag: dag.clone(),
-                    makespan,
+        BRANCH_BUFFERS.with(|buffers| {
+            let (dag, scratch) = &mut *buffers.borrow_mut();
+            dag.clone_from(g);
+            scratch.reset_for(g);
+            let (mut schedule, mut makespan) =
+                match Self::branch_pass(ctx, &alloc, dag, scratch, None)? {
+                    Some(pass) => pass,
+                    None => unreachable!("an unbounded pass never aborts"),
                 };
+            let mut branch_alloc = alloc.clone();
+            let mut branch_best = LocbsResult {
+                schedule: schedule.clone(),
+                schedule_dag: dag.clone(),
+                makespan,
+            };
+
+            let depth = self.config.lookahead_depth.max(1);
+            for step in 1..depth {
+                if self.refine(ctx, dag, &schedule, &mut alloc, None).is_none() {
+                    break;
+                }
+                if let Some(wb) = ctx.wb {
+                    // `depth - 1 - step` refinement moves remain after this
+                    // one, so the window cone covers this state and every
+                    // state the rest of the walk can reach. At or above the
+                    // branch best, none of them passes the epsilon-strict
+                    // improvement test; the returned pair is already final.
+                    if wb.cone_bound_within(g, &alloc, depth - 1 - step) >= branch_best.makespan {
+                        AtomicCounters::bump(&ctx.counters.lookahead_cutoffs, 1);
+                        break;
+                    }
+                }
+                // The final pass feeds no further refinement: its only
+                // consumer is the branch-best update, so it may run under
+                // a bounded horizon and abort once that update is settled.
+                let horizon = (self.config.bounded_probes && step + 1 == depth)
+                    .then(|| branch_best.makespan - time_eps(branch_best.makespan));
+                match Self::branch_pass(ctx, &alloc, dag, scratch, horizon)? {
+                    Some(pass) => (schedule, makespan) = pass,
+                    None => break,
+                }
+                if makespan < branch_best.makespan - time_eps(branch_best.makespan) {
+                    branch_alloc = alloc.clone();
+                    branch_best = LocbsResult {
+                        schedule: schedule.clone(),
+                        schedule_dag: dag.clone(),
+                        makespan,
+                    };
+                }
+            }
+            Ok((branch_alloc, branch_best))
+        })
+    }
+
+    /// One look-ahead LoCBS pass over the branch's buffers: replayed from
+    /// the pass memo when this allocation was already placed this era,
+    /// otherwise computed — under `horizon` when the caller can prove an
+    /// over-horizon pass is useless. Returns `None` exactly on a horizon
+    /// abort.
+    fn branch_pass(
+        ctx: &SearchCtx<'_>,
+        alloc: &Allocation,
+        dag: &mut TaskGraph,
+        scratch: &mut LocbsScratch,
+        horizon: Option<f64>,
+    ) -> Result<Option<(crate::schedule::Schedule, f64)>, SchedError> {
+        if let Some(memo) = ctx.memo {
+            let guard = memo.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = guard.map.get(alloc.as_slice()) {
+                dag.clear_pseudo_edges();
+                for &(src, dst) in &hit.pseudo {
+                    dag.add_pseudo_edge(src, dst).map_err(SchedError::Graph)?;
+                }
+                AtomicCounters::bump(&ctx.counters.pass_memo_hits, 1);
+                return Ok(Some((hit.schedule.clone(), hit.makespan)));
             }
         }
-        Ok((branch_alloc, branch_best))
+        let result = match horizon {
+            Some(h) => ctx.locbs.run_into_bounded(dag, alloc, scratch, h)?,
+            None => Some(ctx.locbs.run_into(dag, alloc, scratch)?),
+        };
+        let Some((schedule, makespan)) = result else {
+            AtomicCounters::bump(&ctx.counters.probes_aborted, 1);
+            return Ok(None);
+        };
+        AtomicCounters::bump(&ctx.counters.locbs_passes, 1);
+        if let Some(memo) = ctx.memo {
+            let pseudo = dag
+                .edges()
+                .filter(|(_, e)| e.kind == EdgeKind::Pseudo)
+                .map(|(_, e)| (e.src, e.dst))
+                .collect();
+            memo.lock().unwrap_or_else(|e| e.into_inner()).map.insert(
+                alloc.as_slice().to_vec(),
+                MemoEntry {
+                    schedule: schedule.clone(),
+                    pseudo,
+                    makespan,
+                },
+            );
+        }
+        Ok(Some((schedule, makespan)))
     }
 
     /// The outer commit/mark loop of Algorithm 1, refining `best_alloc` /
     /// `best` in place from wherever they currently point. With
     /// `parallel_entries > 1` each round explores that many entry points
-    /// concurrently (rayon) and commits the best outcome; a round in which
-    /// no branch improves marks every tried entry.
-    #[allow(clippy::too_many_arguments)]
+    /// concurrently (on the persistent worker pool) and commits the best
+    /// outcome; a round in which no branch improves marks every tried
+    /// entry.
+    ///
+    /// # Pruning, exactly
+    ///
+    /// Every prune below is backed by an admissible bound and leaves the
+    /// commit/mark trajectory — and therefore the final schedule —
+    /// bit-identical to the unpruned search:
+    ///
+    /// * **convergence exit**: every branch of every future round starts
+    ///   from `best_alloc` and performs at most `lookahead_depth` widening
+    ///   moves, so once `cone_bound_within(best_alloc, depth)` reaches
+    ///   `best.makespan` no round can ever commit again; failed rounds only
+    ///   touch `marked`, which is local, so returning now is observably
+    ///   identical.
+    /// * **trailing-suffix skip**: a branch whose entry bound reaches
+    ///   `old_sl` can never pass the commit test, but it *can* still win
+    ///   the epsilon-tolerant winner fold and thereby shield a later,
+    ///   marginally-improving branch from committing. Skipping is
+    ///   therefore only safe for the pruned entries *after* the last
+    ///   unpruned one — exactly the suffix that has nobody left to shield.
+    ///   (With `parallel_entries = 1`, the default, every pruned entry is
+    ///   trailing.) Failed rounds still mark **all** candidate entries,
+    ///   skipped or not, just as the unpruned search would.
     fn search(
         &self,
-        g: &TaskGraph,
-        locbs: &Locbs<'_>,
-        conc: &ConcurrencyInfo,
-        pbest: &[usize],
-        model: &CommModel<'_>,
-        p_total: usize,
+        ctx: &SearchCtx<'_>,
         best_alloc: &mut Allocation,
         best: &mut LocbsResult,
     ) -> Result<(), SchedError> {
@@ -581,17 +849,21 @@ impl LocMps {
 
         let mut marked: HashSet<Entry> = HashSet::new();
         let width = self.config.parallel_entries.max(1);
+        // A branch performs at most `depth` widening moves in total: the
+        // entry application plus `depth - 1` refinement steps.
+        let depth = self.config.lookahead_depth.max(1);
 
         for _round in 0..self.config.max_rounds {
+            if let Some(wb) = ctx.wb {
+                if wb.cone_bound_within(ctx.g, best_alloc, depth) >= best.makespan {
+                    return Ok(()); // incumbent provably optimal in its cone
+                }
+            }
             let entries = self.entry_candidates(
-                g,
+                ctx,
                 &best.schedule_dag,
                 &best.schedule,
                 best_alloc,
-                conc,
-                pbest,
-                model,
-                p_total,
                 &marked,
                 width,
             );
@@ -600,24 +872,34 @@ impl LocMps {
             }
             let old_sl = best.makespan;
 
-            let run_branch = |&entry: &Entry| {
-                self.lookahead_branch(
-                    g,
-                    locbs,
-                    conc,
-                    pbest,
-                    model,
-                    p_total,
-                    best_alloc,
-                    &best.schedule_dag,
-                    entry,
-                )
+            // Find the trailing run of provably-hopeless entries.
+            let cut = match ctx.wb {
+                Some(wb) => {
+                    let hopeless = |&entry: &Entry| {
+                        let mut alloc = best_alloc.clone();
+                        Self::apply_entry(&best.schedule_dag, &mut alloc, entry, ctx.p_total);
+                        wb.cone_bound_within(ctx.g, &alloc, depth - 1) >= old_sl
+                    };
+                    let keep = entries
+                        .iter()
+                        .rposition(|e| !hopeless(e))
+                        .map_or(0, |i| i + 1);
+                    AtomicCounters::bump(
+                        &ctx.counters.branches_pruned,
+                        (entries.len() - keep) as u64,
+                    );
+                    keep
+                }
+                None => entries.len(),
             };
-            let branches: Vec<Result<(Allocation, LocbsResult), SchedError>> = if entries.len() > 1
-            {
-                entries.par_iter().map(run_branch).collect()
+
+            let run_branch =
+                |&entry: &Entry| self.lookahead_branch(ctx, best_alloc, &best.schedule_dag, entry);
+            let branches: Vec<Result<(Allocation, LocbsResult), SchedError>> = if cut > 1 {
+                AtomicCounters::bump(&ctx.counters.pool_tasks, cut as u64);
+                entries[..cut].par_iter().map(run_branch).collect()
             } else {
-                entries.iter().map(run_branch).collect()
+                entries[..cut].iter().map(run_branch).collect()
             };
 
             // The earliest-ranked branch wins ties, keeping the search
@@ -633,16 +915,19 @@ impl LocMps {
                     winner = Some(b);
                 }
             }
-            let (w_alloc, w_res) = winner.expect("at least one branch ran");
 
-            if w_res.makespan < old_sl - time_eps(old_sl) {
-                // Step 39: improvement found; commit and reset the marks.
-                *best_alloc = w_alloc;
-                *best = w_res;
-                marked.clear();
-            } else {
-                // Step 37: failed look-ahead(s); remember the bad entries.
-                marked.extend(entries);
+            match winner {
+                Some((w_alloc, w_res)) if w_res.makespan < old_sl - time_eps(old_sl) => {
+                    // Step 39: improvement found; commit and reset the marks.
+                    *best_alloc = w_alloc;
+                    *best = w_res;
+                    marked.clear();
+                    AtomicCounters::bump(&ctx.counters.commits, 1);
+                }
+                // Step 37: failed look-ahead(s) — or a fully-pruned round,
+                // which is a failed round the bounds settled without
+                // running it. Remember every tried entry either way.
+                _ => marked.extend(entries),
             }
         }
         Ok(())

@@ -61,6 +61,42 @@ impl std::fmt::Display for SchedError {
 
 impl std::error::Error for SchedError {}
 
+/// Deterministic work counters of the LoC-MPS refinement search.
+///
+/// Every field is a pure function of the scheduling inputs — thread count,
+/// timing and scheduling order never influence them — so CI can pin exact
+/// values and a search-efficiency regression fails loudly without flaky
+/// wall-clock gates. Baselines that run no search report all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Full LoCBS placement passes run to completion.
+    pub locbs_passes: u64,
+    /// Bounded-horizon probe passes aborted once the partial schedule
+    /// length provably exceeded the incumbent makespan.
+    pub probes_aborted: u64,
+    /// Look-ahead branches (and corner probes) skipped entirely because
+    /// the admissible lower bound could not beat the incumbent.
+    pub branches_pruned: u64,
+    /// Look-ahead walks cut short mid-branch by the widening-cone bound.
+    pub lookahead_cutoffs: u64,
+    /// Look-ahead passes answered by the allocation-keyed pass memo
+    /// instead of a fresh placement (LoCBS output is a pure function of
+    /// the graph and the allocation, so replays are exact).
+    pub pass_memo_hits: u64,
+    /// Look-ahead branch jobs dispatched to the worker pool.
+    pub pool_tasks: u64,
+    /// Improving rounds committed by the outer search loop.
+    pub commits: u64,
+}
+
+impl SearchCounters {
+    /// Whether any search work was recorded at all (baselines report
+    /// all-zero counters).
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
 /// What a scheduler returns: the schedule, the allocation behind it, and —
 /// for LoCBS-based schedulers — the pseudo-edge schedule-DAG `G'`.
 #[derive(Debug, Clone)]
@@ -71,6 +107,9 @@ pub struct SchedulerOutput {
     pub allocation: Allocation,
     /// `G'` when the scheduler constructs one (`None` for e.g. DATA).
     pub schedule_dag: Option<TaskGraph>,
+    /// Search-effort counters (all zeros for schedulers without a
+    /// refinement search).
+    pub counters: SearchCounters,
 }
 
 impl SchedulerOutput {

@@ -1,0 +1,176 @@
+//! Pruning-exactness properties: the bound-driven accelerations of the
+//! LoC-MPS refinement search (admissible branch pruning, bounded-horizon
+//! probes, the allocation-keyed pass memo) must be **lossless** — the
+//! search with them on selects the same commits and produces the
+//! byte-identical schedule, allocation and schedule-DAG as the exhaustive
+//! reference that runs every LoCBS pass to completion — and the bounds
+//! they rely on must be admissible (never above a true LoCBS makespan).
+
+use locmps::core::bounds::{allocation_lower_bound, WideningBounds};
+use locmps::core::{Allocation, CommModel, Locbs, LocbsOptions};
+use locmps::prelude::*;
+use locmps::speedup::DowneyParams;
+use locmps::taskgraph::TaskId;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..14, any::<u64>(), 0.1..0.45f64).prop_map(|(n, seed, density)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let work = 2.0 + 30.0 * next();
+            let a = 1.0 + 40.0 * next();
+            let sigma = 2.5 * next();
+            let model = SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap());
+            g.add_task(format!("t{i}"), ExecutionProfile::new(work, model).unwrap());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 200.0 * next())
+                        .unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+/// Full-precision serialization: byte equality pins exact f64 bits.
+fn serialized(s: &Schedule) -> String {
+    serde_json::to_string(s).expect("schedules serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: pruned and exhaustive searches are
+    /// indistinguishable in everything but effort. Identical commit counts
+    /// mean the two walked the same commit/mark trajectory (the same entry
+    /// was selected in every improving round); identical serialized
+    /// schedules and allocations mean not one placement bit drifted.
+    #[test]
+    fn pruned_search_matches_exhaustive_reference(
+        g in arb_graph(),
+        p in 1usize..9,
+        overlap in any::<bool>(),
+    ) {
+        let cluster = if overlap {
+            Cluster::new(p, 25.0)
+        } else {
+            Cluster::new(p, 25.0).without_overlap()
+        };
+        let pruned = LocMps::default().schedule(&g, &cluster).unwrap();
+        let reference = LocMps::new(LocMpsConfig::exhaustive())
+            .schedule(&g, &cluster)
+            .unwrap();
+
+        prop_assert_eq!(serialized(&pruned.schedule), serialized(&reference.schedule));
+        prop_assert_eq!(
+            pruned.allocation.as_slice(),
+            reference.allocation.as_slice()
+        );
+        prop_assert_eq!(pruned.counters.commits, reference.counters.commits);
+        // The reference by construction does none of the accelerated work.
+        prop_assert_eq!(reference.counters.pass_memo_hits, 0);
+        prop_assert_eq!(reference.counters.probes_aborted, 0);
+        prop_assert_eq!(reference.counters.branches_pruned, 0);
+        prop_assert_eq!(reference.counters.lookahead_cutoffs, 0);
+        // And never executes fewer passes than the pruned search.
+        prop_assert!(reference.counters.locbs_passes >= pruned.counters.locbs_passes);
+    }
+
+    /// Each acceleration is lossless on its own, not just in concert.
+    #[test]
+    fn each_acceleration_is_individually_lossless(
+        g in arb_graph(),
+        p in 1usize..7,
+    ) {
+        let cluster = Cluster::new(p, 25.0);
+        let reference = LocMps::new(LocMpsConfig::exhaustive())
+            .schedule(&g, &cluster)
+            .unwrap();
+        for config in [
+            LocMpsConfig { prune: true, bounded_probes: false, ..LocMpsConfig::default() },
+            LocMpsConfig { prune: false, bounded_probes: true, ..LocMpsConfig::default() },
+        ] {
+            let out = LocMps::new(config).schedule(&g, &cluster).unwrap();
+            prop_assert_eq!(serialized(&out.schedule), serialized(&reference.schedule));
+            prop_assert_eq!(out.allocation.as_slice(), reference.allocation.as_slice());
+        }
+    }
+
+    /// The counters are pure functions of the input: two runs of the same
+    /// configuration agree exactly.
+    #[test]
+    fn counters_are_deterministic(g in arb_graph(), p in 1usize..7) {
+        let cluster = Cluster::new(p, 25.0);
+        let a = LocMps::default().schedule(&g, &cluster).unwrap();
+        let b = LocMps::default().schedule(&g, &cluster).unwrap();
+        prop_assert_eq!(a.counters, b.counters);
+    }
+
+    /// Admissibility of the allocation-level bound: never above the true
+    /// LoCBS makespan of that allocation.
+    #[test]
+    fn allocation_bound_is_admissible(
+        g in arb_graph(),
+        p in 1usize..9,
+        widths in proptest::collection::vec(1usize..9, 14..15),
+    ) {
+        let cluster = Cluster::new(p, 25.0);
+        let alloc = Allocation::from_vec(
+            g.task_ids().map(|t| widths[t.index()].min(p)).collect(),
+        );
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        let res = locbs.run(&g, &alloc).unwrap();
+        let bound = allocation_lower_bound(&g, &alloc, p);
+        prop_assert!(
+            bound <= res.makespan * (1.0 + 1e-9),
+            "bound {bound} above true makespan {}", res.makespan
+        );
+    }
+
+    /// Admissibility of the depth-capped widening-window bound: never above
+    /// the true LoCBS makespan of ANY allocation reachable by at most
+    /// `steps` single-task widening moves.
+    #[test]
+    fn window_bound_is_admissible_over_reachable_allocations(
+        g in arb_graph(),
+        p in 2usize..9,
+        widths in proptest::collection::vec(1usize..9, 14..15),
+        steps in 0usize..6,
+        moves in proptest::collection::vec((0usize..14, 1usize..9), 6..7),
+    ) {
+        let cluster = Cluster::new(p, 25.0);
+        let alloc = Allocation::from_vec(
+            g.task_ids().map(|t| widths[t.index()].min(p)).collect(),
+        );
+        let wb = WideningBounds::new(&g, p);
+        let bound = wb.cone_bound_within(&g, &alloc, steps);
+        // The full cone is the infinite-window limit; windows only tighten.
+        prop_assert!(wb.cone_bound(&g, &alloc) <= bound * (1.0 + 1e-12));
+
+        // Apply at most `steps` widening moves and compare against the
+        // true makespan of the reached allocation.
+        let mut widened = alloc.clone();
+        for &(idx, _) in moves.iter().take(steps) {
+            let t = TaskId((idx % g.n_tasks()) as u32);
+            widened.set(t, (widened.np(t) + 1).min(p));
+        }
+        let model = CommModel::new(&cluster);
+        let locbs = Locbs::new(model, LocbsOptions::default());
+        let res = locbs.run(&g, &widened).unwrap();
+        prop_assert!(
+            bound <= res.makespan * (1.0 + 1e-9),
+            "window bound {bound} above reachable makespan {}", res.makespan
+        );
+    }
+}

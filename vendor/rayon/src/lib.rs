@@ -1,15 +1,218 @@
 //! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
 //!
 //! Implements the one parallel-iterator chain this workspace uses —
-//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with `std::thread`
-//! scoped threads instead of a work-stealing pool. Items are split into
-//! contiguous chunks, one per available core, and results are reassembled
-//! in input order, so the chain is a drop-in, deterministic-output
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — on a **lazy global
+//! worker pool** instead of per-call `std::thread::scope` spawning. The
+//! pool is created on first use, its threads live for the process, and
+//! each `collect` submits one *batch* whose items are claimed index-by
+//! -index from a shared atomic cursor (chunk-queue work stealing): a slow
+//! item never straggles a whole pre-cut chunk behind it, and a second
+//! batch submitted while the first is draining is served by whichever
+//! workers free up first.
+//!
+//! Results are written into per-index slots, so output order always equals
+//! input order and the chain stays a drop-in, deterministic-output
 //! replacement.
+//!
+//! Two degenerate paths never touch the pool: single-item inputs and
+//! single-thread configurations run the map inline on the caller. The
+//! worker count honors the `LOCMPS_THREADS` environment variable (read
+//! once per process) and otherwise defaults to the machine's available
+//! parallelism.
+//!
+//! The submitting thread always participates in draining its own batch,
+//! which makes nested `par_iter` calls deadlock-free by construction: even
+//! when every pool worker is busy with outer batches, the inner caller
+//! claims and runs all of its own items.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// The traits the workspace imports via `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+}
+
+/// Parses a `LOCMPS_THREADS`-style override: a positive integer, anything
+/// else (absent, empty, garbage, zero) falls back to `None`.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The number of threads the pool runs with (callers included): the
+/// `LOCMPS_THREADS` override when set, otherwise the machine's available
+/// parallelism. Read once; stable for the process lifetime.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        parse_threads(std::env::var("LOCMPS_THREADS").ok().as_deref())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
+    })
+}
+
+/// Type-erased batch job: run item `i`. The pointee lives on the
+/// submitting caller's stack; see the safety argument on [`Batch`].
+type RawJob = *const (dyn Fn(usize) + Sync + 'static);
+
+/// Completion bookkeeping of one batch, behind the batch mutex.
+struct BatchState {
+    /// Items whose execution has returned (or unwound).
+    completed: usize,
+    /// First panic payload observed while running an item.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One submitted `par_iter` batch: an erased job plus a shared claim
+/// cursor.
+///
+/// # Safety
+///
+/// `job` points into the submitting caller's stack frame. The caller
+/// blocks in [`Batch::wait`] until `completed == n`, and workers only
+/// dereference `job` for claimed indices `i < n` — each of which is
+/// counted in `completed` exactly once — so every dereference happens
+/// while the caller's frame is alive. After completion workers may still
+/// hold the `Arc` and bump `next`, but never dereference `job` again.
+struct Batch {
+    job: RawJob,
+    n: usize,
+    /// Next unclaimed item index (may overshoot `n` by one per thread).
+    next: AtomicUsize,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+// SAFETY: the raw job pointer is only dereferenced under the liveness
+// protocol documented on `Batch`; all other fields are Send + Sync.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    fn new(job: RawJob, n: usize) -> Self {
+        Self {
+            job,
+            n,
+            next: AtomicUsize::new(0),
+            state: Mutex::new(BatchState {
+                completed: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Whether every item has been claimed (not necessarily completed).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+
+    /// Claims and runs items until the claim cursor runs dry. Called by
+    /// pool workers and by the submitting caller alike.
+    fn run_available(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: i < n, so the caller is still blocked in `wait` and
+            // the job pointee is alive (see the struct-level argument).
+            let job = unsafe { &*self.job };
+            let result = catch_unwind(AssertUnwindSafe(|| job(i)));
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(payload) = result {
+                st.panic.get_or_insert(payload);
+            }
+            st.completed += 1;
+            if st.completed == self.n {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every item has completed; re-raises the first worker
+    /// panic on the caller.
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.completed < self.n {
+            st = self.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The persistent pool: a queue of live batches and the worker wake-up.
+struct Pool {
+    queue: Mutex<Vec<Arc<Batch>>>,
+    work_ready: Condvar,
+}
+
+impl Pool {
+    /// A worker's main loop: find a batch with unclaimed items, drain it,
+    /// repeat; park when no batch has work left.
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    q.retain(|b| !b.exhausted());
+                    match q.first() {
+                        Some(b) => break Arc::clone(b),
+                        None => q = self.work_ready.wait(q).unwrap_or_else(|e| e.into_inner()),
+                    }
+                }
+            };
+            batch.run_available();
+        }
+    }
+}
+
+/// The lazy global pool: `current_num_threads() - 1` background workers
+/// (the submitting caller is the remaining thread). `None` when the
+/// configuration is single-threaded.
+fn global_pool() -> Option<&'static Pool> {
+    static POOL: OnceLock<Option<&'static Pool>> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        let background = current_num_threads().saturating_sub(1);
+        if background == 0 {
+            return None;
+        }
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(Vec::new()),
+            work_ready: Condvar::new(),
+        }));
+        for i in 0..background {
+            std::thread::Builder::new()
+                .name(format!("locmps-pool-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("worker thread spawns");
+        }
+        Some(pool)
+    })
+}
+
+/// Runs `job(0..n)` across the pool (plus the calling thread) and blocks
+/// until every index has completed.
+fn run_batch(n: usize, job: &(dyn Fn(usize) + Sync)) {
+    // SAFETY: erases the borrow lifetime; `Batch::wait` below outlives
+    // every dereference (see `Batch`).
+    let raw: RawJob = unsafe { std::mem::transmute(job) };
+    let batch = Arc::new(Batch::new(raw, n));
+    if let Some(pool) = global_pool() {
+        pool.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&batch));
+        pool.work_ready.notify_all();
+    }
+    batch.run_available();
+    batch.wait();
 }
 
 /// `par_iter()` on borrowable collections.
@@ -62,8 +265,22 @@ pub struct ParMap<'a, T, F> {
     f: F,
 }
 
+/// Per-index result slots shared across workers. Each slot is written at
+/// most once (by whichever thread claimed that index), so the unsynchronized
+/// interior mutability is race-free.
+struct Slots<R>(Vec<UnsafeCell<MaybeUninit<R>>>);
+
+// SAFETY: distinct indices are written by distinct claim winners; no slot
+// is read until the batch completed on the submitting thread.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    /// Runs the map on scoped threads and gathers results in input order.
+    /// Runs the map on the worker pool and gathers results in input order.
+    ///
+    /// Inputs of length ≤ 1 and single-thread configurations run inline,
+    /// with no pool or synchronization in the path. A panicking `f` is
+    /// re-raised on the caller once the batch has drained (the completed
+    /// results of such a batch are leaked, not dropped).
     pub fn collect<R, C>(self) -> C
     where
         F: Fn(&'a T) -> R + Sync,
@@ -71,33 +288,34 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         C: FromIterator<R>,
     {
         let n = self.items.len();
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |c| c.get())
-            .min(n.max(1));
-        if workers <= 1 || n <= 1 {
+        if n <= 1 || current_num_threads() <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
-        let chunk = n.div_ceil(workers);
+        let mut slots = Slots(Vec::with_capacity(n));
+        slots
+            .0
+            .resize_with(n, || UnsafeCell::new(MaybeUninit::uninit()));
+        let items = self.items;
         let f = &self.f;
-        let mut chunks: Vec<Vec<R>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            chunks = handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect();
+        let slots_ref = &slots;
+        run_batch(n, &move |i: usize| {
+            let value = f(&items[i]);
+            // SAFETY: index i was claimed by exactly one thread.
+            unsafe { (*slots_ref.0[i].get()).write(value) };
         });
-        chunks.into_iter().flatten().collect()
+        // run_batch returned without unwinding, so every slot was written.
+        slots
+            .0
+            .into_iter()
+            .map(|cell| unsafe { cell.into_inner().assume_init() })
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, parse_threads};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -114,5 +332,88 @@ mod tests {
         let one = vec![7u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn pool_survives_repeated_batches() {
+        // Many batches through the same persistent pool: results must stay
+        // ordered and complete every time.
+        for round in 0..50u64 {
+            let xs: Vec<u64> = (0..64).collect();
+            let out: Vec<u64> = xs.par_iter().map(|x| x + round).collect();
+            assert_eq!(out, xs.iter().map(|x| x + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_par_iter_does_not_deadlock() {
+        let rows: Vec<u64> = (0..16).collect();
+        let sums: Vec<u64> = rows
+            .par_iter()
+            .map(|&r| {
+                let cols: Vec<u64> = (0..32).collect();
+                let inner: Vec<u64> = cols.par_iter().map(|c| c * r).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expected: Vec<u64> = rows.iter().map(|r| r * (0..32u64).sum::<u64>()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        // Batches submitted from several OS threads at once must each get
+        // complete, ordered results.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let xs: Vec<u64> = (0..512).collect();
+                        let out: Vec<u64> = xs.par_iter().map(|x| x * k).collect();
+                        assert_eq!(out, xs.iter().map(|x| x * k).collect::<Vec<_>>());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("submitter thread");
+            }
+        });
+    }
+
+    #[test]
+    fn item_panic_propagates_to_the_caller() {
+        let xs: Vec<u32> = (0..128).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = xs
+                .par_iter()
+                .map(|&x| {
+                    if x == 77 {
+                        panic!("boom at 77");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "the item panic must reach the caller");
+        // The pool must still be usable afterwards.
+        let ok: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
+        assert_eq!(ok.len(), xs.len());
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("nope")), None);
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let n = current_num_threads();
+        assert!(n >= 1);
+        assert_eq!(n, current_num_threads());
     }
 }
