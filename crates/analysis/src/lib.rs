@@ -129,4 +129,13 @@ pub mod codes {
     /// `LM314` (Error): an attempt started but never finished or crashed
     /// (and overlapping attempts of the same task).
     pub const DANGLING_ATTEMPT: &str = "LM314";
+    /// `LM320` (Info): straggler-speculation summary — watchdog alarms,
+    /// speculative launches and the duplicate win rate.
+    pub const SPECULATION_SUMMARY: &str = "LM320";
+    /// `LM321` (Info): processor-seconds burned by killed duplicate
+    /// attempts (the price paid for hedging).
+    pub const WASTED_DUPLICATE_WORK: &str = "LM321";
+    /// `LM322` (Info): wall-clock time tasks spent parked in retry
+    /// backoff before relaunching.
+    pub const BACKOFF_WAITS: &str = "LM322";
 }

@@ -2,13 +2,21 @@
 //! structured event log.
 //!
 //! [`analyze_trace`] audits an [`ExecutionTrace`] *as a causal record*:
-//! every started attempt must resolve, completed tasks must start after
-//! their predecessors finished, nothing may run on a failed processor or
-//! double-book a live one, and every unfinished task must be accounted
-//! for by the trace (an `Abort` event naming it). On top of the hard
-//! checks it reports the resilience metrics — work lost to failures,
-//! recovery overhead — that the `locmps-bench` resilience experiment and
-//! `locmps run --faults` surface.
+//! every started attempt (speculative duplicates included) must resolve,
+//! completed tasks must start after their predecessors finished, nothing
+//! may run on a failed processor or double-book a live one, and every
+//! unfinished task must be accounted for by the trace (an `Abort` event
+//! naming it). On top of the hard checks it reports the resilience
+//! metrics — work lost to failures, recovery overhead, speculation
+//! wins/waste, backoff waits — that the `locmps-bench` resilience
+//! experiment and `locmps run --faults` surface.
+//!
+//! Attempts are tracked per `(task, attempt)`: a task may legitimately
+//! have two attempts open at once — its primary and one speculative
+//! duplicate, opened by a `SpeculativeLaunch` event — but a plain
+//! `TaskStart` while any attempt is open stays an `LM314` error, and a
+//! finish/crash/kill naming an attempt that is not open is an `LM311`
+//! causality error.
 
 use locmps_core::schedule::time_eps;
 use locmps_platform::Cluster;
@@ -37,14 +45,54 @@ pub fn analyze_trace(trace: &ExecutionTrace, g: &TaskGraph, cluster: &Cluster) -
 
     // ---- single pass over the log: attempts, failures, abort record ----
     let mut attempts: Vec<Attempt> = Vec::new();
-    let mut open: Vec<Option<usize>> = vec![None; n]; // task -> open attempt
+    // task -> indices of open attempts (primary + speculative duplicate).
+    let mut open: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut down = vec![false; cluster.n_procs];
     let mut final_start = vec![f64::NAN; n];
     let mut final_finish = vec![f64::NAN; n];
     let mut finished = vec![false; n];
     let mut aborted_unfinished: Vec<TaskId> = Vec::new();
     let (mut crashes, mut procs_down, mut retries, mut replans) = (0usize, 0usize, 0usize, 0usize);
+    let (mut suspected, mut spec_launches, mut spec_wins, mut kills) =
+        (0usize, 0usize, 0usize, 0usize);
     let mut work_lost = 0.0f64;
+    let mut wasted_dup = 0.0f64;
+    // task -> pending Retry time, to measure backoff waits.
+    let mut retry_at: Vec<Option<f64>> = vec![None; n];
+    let (mut backoff_wait, mut backoff_waits) = (0.0f64, 0usize);
+
+    // Closes the open attempt named `(task, attempt)`, or reports the
+    // matching causality error.
+    let close = |open: &mut Vec<Vec<usize>>,
+                 attempts: &mut Vec<Attempt>,
+                 report: &mut Report,
+                 task: &TaskId,
+                 attempt: u32,
+                 time: f64,
+                 ok: bool,
+                 what: &str|
+     -> Option<usize> {
+        let idx = task.index();
+        match open[idx]
+            .iter()
+            .position(|&a| attempts[a].attempt == attempt)
+        {
+            Some(pos) => {
+                let a = open[idx].remove(pos);
+                attempts[a].end = Some((time, ok));
+                Some(a)
+            }
+            None => {
+                report.push(Diagnostic::new(
+                    codes::CAUSALITY_VIOLATION,
+                    Severity::Error,
+                    format!("{task}"),
+                    format!("{what} event for attempt {attempt} without an open attempt"),
+                ));
+                None
+            }
+        }
+    };
 
     for ev in &trace.events {
         match &ev.kind {
@@ -52,7 +100,13 @@ pub fn analyze_trace(trace: &ExecutionTrace, g: &TaskGraph, cluster: &Cluster) -
                 task,
                 attempt,
                 procs,
+            }
+            | TraceEventKind::SpeculativeLaunch {
+                task,
+                attempt,
+                procs,
             } => {
+                let speculative = matches!(ev.kind, TraceEventKind::SpeculativeLaunch { .. });
                 let idx = task.index();
                 for p in procs.iter() {
                     if (p as usize) < down.len() && down[p as usize] {
@@ -67,7 +121,19 @@ pub fn analyze_trace(trace: &ExecutionTrace, g: &TaskGraph, cluster: &Cluster) -
                         );
                     }
                 }
-                if open[idx].is_some() {
+                if speculative {
+                    spec_launches += 1;
+                    if open[idx].is_empty() {
+                        report.push(Diagnostic::new(
+                            codes::CAUSALITY_VIOLATION,
+                            Severity::Error,
+                            format!("{task}"),
+                            format!(
+                                "speculative attempt {attempt} launched with no primary in flight"
+                            ),
+                        ));
+                    }
+                } else if !open[idx].is_empty() {
                     report.push(Diagnostic::new(
                         codes::DANGLING_ATTEMPT,
                         Severity::Error,
@@ -77,8 +143,13 @@ pub fn analyze_trace(trace: &ExecutionTrace, g: &TaskGraph, cluster: &Cluster) -
                         ),
                     ));
                 }
-                open[idx] = Some(attempts.len());
-                final_start[idx] = ev.time;
+                if !speculative {
+                    if let Some(rt) = retry_at[idx].take() {
+                        backoff_wait += (ev.time - rt).max(0.0);
+                        backoff_waits += 1;
+                    }
+                }
+                open[idx].push(attempts.len());
                 attempts.push(Attempt {
                     task: *task,
                     attempt: *attempt,
@@ -87,41 +158,72 @@ pub fn analyze_trace(trace: &ExecutionTrace, g: &TaskGraph, cluster: &Cluster) -
                     end: None,
                 });
             }
-            TraceEventKind::TaskFinish { task, .. } => {
+            TraceEventKind::TaskFinish { task, attempt } => {
                 let idx = task.index();
-                match open[idx].take() {
-                    Some(a) => attempts[a].end = Some((ev.time, true)),
-                    None => report.push(Diagnostic::new(
-                        codes::CAUSALITY_VIOLATION,
-                        Severity::Error,
-                        format!("{task}"),
-                        "finish event without an open attempt".to_string(),
-                    )),
+                if let Some(a) = close(
+                    &mut open,
+                    &mut attempts,
+                    &mut report,
+                    task,
+                    *attempt,
+                    ev.time,
+                    true,
+                    "finish",
+                ) {
+                    final_start[idx] = attempts[a].start;
                 }
                 finished[idx] = true;
                 final_finish[idx] = ev.time;
             }
-            TraceEventKind::TaskCrash { task, lost, .. } => {
-                let idx = task.index();
-                match open[idx].take() {
-                    Some(a) => attempts[a].end = Some((ev.time, false)),
-                    None => report.push(Diagnostic::new(
-                        codes::CAUSALITY_VIOLATION,
-                        Severity::Error,
-                        format!("{task}"),
-                        "crash event without an open attempt".to_string(),
-                    )),
-                }
+            TraceEventKind::TaskCrash {
+                task,
+                attempt,
+                lost,
+            } => {
+                close(
+                    &mut open,
+                    &mut attempts,
+                    &mut report,
+                    task,
+                    *attempt,
+                    ev.time,
+                    false,
+                    "crash",
+                );
                 crashes += 1;
                 work_lost += lost;
             }
+            TraceEventKind::AttemptKilled {
+                task,
+                attempt,
+                wasted,
+            } => {
+                close(
+                    &mut open,
+                    &mut attempts,
+                    &mut report,
+                    task,
+                    *attempt,
+                    ev.time,
+                    false,
+                    "kill",
+                );
+                kills += 1;
+                wasted_dup += wasted;
+            }
+            TraceEventKind::SpeculativeWin { .. } => spec_wins += 1,
+            TraceEventKind::StragglerSuspected { .. } => suspected += 1,
+            TraceEventKind::AttemptsExhausted { .. } => {}
             TraceEventKind::ProcDown { proc } => {
                 if (*proc as usize) < down.len() {
                     down[*proc as usize] = true;
                 }
                 procs_down += 1;
             }
-            TraceEventKind::Retry { .. } => retries += 1,
+            TraceEventKind::Retry { task, .. } => {
+                retries += 1;
+                retry_at[task.index()] = Some(ev.time);
+            }
             TraceEventKind::Replan { .. } => replans += 1,
             TraceEventKind::Abort { unfinished } => {
                 aborted_unfinished.extend(unfinished.iter().copied());
@@ -267,6 +369,60 @@ pub fn analyze_trace(trace: &ExecutionTrace, g: &TaskGraph, cluster: &Cluster) -
             )
             .with("reexecuted", reexec)
             .with("replans", replans),
+        );
+    }
+
+    // ---- LM320/321/322: straggler-mitigation metrics ----
+    if suspected + spec_launches > 0 {
+        let win_rate = if spec_launches > 0 {
+            spec_wins as f64 / spec_launches as f64
+        } else {
+            0.0
+        };
+        report.push(
+            Diagnostic::new(
+                codes::SPECULATION_SUMMARY,
+                Severity::Info,
+                "trace",
+                format!(
+                    "{suspected} straggler alarm(s), {spec_launches} speculative \
+                     launch(es), {spec_wins} win(s) ({:.0}% win rate)",
+                    win_rate * 100.0
+                ),
+            )
+            .with("suspected", suspected)
+            .with("launches", spec_launches)
+            .with("wins", spec_wins),
+        );
+    }
+    if wasted_dup > 0.0 {
+        report.push(
+            Diagnostic::new(
+                codes::WASTED_DUPLICATE_WORK,
+                Severity::Info,
+                "trace",
+                format!(
+                    "{wasted_dup:.3} processor-seconds burned by {kills} killed \
+                     duplicate attempt(s)"
+                ),
+            )
+            .with("wasted", wasted_dup)
+            .with("kills", kills),
+        );
+    }
+    if backoff_wait > 0.0 {
+        report.push(
+            Diagnostic::new(
+                codes::BACKOFF_WAITS,
+                Severity::Info,
+                "trace",
+                format!(
+                    "{backoff_wait:.3} seconds spent waiting out retry backoff \
+                     across {backoff_waits} delayed relaunch(es)"
+                ),
+            )
+            .with("backoff_wait", backoff_wait)
+            .with("delayed", backoff_waits),
         );
     }
 

@@ -23,7 +23,15 @@ fn mean_makespan(
 ) -> f64 {
     let mut acc = 0.0;
     for seed in 0..seeds {
-        let engine = RuntimeEngine::new(g, cluster, OnlineConfig { seed, exec_cv: cv });
+        let engine = RuntimeEngine::new(
+            g,
+            cluster,
+            OnlineConfig {
+                seed,
+                exec_cv: cv,
+                ..OnlineConfig::default()
+            },
+        );
         acc += engine.run(policy_for().as_mut()).makespan;
     }
     acc / seeds as f64

@@ -33,15 +33,30 @@ commands:
                                   schedule, reporting LMxxx diagnostics;
                                   exits nonzero on any error diagnostic
   run      <graph.json> --procs P [--policy plan|online|greedy]
-           [--recovery failstop|retryshrink|replan] [--faults SPEC]
-           [--seed S] [--cv X] [--bandwidth MB/s] [--no-overlap]
-           [--json] [--deny-warnings]
+           [--recovery failstop|retryshrink|replan|hedged-NAME]
+           [--faults SPEC] [--seed S] [--cv X] [--hedge]
+           [--straggler-threshold X] [--max-speculative N]
+           [--max-attempts N] [--backoff X] [--bandwidth MB/s]
+           [--no-overlap] [--json] [--deny-warnings]
                                   execute online with optional injected
                                   faults (SPEC: fail:P@T, slow:P@T0-T1xF,
                                   crash:T@F[xN], comma-separated), audit
                                   the trace with LM3xx diagnostics; exits
                                   nonzero if the run aborts or any error
-                                  diagnostic fires
+                                  diagnostic fires. --hedge (or a
+                                  hedged-NAME recovery) answers straggler
+                                  alarms with speculative duplicates
+  chaos    [--procs P] [--seeds N] [--recovery NAME,NAME,...]
+           [--max-faults N] [--quick] [--inject] [--bandwidth MB/s]
+           [--json]
+                                  run seeded randomized fault campaigns
+                                  under every recovery policy, audit each
+                                  trace with LM3xx diagnostics, and shrink
+                                  any failing plan to a minimal --faults
+                                  reproducer; exits nonzero on failures.
+                                  --inject spikes every plan with a
+                                  tripwired crash to self-test the
+                                  find-and-shrink loop end to end
 ";
 
 /// Dispatches one invocation.
@@ -56,6 +71,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("compare") => compare(&args),
         Some("analyze") => analyze(&args),
         Some("run") => run_online(&args),
+        Some("chaos") => chaos(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -352,8 +368,8 @@ struct RunSummary {
 fn run_online(args: &Args) -> Result<(), String> {
     use locmps_analysis::analyze_trace;
     use locmps_runtime::{
-        FailStop, FaultPlan, GreedyOneProc, OnlineConfig, OnlineLocbs, OnlinePolicy, PlanFollower,
-        RecoveryPolicy, Replan, RetryShrink, RuntimeEngine,
+        recovery_by_name, FaultPlan, GreedyOneProc, Hedged, OnlineConfig, OnlineLocbs,
+        OnlinePolicy, PlanFollower, RecoveryPolicy, RuntimeEngine,
     };
 
     let g = load_graph(args)?;
@@ -363,12 +379,29 @@ fn run_online(args: &Args) -> Result<(), String> {
         Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
         None => FaultPlan::new(),
     };
+    // Hedging is pointless without a watchdog, so --hedge flips the
+    // threshold default from "off" (infinite) to 2x the estimate.
+    let hedge = args.has("hedge");
+    let default_threshold = if hedge { 2.0 } else { f64::INFINITY };
     let cfg = OnlineConfig {
         seed: args.get_or("seed", 0u64)?,
         exec_cv: args.get_or("cv", 0.0f64)?,
+        straggler_threshold: args.get_or("straggler-threshold", default_threshold)?,
+        max_speculative: args.get_or("max-speculative", 2usize)?,
+        max_attempts: args.get_or("max-attempts", 16u32)?,
+        backoff: args.get_or("backoff", 0.0f64)?,
     };
     if !cfg.exec_cv.is_finite() || cfg.exec_cv < 0.0 {
         return Err("--cv must be finite and >= 0".into());
+    }
+    if cfg.straggler_threshold <= 1.0 {
+        return Err("--straggler-threshold must be > 1 (alarms would beat the estimate)".into());
+    }
+    if cfg.max_attempts == 0 {
+        return Err("--max-attempts must be >= 1".into());
+    }
+    if !cfg.backoff.is_finite() || cfg.backoff < 0.0 {
+        return Err("--backoff must be finite and >= 0".into());
     }
 
     let mut policy: Box<dyn OnlinePolicy> = match args.option("policy").unwrap_or("plan") {
@@ -377,13 +410,12 @@ fn run_online(args: &Args) -> Result<(), String> {
         "greedy" => Box::new(GreedyOneProc),
         other => return Err(format!("unknown policy {other:?}")),
     };
-    let mut recovery: Box<dyn RecoveryPolicy> = match args.option("recovery").unwrap_or("failstop")
-    {
-        "failstop" => Box::new(FailStop),
-        "retryshrink" => Box::new(RetryShrink::new()),
-        "replan" => Box::new(Replan::locmps()),
-        other => return Err(format!("unknown recovery {other:?}")),
-    };
+    let rec_name = args.option("recovery").unwrap_or("failstop");
+    let mut recovery: Box<dyn RecoveryPolicy> =
+        recovery_by_name(rec_name).ok_or_else(|| format!("unknown recovery {rec_name:?}"))?;
+    if hedge && !recovery.name().starts_with("hedged-") {
+        recovery = Box::new(Hedged::new(recovery));
+    }
 
     let engine = RuntimeEngine::new(&g, &cluster, cfg);
     let trace = engine.run_with_faults(policy.as_mut(), &faults, recovery.as_mut());
@@ -457,6 +489,141 @@ fn check_run_outcome(
         return Err(format!(
             "{} warning diagnostic(s) found with --deny-warnings",
             report.count(Severity::Warn)
+        ));
+    }
+    Ok(())
+}
+
+/// Recovery policies a chaos battery exercises when `--recovery` is not
+/// given: every plain policy plus a hedged variant.
+const CHAOS_RECOVERIES: [&str; 4] = ["failstop", "retryshrink", "replan", "hedged-retryshrink"];
+
+fn chaos(args: &Args) -> Result<(), String> {
+    use locmps_analysis::{analyze_trace, Severity};
+    use locmps_runtime::{run_chaos, ChaosConfig, OnlineConfig};
+
+    let procs: usize = args.get_or("procs", 8usize)?;
+    if procs == 0 {
+        return Err("--procs must be >= 1".into());
+    }
+    let bandwidth: f64 = args.get_or("bandwidth", 125.0)?;
+    if bandwidth <= 0.0 {
+        return Err("--bandwidth must be positive".into());
+    }
+    let cluster = Cluster::new(procs, bandwidth);
+    let quick = args.has("quick");
+    let seeds: u64 = args.get_or("seeds", if quick { 8 } else { 16 })?;
+    if seeds == 0 {
+        return Err("--seeds must be >= 1".into());
+    }
+
+    let synth = |n_tasks: usize, ccr: f64, seed: u64| {
+        synthetic_graph(&SyntheticConfig {
+            n_tasks,
+            ccr,
+            seed,
+            ..Default::default()
+        })
+    };
+    let workloads: Vec<(String, TaskGraph)> = if quick {
+        vec![("synthetic-12".to_string(), synth(12, 0.3, 1))]
+    } else {
+        vec![
+            ("synthetic-24".to_string(), synth(24, 0.3, 1)),
+            ("synthetic-16-heavy-comm".to_string(), synth(16, 1.0, 2)),
+            (
+                "strassen-1".to_string(),
+                strassen_graph(&StrassenConfig {
+                    n: 512,
+                    levels: 1,
+                    ..Default::default()
+                }),
+            ),
+        ]
+    };
+
+    let recoveries: Vec<String> = match args.option("recovery") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => CHAOS_RECOVERIES.iter().map(|s| s.to_string()).collect(),
+    };
+    for r in &recoveries {
+        if locmps_runtime::recovery_by_name(r).is_none() {
+            return Err(format!("unknown recovery {r:?}"));
+        }
+    }
+
+    let inject = args.has("inject");
+    let cfg = ChaosConfig {
+        engine: OnlineConfig {
+            seed: args.get_or("seed", 0u64)?,
+            exec_cv: args.get_or("cv", 0.1f64)?,
+            straggler_threshold: args.get_or("straggler-threshold", 2.0f64)?,
+            ..OnlineConfig::default()
+        },
+        max_faults: args.get_or("max-faults", if quick { 4 } else { 6 })?,
+        inject,
+    };
+
+    // The audit oracle: the first LM3xx error diagnostic fails the case.
+    // Under --inject a tripwire treats any observed crash of task 0 as a
+    // failure too, so the find-and-shrink loop is exercised end to end
+    // even when every recovery handles the fault correctly.
+    let report = run_chaos(
+        &workloads,
+        &cluster,
+        &recoveries,
+        seeds,
+        &cfg,
+        |trace, g, cluster| {
+            let audit = analyze_trace(trace, g, cluster);
+            if let Some(d) = audit
+                .diagnostics()
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+            {
+                return Some(format!("{}: {}", d.code, d.message));
+            }
+            if inject {
+                let tripped = trace.events.iter().any(|e| {
+                    matches!(
+                        e.kind,
+                        locmps_runtime::TraceEventKind::TaskCrash { task, .. }
+                            if task.index() == 0
+                    )
+                });
+                if tripped {
+                    return Some("INJECTED: tripwired crash of task 0 observed".to_string());
+                }
+            }
+            None
+        },
+    );
+
+    if args.has("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        println!(
+            "chaos: {} case(s) ({} workload(s) x {} seed(s) x {} recovery(ies)), {} failure(s)",
+            report.cases,
+            workloads.len(),
+            seeds,
+            recoveries.len(),
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!();
+            println!("FAIL {} / {} / seed {}", f.workload, f.recovery, f.seed);
+            println!("  error     : {}", f.error);
+            println!("  campaign  : --faults {}", f.original_spec);
+            println!("  minimized : --faults {}", f.minimized_spec);
+        }
+    }
+
+    if !report.ok() {
+        return Err(format!(
+            "{} chaos failure(s) found (minimized reproducers above)",
+            report.failures.len()
         ));
     }
     Ok(())
@@ -672,6 +839,83 @@ mod tests {
         assert!(run(&["run", p, "--procs", "4", "--cv", "-1"]).is_err());
         assert!(run(&["run", p]).is_err(), "--procs is required");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_accepts_straggler_flags_and_hedged_recoveries() {
+        let path = graph_file();
+        let p = path.to_str().unwrap();
+        // A slowdown makes one task straggle; hedging still completes.
+        run(&[
+            "run",
+            p,
+            "--procs",
+            "4",
+            "--faults",
+            "slow:0@0-1000x10",
+            "--hedge",
+        ])
+        .unwrap();
+        // hedged-NAME recovery spelling, explicit knobs.
+        run(&[
+            "run",
+            p,
+            "--procs",
+            "4",
+            "--recovery",
+            "hedged-retryshrink",
+            "--faults",
+            "slow:0@0-1000x10,crash:1@0.5",
+            "--straggler-threshold",
+            "1.5",
+            "--max-speculative",
+            "1",
+            "--max-attempts",
+            "8",
+            "--backoff",
+            "0.5",
+        ])
+        .unwrap();
+        // Out-of-domain knobs are errors, not panics.
+        assert!(run(&["run", p, "--procs", "4", "--straggler-threshold", "0.5"]).is_err());
+        assert!(run(&["run", p, "--procs", "4", "--max-attempts", "0"]).is_err());
+        assert!(run(&["run", p, "--procs", "4", "--backoff", "-1"]).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn chaos_runs_clean_and_inject_trips_the_shrinker() {
+        // A tiny clean battery passes...
+        run(&[
+            "chaos",
+            "--procs",
+            "4",
+            "--seeds",
+            "2",
+            "--quick",
+            "--recovery",
+            "retryshrink",
+        ])
+        .unwrap();
+        // ...and --inject must find (and minimize) the tripwired crash.
+        let err = run(&[
+            "chaos",
+            "--procs",
+            "4",
+            "--seeds",
+            "1",
+            "--quick",
+            "--inject",
+            "--recovery",
+            "retryshrink",
+            "--json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("chaos failure"), "{err}");
+        // Bad inputs surface as errors.
+        assert!(run(&["chaos", "--procs", "0"]).is_err());
+        assert!(run(&["chaos", "--seeds", "0"]).is_err());
+        assert!(run(&["chaos", "--recovery", "nope"]).is_err());
     }
 
     #[test]

@@ -16,13 +16,15 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use locmps_core::{CommModel, Schedule, ScheduledTask};
+use locmps_core::{locality, CommModel, Schedule, ScheduledTask};
 use locmps_platform::{Cluster, CommOverlap, ProcId, ProcSet};
 use locmps_sim::seeding;
 use locmps_taskgraph::{TaskGraph, TaskId};
 use serde::Serialize;
 
-use crate::fault::{FailStop, FaultPlan, RecoveryAction, RecoveryCtx, RecoveryPolicy};
+use crate::fault::{
+    FailStop, FaultPlan, RecoveryAction, RecoveryCtx, RecoveryPolicy, StragglerAction,
+};
 use crate::policy::OnlinePolicy;
 
 /// Engine configuration.
@@ -33,6 +35,29 @@ pub struct OnlineConfig {
     /// Coefficient of variation of the log-normal duration noise
     /// (0 disables perturbation).
     pub exec_cv: f64,
+    /// Watchdog stretch threshold: a primary attempt still running
+    /// `straggler_threshold ×` its noise-free estimate past its compute
+    /// start is suspected as a straggler
+    /// ([`TraceEventKind::StragglerSuspected`]) and
+    /// `RecoveryPolicy::on_straggler` fires once for it. The default
+    /// `f64::INFINITY` disables the watchdog entirely — no deadline
+    /// events enter the heap, so traces stay bit-identical to the
+    /// watchdog-free engine.
+    pub straggler_threshold: f64,
+    /// Global cap on speculative duplicates in flight at once.
+    pub max_speculative: usize,
+    /// Per-task budget of launched attempts (speculative duplicates
+    /// included). When a failure leaves a task with no attempt in flight
+    /// and its budget spent, the run aborts via
+    /// [`TraceEventKind::AttemptsExhausted`] instead of retrying forever
+    /// — adversarial plans like `crash:T@0.5x999999` terminate.
+    pub max_attempts: u32,
+    /// Base delay of the deterministic exponential retry backoff: the
+    /// requeue after a task's k-th failed attempt waits
+    /// `backoff × 2^(k-1)` before the task re-enters the ready set.
+    /// `0.0` (the default) requeues immediately, matching the
+    /// backoff-free engine bit for bit.
+    pub backoff: f64,
 }
 
 impl Default for OnlineConfig {
@@ -40,6 +65,10 @@ impl Default for OnlineConfig {
         Self {
             seed: 0,
             exec_cv: 0.0,
+            straggler_threshold: f64::INFINITY,
+            max_speculative: 2,
+            max_attempts: 16,
+            backoff: 0.0,
         }
     }
 }
@@ -99,6 +128,46 @@ pub enum TraceEventKind {
         pending: usize,
         /// Surviving processors planned over.
         procs: usize,
+    },
+    /// The watchdog flagged an attempt as running past its deadline.
+    StragglerSuspected {
+        /// The suspected task.
+        task: TaskId,
+        /// The attempt past its deadline.
+        attempt: u32,
+    },
+    /// A speculative duplicate of a straggling attempt was launched.
+    SpeculativeLaunch {
+        /// The hedged task.
+        task: TaskId,
+        /// Attempt number of the duplicate.
+        attempt: u32,
+        /// Processors granted to the duplicate.
+        procs: ProcSet,
+    },
+    /// A speculative duplicate finished first and won its race.
+    SpeculativeWin {
+        /// The task whose duplicate won.
+        task: TaskId,
+        /// The winning attempt.
+        attempt: u32,
+    },
+    /// A redundant attempt was killed after a sibling finished first.
+    AttemptKilled {
+        /// The task.
+        task: TaskId,
+        /// The killed attempt.
+        attempt: u32,
+        /// Duplicate compute work thrown away (processor-seconds).
+        wasted: f64,
+    },
+    /// A task spent its whole attempt budget
+    /// (`OnlineConfig::max_attempts`); the run aborts.
+    AttemptsExhausted {
+        /// The task that ran out of attempts.
+        task: TaskId,
+        /// Attempts launched (= the budget).
+        attempts: u32,
     },
     /// The run gave up; in-flight tasks were drained first.
     Abort {
@@ -167,6 +236,51 @@ impl ExecutionTrace {
             .filter(|e| matches!(e.kind, TraceEventKind::Replan { .. }))
             .count()
     }
+
+    /// Number of watchdog straggler alarms.
+    pub fn stragglers_suspected(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::StragglerSuspected { .. }))
+            .count()
+    }
+
+    /// Number of speculative duplicates launched.
+    pub fn speculative_launches(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::SpeculativeLaunch { .. }))
+            .count()
+    }
+
+    /// Number of races a speculative duplicate won.
+    pub fn speculative_wins(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::SpeculativeWin { .. }))
+            .count()
+    }
+
+    /// Duplicate compute work discarded by loser kills
+    /// (processor-seconds).
+    pub fn wasted_duplicate_work(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                TraceEventKind::AttemptKilled { wasted, .. } => wasted,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// The task that spent its whole attempt budget, if the run died
+    /// that way.
+    pub fn attempts_exhausted(&self) -> Option<TaskId> {
+        self.events.iter().find_map(|e| match e.kind {
+            TraceEventKind::AttemptsExhausted { task, .. } => Some(task),
+            _ => None,
+        })
+    }
 }
 
 /// Ordered f64 wrapper for the event heap.
@@ -185,16 +299,29 @@ impl Ord for Time {
 }
 
 /// Heap event ranks: at equal times, completions resolve before scripted
-/// crashes, and processor failures come last (a task finishing exactly
-/// when its processor dies counts as finished). With no faults only
-/// `RANK_FINISH` exists and the order reduces to the classic
-/// `(time, task)` — fault-free executions are bit-identical to the
+/// crashes, processor failures come after those (a task finishing exactly
+/// when its processor dies counts as finished), watchdog alarms resolve
+/// only once every same-instant failure has (an attempt killed exactly at
+/// its deadline is not a straggler), and backoff retry releases come
+/// last. With no faults, an infinite straggler threshold and zero
+/// backoff, only `RANK_FINISH` events exist and the order reduces to the
+/// classic `(time, task)` — such executions are bit-identical to the
 /// pre-fault engine.
 const RANK_FINISH: u8 = 0;
 const RANK_CRASH: u8 = 1;
 const RANK_PROC_FAIL: u8 = 2;
+const RANK_WATCHDOG: u8 = 3;
+const RANK_RETRY: u8 = 4;
 
 type Ev = Reverse<(Time, u8, u32, u32)>;
+
+/// One in-flight attempt of a task. A task has at most two: the primary
+/// and one speculative duplicate.
+struct Flight {
+    att: u32,
+    entry: ScheduledTask,
+    speculative: bool,
+}
 
 /// Mutable execution state, factored out so event handlers and the
 /// dispatch loop can share it.
@@ -208,10 +335,21 @@ struct Exec<'a> {
     ready: Vec<TaskId>,
     free: ProcSet,
     alive: ProcSet,
+    /// Representative placement per task: the primary attempt while the
+    /// task runs, the winning attempt once it is done, `None` after its
+    /// last attempt died. Successor arrivals and `RecoveryCtx` read it.
     placed: Vec<Option<ScheduledTask>>,
     done: Vec<bool>,
     running: Vec<bool>,
-    attempt: Vec<u32>,
+    /// In-flight attempts per task (primary first).
+    flights: Vec<Vec<Flight>>,
+    /// Attempts launched so far per task — the next attempt number, and
+    /// the quantity bounded by `OnlineConfig::max_attempts`.
+    next_attempt: Vec<u32>,
+    /// Speculative duplicates currently in flight (global).
+    spec_inflight: usize,
+    /// Backoff retries queued in the heap but not yet released.
+    pending_retries: usize,
     running_count: usize,
     completed: usize,
     events: BinaryHeap<Ev>,
@@ -239,14 +377,87 @@ impl<'a> Exec<'a> {
     fn is_stale(&self, rank: u8, id: u32, att: u32) -> bool {
         match rank {
             RANK_PROC_FAIL => !self.alive.contains(id),
+            // Retry releases are paired with `pending_retries` and must
+            // always be processed so the counter stays balanced.
+            RANK_RETRY => false,
             _ => {
                 let t = TaskId(id);
-                self.done[t.index()] || !self.running[t.index()] || self.attempt[t.index()] != att
+                !self.flights[t.index()].iter().any(|f| f.att == att)
             }
         }
     }
 
-    /// Launches one attempt of `t` on `procs` at the current time.
+    /// Start/compute-start/finish of launching `t` on `procs` now, plus
+    /// the nominal compute work (noise applied, slowdowns not — those are
+    /// integrated piecewise by [`FaultPlan::finish_after`]).
+    ///
+    /// Timing mirrors the simulator's model: transfers start at each
+    /// parent's finish (full overlap) or serialize inside the occupancy
+    /// window (no overlap).
+    fn timing(&self, t: TaskId, procs: &ProcSet) -> (f64, f64, f64, f64) {
+        let np = procs.len();
+        let work = self.g.task(t).profile.time(np)
+            * seeding::exec_factor(self.cfg.seed, t, self.cfg.exec_cv);
+        let mut arrivals = self.now;
+        let mut comm_total = 0.0;
+        for e in self.g.in_edges(t) {
+            let edge = self.g.edge(e);
+            let src = self.placed[edge.src.index()]
+                .as_ref()
+                .expect("parents finished before the task became ready");
+            let ct = self.model.transfer_time(&src.procs, procs, edge.volume);
+            comm_total += ct;
+            arrivals = arrivals.max(src.finish + ct);
+        }
+        let (start, compute_start) = match self.cluster.overlap {
+            CommOverlap::Full => (self.now, arrivals.max(self.now)),
+            CommOverlap::None => (self.now, self.now + comm_total),
+        };
+        let finish = self.faults.finish_after(procs, compute_start, work);
+        (start, compute_start, finish, work)
+    }
+
+    /// Pushes the end event of a freshly launched attempt — its scripted
+    /// crash (at the piecewise-stretched time of `frac × work` nominal
+    /// compute) or its finish — and arms the watchdog when configured.
+    /// `timing` is the `(compute_start, finish, work)` triple of the
+    /// attempt, as computed by [`Exec::timing`].
+    fn push_attempt_events(
+        &mut self,
+        t: TaskId,
+        a: u32,
+        procs: &ProcSet,
+        timing: (f64, f64, f64),
+        speculative: bool,
+    ) {
+        let (compute_start, finish, work) = timing;
+        let end = match self.faults.crash_fraction(t, a) {
+            Some(frac) => {
+                let at = self.faults.finish_after(procs, compute_start, frac * work);
+                self.events.push(Reverse((Time(at), RANK_CRASH, t.0, a)));
+                at
+            }
+            None => {
+                self.events
+                    .push(Reverse((Time(finish), RANK_FINISH, t.0, a)));
+                finish
+            }
+        };
+        // Deadline from the noise-free, slowdown-free estimate. Only
+        // primaries are watched, and alarms that could never catch the
+        // attempt alive are not queued at all.
+        if self.cfg.straggler_threshold.is_finite() && !speculative {
+            let expected = self.g.task(t).profile.time(procs.len());
+            let deadline = compute_start + self.cfg.straggler_threshold * expected;
+            if deadline < end {
+                self.events
+                    .push(Reverse((Time(deadline), RANK_WATCHDOG, t.0, a)));
+            }
+        }
+    }
+
+    /// Launches the primary attempt of ready task `t` on `procs` at the
+    /// current time.
     fn launch(&mut self, t: TaskId, procs: ProcSet) {
         assert!(
             self.ready.contains(&t),
@@ -260,42 +471,21 @@ impl<'a> Exec<'a> {
         self.ready.retain(|&r| r != t);
         self.free = self.free.difference(&procs);
 
-        // Timing mirrors the simulator's model: transfers start at
-        // each parent's finish (full overlap) or serialize inside
-        // the occupancy window (no overlap).
-        let np = procs.len();
-        let slow = self.faults.slowdown_factor(&procs, self.now);
-        let et = self.g.task(t).profile.time(np)
-            * seeding::exec_factor(self.cfg.seed, t, self.cfg.exec_cv)
-            * slow;
-        let mut arrivals = self.now;
-        let mut comm_total = 0.0;
-        for e in self.g.in_edges(t) {
-            let edge = self.g.edge(e);
-            let src = self.placed[edge.src.index()]
-                .as_ref()
-                .expect("parents finished before the task became ready");
-            let ct = self.model.transfer_time(&src.procs, &procs, edge.volume);
-            comm_total += ct;
-            arrivals = arrivals.max(src.finish + ct);
-        }
-        let (start, compute_start, finish) = match self.cluster.overlap {
-            CommOverlap::Full => {
-                let st = arrivals.max(self.now);
-                (self.now, st, st + et)
-            }
-            CommOverlap::None => {
-                let cs = self.now + comm_total;
-                (self.now, cs, cs + et)
-            }
-        };
-        let a = self.attempt[t.index()];
-        self.placed[t.index()] = Some(ScheduledTask {
+        let (start, compute_start, finish, work) = self.timing(t, &procs);
+        let a = self.next_attempt[t.index()];
+        self.next_attempt[t.index()] += 1;
+        let entry = ScheduledTask {
             task: t,
             procs: procs.clone(),
             start,
             compute_start,
             finish,
+        };
+        self.placed[t.index()] = Some(entry.clone());
+        self.flights[t.index()].push(Flight {
+            att: a,
+            entry,
+            speculative: false,
         });
         self.running[t.index()] = true;
         self.running_count += 1;
@@ -304,36 +494,90 @@ impl<'a> Exec<'a> {
             kind: TraceEventKind::TaskStart {
                 task: t,
                 attempt: a,
-                procs,
+                procs: procs.clone(),
             },
         });
-        match self.faults.crash_fraction(t, a) {
-            Some(frac) => {
-                let at = compute_start + frac * (finish - compute_start);
-                self.events.push(Reverse((Time(at), RANK_CRASH, t.0, a)));
-            }
-            None => self
-                .events
-                .push(Reverse((Time(finish), RANK_FINISH, t.0, a))),
-        }
+        self.push_attempt_events(t, a, &procs, (compute_start, finish, work), false);
     }
 
-    /// Completes the running attempt of `t`.
+    /// Launches a speculative duplicate of straggling task `t` on the
+    /// locality-maximal idle processors, if the speculation budget, the
+    /// attempt budget and the free set allow one. At most one duplicate
+    /// per task.
+    fn try_speculate(&mut self, t: TaskId) {
+        let ti = t.index();
+        if self.aborted
+            || self.spec_inflight >= self.cfg.max_speculative
+            || self.next_attempt[ti] >= self.cfg.max_attempts
+            || self.flights[ti].is_empty()
+            || self.flights[ti].iter().any(|f| f.speculative)
+            || self.free.is_empty()
+        {
+            return;
+        }
+        let np = self
+            .g
+            .task(t)
+            .profile
+            .pbest(self.cluster.n_procs)
+            .min(self.free.len())
+            .max(1);
+        let scores = locality::input_locality_scores(self.g, t, self.cluster.n_procs, |p| {
+            self.placed[p.index()]
+                .as_ref()
+                .map(|e| e.procs.clone())
+                .unwrap_or_default()
+        });
+        let Some(procs) = locality::select_max_locality(&self.free, np, &scores) else {
+            return;
+        };
+        self.free = self.free.difference(&procs);
+        let (start, compute_start, finish, work) = self.timing(t, &procs);
+        let a = self.next_attempt[ti];
+        self.next_attempt[ti] += 1;
+        self.flights[ti].push(Flight {
+            att: a,
+            entry: ScheduledTask {
+                task: t,
+                procs: procs.clone(),
+                start,
+                compute_start,
+                finish,
+            },
+            speculative: true,
+        });
+        self.spec_inflight += 1;
+        self.log.push(TraceEvent {
+            time: self.now,
+            kind: TraceEventKind::SpeculativeLaunch {
+                task: t,
+                attempt: a,
+                procs: procs.clone(),
+            },
+        });
+        self.push_attempt_events(t, a, &procs, (compute_start, finish, work), true);
+    }
+
+    /// Completes attempt `att` of `t`: first finish wins, every other
+    /// in-flight attempt of the task is killed deterministically and its
+    /// duplicate work logged as wasted.
     fn finish(&mut self, t: TaskId, att: u32) {
-        self.running[t.index()] = false;
-        self.running_count -= 1;
-        self.done[t.index()] = true;
-        self.completed += 1;
-        let procs = self.placed[t.index()]
-            .as_ref()
-            .expect("finished tasks were launched")
-            .procs
-            .clone();
-        for p in procs.iter() {
+        let ti = t.index();
+        let pos = self.flights[ti]
+            .iter()
+            .position(|f| f.att == att)
+            .expect("live finish events map to in-flight attempts");
+        let winner = self.flights[ti].remove(pos);
+        if winner.speculative {
+            self.spec_inflight -= 1;
+        }
+        for p in winner.entry.procs.iter() {
             if self.alive.contains(p) {
                 self.free.insert(p);
             }
         }
+        self.done[ti] = true;
+        self.completed += 1;
         self.log.push(TraceEvent {
             time: self.now,
             kind: TraceEventKind::TaskFinish {
@@ -341,6 +585,38 @@ impl<'a> Exec<'a> {
                 attempt: att,
             },
         });
+        if winner.speculative {
+            self.log.push(TraceEvent {
+                time: self.now,
+                kind: TraceEventKind::SpeculativeWin {
+                    task: t,
+                    attempt: att,
+                },
+            });
+        }
+        for loser in std::mem::take(&mut self.flights[ti]) {
+            if loser.speculative {
+                self.spec_inflight -= 1;
+            }
+            for p in loser.entry.procs.iter() {
+                if self.alive.contains(p) {
+                    self.free.insert(p);
+                }
+            }
+            let wasted =
+                (self.now - loser.entry.compute_start).max(0.0) * loser.entry.procs.len() as f64;
+            self.log.push(TraceEvent {
+                time: self.now,
+                kind: TraceEventKind::AttemptKilled {
+                    task: t,
+                    attempt: loser.att,
+                    wasted,
+                },
+            });
+        }
+        self.placed[ti] = Some(winner.entry);
+        self.running[ti] = false;
+        self.running_count -= 1;
         for s in self.g.successors(t) {
             self.remaining[s.index()] -= 1;
             if self.remaining[s.index()] == 0 {
@@ -349,35 +625,52 @@ impl<'a> Exec<'a> {
         }
     }
 
-    /// Kills the running attempt of `t`, freeing its surviving
-    /// processors and logging the lost work.
-    fn fail_running_task(&mut self, t: TaskId) {
-        let entry = self.placed[t.index()]
-            .take()
-            .expect("failed tasks were launched");
-        self.running[t.index()] = false;
-        self.running_count -= 1;
-        for p in entry.procs.iter() {
+    /// Kills attempt `att` of `t` (scripted crash or processor failure),
+    /// freeing its surviving processors and logging the lost work.
+    /// Returns true when the task now has no attempt in flight (only
+    /// then is recovery consulted — a surviving duplicate carries on).
+    fn fail_attempt(&mut self, t: TaskId, att: u32) -> bool {
+        let ti = t.index();
+        let pos = self.flights[ti]
+            .iter()
+            .position(|f| f.att == att)
+            .expect("live failure events map to in-flight attempts");
+        let victim = self.flights[ti].remove(pos);
+        if victim.speculative {
+            self.spec_inflight -= 1;
+        }
+        for p in victim.entry.procs.iter() {
             if self.alive.contains(p) {
                 self.free.insert(p);
             }
         }
-        let lost = (self.now - entry.compute_start).max(0.0) * entry.procs.len() as f64;
-        let a = self.attempt[t.index()];
-        self.attempt[t.index()] += 1;
+        let lost =
+            (self.now - victim.entry.compute_start).max(0.0) * victim.entry.procs.len() as f64;
         self.any_failure = true;
         self.log.push(TraceEvent {
             time: self.now,
             kind: TraceEventKind::TaskCrash {
                 task: t,
-                attempt: a,
+                attempt: att,
                 lost,
             },
         });
+        if self.flights[ti].is_empty() {
+            self.placed[ti] = None;
+            self.running[ti] = false;
+            self.running_count -= 1;
+            true
+        } else {
+            // The surviving attempt (a promoted duplicate, or the
+            // primary outliving its duplicate) now represents the task.
+            self.placed[ti] = Some(self.flights[ti][0].entry.clone());
+            false
+        }
     }
 
     /// Takes processor `p` down, killing every attempt running on it.
-    /// Returns the victims in task-id order.
+    /// Returns the tasks left with *no* attempt in flight, in task-id
+    /// order — tasks whose duplicate survived are not failures.
     fn kill_proc(&mut self, p: ProcId) -> Vec<TaskId> {
         self.alive.remove(p);
         self.free.remove(p);
@@ -386,20 +679,24 @@ impl<'a> Exec<'a> {
             time: self.now,
             kind: TraceEventKind::ProcDown { proc: p },
         });
-        let victims: Vec<TaskId> = self
+        let victims: Vec<(TaskId, u32)> = self
             .g
             .task_ids()
-            .filter(|&t| {
-                self.running[t.index()]
-                    && self.placed[t.index()]
-                        .as_ref()
-                        .is_some_and(|e| e.procs.contains(p))
+            .flat_map(|t| {
+                self.flights[t.index()]
+                    .iter()
+                    .filter(|f| f.entry.procs.contains(p))
+                    .map(move |f| (t, f.att))
+                    .collect::<Vec<_>>()
             })
             .collect();
-        for &t in &victims {
-            self.fail_running_task(t);
+        let mut orphaned = Vec::new();
+        for (t, att) in victims {
+            if self.fail_attempt(t, att) {
+                orphaned.push(t);
+            }
         }
-        victims
+        orphaned
     }
 }
 
@@ -468,7 +765,10 @@ impl<'a> RuntimeEngine<'a> {
             placed: vec![None; n],
             done: vec![false; n],
             running: vec![false; n],
-            attempt: vec![0; n],
+            flights: std::iter::repeat_with(Vec::new).take(n).collect(),
+            next_attempt: vec![0; n],
+            spec_inflight: 0,
+            pending_retries: 0,
             running_count: 0,
             completed: 0,
             events: BinaryHeap::new(),
@@ -516,8 +816,9 @@ impl<'a> RuntimeEngine<'a> {
             for (t, procs) in extra {
                 exec.launch(t, procs);
             }
-            if exec.running_count == 0 {
-                // Nothing in flight and nothing launched. Queued processor
+            if exec.running_count == 0 && exec.pending_retries == 0 {
+                // Nothing in flight, nothing launched, and no backoff
+                // retry will re-arm the ready set. Queued processor
                 // failures cannot unblock anything, so the run is stuck.
                 if faults.is_empty() && !exec.any_failure {
                     panic!(
@@ -565,8 +866,13 @@ impl<'a> RuntimeEngine<'a> {
                     RANK_PROC_FAIL => {
                         exec.kill_proc(id);
                     }
-                    RANK_CRASH => exec.fail_running_task(TaskId(id)),
-                    _ => exec.finish(TaskId(id), att),
+                    RANK_CRASH => {
+                        exec.fail_attempt(TaskId(id), att);
+                    }
+                    RANK_FINISH => exec.finish(TaskId(id), att),
+                    // No new work is launched while draining: watchdog
+                    // alarms and retry releases are moot.
+                    _ => {}
                 }
             }
             let unfinished: Vec<TaskId> = self
@@ -593,7 +899,8 @@ impl<'a> RuntimeEngine<'a> {
         }
     }
 
-    /// Handles one live event, consulting recovery about failures.
+    /// Handles one live event, consulting recovery about failures and
+    /// stragglers.
     fn process(
         exec: &mut Exec<'_>,
         recovery: &mut dyn RecoveryPolicy,
@@ -604,23 +911,52 @@ impl<'a> RuntimeEngine<'a> {
         match rank {
             RANK_FINISH => exec.finish(TaskId(id), att),
             RANK_CRASH => {
-                exec.fail_running_task(TaskId(id));
-                Self::consult(exec, recovery, TaskId(id));
+                if exec.fail_attempt(TaskId(id), att) {
+                    Self::consult(exec, recovery, TaskId(id));
+                }
             }
-            _ => {
-                let victims = exec.kill_proc(id);
+            RANK_PROC_FAIL => {
+                let orphaned = exec.kill_proc(id);
                 {
                     let ctx = exec.ctx();
                     recovery.on_proc_failure(&ctx, id);
                 }
-                for t in victims {
+                for t in orphaned {
                     Self::consult(exec, recovery, t);
+                }
+            }
+            RANK_WATCHDOG => {
+                // The attempt is still in flight (staleness filtered it
+                // otherwise), so it blew its deadline.
+                let t = TaskId(id);
+                exec.log.push(TraceEvent {
+                    time: exec.now,
+                    kind: TraceEventKind::StragglerSuspected {
+                        task: t,
+                        attempt: att,
+                    },
+                });
+                let action = {
+                    let ctx = exec.ctx();
+                    recovery.on_straggler(&ctx, t, att)
+                };
+                if action == StragglerAction::Speculate {
+                    exec.try_speculate(t);
+                }
+            }
+            _ => {
+                // RANK_RETRY: the backoff elapsed; re-arm the task.
+                exec.pending_retries -= 1;
+                let t = TaskId(id);
+                if !exec.done[t.index()] && exec.flights[t.index()].is_empty() {
+                    exec.ready.push(t);
                 }
             }
         }
     }
 
-    /// Asks recovery what to do with a failed task.
+    /// Asks recovery what to do with a task left with no attempt in
+    /// flight, enforcing the attempt budget and the retry backoff.
     fn consult(exec: &mut Exec<'_>, recovery: &mut dyn RecoveryPolicy, t: TaskId) {
         if exec.aborted {
             return;
@@ -631,14 +967,37 @@ impl<'a> RuntimeEngine<'a> {
         };
         match action {
             RecoveryAction::Retry => {
+                let launched = exec.next_attempt[t.index()];
+                if launched >= exec.cfg.max_attempts {
+                    exec.log.push(TraceEvent {
+                        time: exec.now,
+                        kind: TraceEventKind::AttemptsExhausted {
+                            task: t,
+                            attempts: launched,
+                        },
+                    });
+                    exec.aborted = true;
+                    return;
+                }
                 exec.log.push(TraceEvent {
                     time: exec.now,
                     kind: TraceEventKind::Retry {
                         task: t,
-                        attempt: exec.attempt[t.index()],
+                        attempt: launched,
                     },
                 });
-                exec.ready.push(t);
+                if exec.cfg.backoff > 0.0 {
+                    // k-th failure (launched ≥ 1 here) waits 2^(k-1)
+                    // base delays; the exponent is clamped so the delay
+                    // stays finite for any budget.
+                    let exp = (launched - 1).min(32) as i32;
+                    let delay = exec.cfg.backoff * f64::powi(2.0, exp);
+                    exec.events
+                        .push(Reverse((Time(exec.now + delay), RANK_RETRY, t.0, launched)));
+                    exec.pending_retries += 1;
+                } else {
+                    exec.ready.push(t);
+                }
             }
             RecoveryAction::Abort => exec.aborted = true,
         }
@@ -709,7 +1068,15 @@ mod tests {
         });
         let cluster = Cluster::new(8, 50.0);
         for seed in 0..5 {
-            let engine = RuntimeEngine::new(&g, &cluster, OnlineConfig { seed, exec_cv: 0.2 });
+            let engine = RuntimeEngine::new(
+                &g,
+                &cluster,
+                OnlineConfig {
+                    seed,
+                    exec_cv: 0.2,
+                    ..OnlineConfig::default()
+                },
+            );
             let trace = engine.run(&mut OnlineLocbs::default());
             assert!(trace.makespan.is_finite() && trace.makespan > 0.0);
             // No processor is double-booked in the trace.
@@ -735,6 +1102,7 @@ mod tests {
         let cfg = OnlineConfig {
             seed: 9,
             exec_cv: 0.3,
+            ..OnlineConfig::default()
         };
         let a = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
         let b = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
@@ -836,7 +1204,9 @@ mod tests {
         g.add_task("a", ExecutionProfile::linear(10.0));
         g.add_task("b", ExecutionProfile::linear(10.0));
         let cluster = Cluster::new(2, 12.5);
-        let faults = FaultPlan::parse("slow:0@0-1x3").unwrap();
+        // The window fully covers the attempt, so the whole compute runs
+        // at the reduced rate.
+        let faults = FaultPlan::parse("slow:0@0-100x3").unwrap();
         let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
             &mut GreedyOneProc,
             &faults,
@@ -850,12 +1220,164 @@ mod tests {
     }
 
     #[test]
+    fn slowdown_window_opening_mid_attempt_stretches_only_the_tail() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(1, 12.5);
+        // The attempt runs [0, 10) nominally; a 4x window opens at t=6.
+        // 6s of work at full rate, the remaining 4 nominal seconds take
+        // 16s — finish at 22, not the launch-time-sampled 10 (factor 1)
+        // or 40 (factor 4).
+        let faults = FaultPlan::parse("slow:0@6-100x4").unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut FailStop,
+        );
+        assert!(trace.is_complete());
+        let a = trace.schedule.get(TaskId(0)).unwrap();
+        assert!((a.finish - 22.0).abs() < 1e-9, "piecewise: {}", a.finish);
+
+        // And a window closing mid-attempt releases the tail: 4x over
+        // [0, 8) absorbs 2 nominal seconds, the rest finishes at full
+        // rate — 8 + 8 = 16.
+        let faults = FaultPlan::parse("slow:0@0-8x4").unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut FailStop,
+        );
+        let a = trace.schedule.get(TaskId(0)).unwrap();
+        assert!(
+            (a.finish - 16.0).abs() < 1e-9,
+            "tail released: {}",
+            a.finish
+        );
+    }
+
+    #[test]
+    fn hedged_speculation_beats_a_slowed_straggler() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(2, 12.5);
+        // GreedyOneProc launches on proc 0, which is 10x degraded for the
+        // whole run; proc 1 idles. The watchdog fires at 2x the 10s
+        // estimate, the duplicate lands on proc 1 and finishes at
+        // 20 + 10 = 30 while the primary would run until 100.
+        let faults = FaultPlan::parse("slow:0@0-1000x10").unwrap();
+        let cfg = OnlineConfig {
+            straggler_threshold: 2.0,
+            ..OnlineConfig::default()
+        };
+        let hedged = RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut crate::fault::Hedged::new(Box::new(FailStop)),
+        );
+        assert!(hedged.is_complete() && !hedged.aborted);
+        assert_eq!(hedged.stragglers_suspected(), 1);
+        assert_eq!(hedged.speculative_launches(), 1);
+        assert_eq!(hedged.speculative_wins(), 1);
+        assert!((hedged.makespan - 30.0).abs() < 1e-9, "{}", hedged.makespan);
+        // The loser was killed at t=30 after 30s on one proc.
+        assert!((hedged.wasted_duplicate_work() - 30.0).abs() < 1e-9);
+        assert!(
+            hedged.events.iter().any(|e| matches!(
+                e.kind,
+                TraceEventKind::AttemptKilled {
+                    task: TaskId(0),
+                    attempt: 0,
+                    ..
+                }
+            )),
+            "primary killed after the duplicate won: {:#?}",
+            hedged.events
+        );
+        // The same run without hedging crawls to 100.
+        let plain = RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut FailStop,
+        );
+        assert!((plain.makespan - 100.0).abs() < 1e-9, "{}", plain.makespan);
+        assert_eq!(plain.stragglers_suspected(), 1, "watchdog still fires");
+        assert_eq!(plain.speculative_launches(), 0);
+    }
+
+    #[test]
+    fn primary_crash_promotes_the_surviving_duplicate() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(2, 12.5);
+        // Primary on slowed proc 0 crashes at t=25 (25% of its compute,
+        // stretched 10x); the duplicate launched at t=20 on proc 1
+        // survives, carries the task without any recovery consultation
+        // (FailStop never gets asked), and wins at t=30.
+        let faults = FaultPlan::parse("slow:0@0-1000x10,crash:0@0.25").unwrap();
+        let cfg = OnlineConfig {
+            straggler_threshold: 2.0,
+            ..OnlineConfig::default()
+        };
+        let trace = RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut crate::fault::Hedged::new(Box::new(FailStop)),
+        );
+        assert!(trace.is_complete() && !trace.aborted, "{:#?}", trace.events);
+        assert_eq!(trace.speculative_launches(), 1);
+        // The duplicate's attempt number is 1, and its win is recorded.
+        assert_eq!(trace.speculative_wins(), 1);
+        assert!(trace.events.iter().any(|e| matches!(
+            e.kind,
+            TraceEventKind::TaskCrash {
+                task: TaskId(0),
+                attempt: 0,
+                ..
+            }
+        )));
+        assert!((trace.makespan - 30.0).abs() < 1e-9, "{}", trace.makespan);
+    }
+
+    #[test]
+    fn backoff_delays_retries_exponentially() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(1, 12.5);
+        // Crashes at 50% on the first two attempts, succeeds on the third.
+        let faults = FaultPlan::parse("crash:0@0.5x2").unwrap();
+        let run = |backoff: f64| {
+            let cfg = OnlineConfig {
+                backoff,
+                ..OnlineConfig::default()
+            };
+            RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(
+                &mut GreedyOneProc,
+                &faults,
+                &mut RetryShrink::new(),
+            )
+        };
+        let immediate = run(0.0);
+        assert!(immediate.is_complete());
+        assert!((immediate.makespan - 20.0).abs() < 1e-9, "5 + 5 + 10");
+        let delayed = run(2.0);
+        assert!(delayed.is_complete());
+        // First retry waits 2, second waits 4: 5 + 2 + 5 + 4 + 10 = 26.
+        assert!(
+            (delayed.makespan - 26.0).abs() < 1e-9,
+            "{}",
+            delayed.makespan
+        );
+        assert_eq!(delayed.retries(), 2);
+    }
+
+    #[test]
     fn empty_fault_plan_is_bitwise_equal_to_plain_run() {
         let g = locmps_workloads::toys::fork_join(4, 6.0, 20.0);
         let cluster = Cluster::new(4, 25.0);
         let cfg = OnlineConfig {
             seed: 3,
             exec_cv: 0.15,
+            ..OnlineConfig::default()
         };
         let plain = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
         let faulted = RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(

@@ -40,9 +40,11 @@ pub enum Fault {
         /// Failure time.
         at: f64,
     },
-    /// Processor `proc` runs `factor`× slower for tasks *launched* in
-    /// `[from, until)` (sampled at launch; already-running tasks keep
-    /// their realized duration).
+    /// Processor `proc` runs `factor`× slower during `[from, until)`.
+    /// Attempts overlapping the window progress at the reduced rate for
+    /// exactly the overlapping portion (piecewise-rate integration, see
+    /// [`FaultPlan::finish_after`]) — windows opening or closing while an
+    /// attempt is in flight stretch only the covered part.
     Slowdown {
         /// The degraded processor.
         proc: ProcId,
@@ -156,6 +158,11 @@ impl FaultPlan {
     /// * `slow:P@T0-T1xF` — processor `P` is `F`× slower in `[T0, T1)`;
     /// * `crash:T@F` or `crash:T@FxN` — task `T` crashes at fraction `F`
     ///   of its compute time on its first `N` attempts (default 1).
+    ///
+    /// Crash attempt counts may exceed the engine's per-task attempt
+    /// budget (`OnlineConfig::max_attempts`): a plan like
+    /// `crash:T@0.5x999999` does not livelock — once the budget is spent
+    /// the run aborts with an `AttemptsExhausted` trace event.
     ///
     /// # Errors
     /// [`FaultError::Parse`] on malformed items, [`FaultError::Invalid`]
@@ -293,6 +300,97 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// The wall-clock time at which `work` seconds of nominal compute,
+    /// started at `from` on `procs`, complete under the plan's slowdown
+    /// windows.
+    ///
+    /// The compound factor ([`FaultPlan::slowdown_factor`]) is treated as
+    /// a piecewise-constant rate: a window opening or closing mid-attempt
+    /// stretches exactly the covered portion. With no window touching the
+    /// attempt this is exactly `from + work` (bit-identical to the
+    /// fault-free engine), and an attempt fully inside one window takes
+    /// exactly `work × factor`.
+    pub fn finish_after(&self, procs: &ProcSet, from: f64, work: f64) -> f64 {
+        if work <= 0.0 {
+            return from;
+        }
+        let cuts = self.slow_cuts(procs, from);
+        if cuts.is_empty() && self.slowdown_factor(procs, from) == 1.0 {
+            return from + work;
+        }
+        let mut t = from;
+        let mut left = work;
+        for &c in &cuts {
+            let f = self.slowdown_factor(procs, t);
+            // Nominal work the segment [t, c) can absorb at this rate.
+            let capacity = (c - t) / f;
+            if capacity >= left {
+                return t + left * f;
+            }
+            left -= capacity;
+            t = c;
+        }
+        t + left * self.slowdown_factor(procs, t)
+    }
+
+    /// Sorted, deduplicated times after `from` at which the compound
+    /// slowdown factor of `procs` can change (window edges).
+    fn slow_cuts(&self, procs: &ProcSet, from: f64) -> Vec<f64> {
+        let mut cuts: Vec<f64> = Vec::new();
+        for fault in &self.faults {
+            if let Fault::Slowdown {
+                proc,
+                from: w0,
+                until: w1,
+                ..
+            } = fault
+            {
+                if procs.contains(*proc) {
+                    if *w0 > from {
+                        cuts.push(*w0);
+                    }
+                    if *w1 > from {
+                        cuts.push(*w1);
+                    }
+                }
+            }
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        cuts
+    }
+
+    /// Renders the plan back into the spec grammar [`FaultPlan::parse`]
+    /// accepts; `parse(plan.to_spec())` reproduces the plan. This is how
+    /// the chaos harness prints minimized reproducers.
+    pub fn to_spec(&self) -> String {
+        let items: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| match f {
+                Fault::ProcFail { proc, at } => format!("fail:{proc}@{at}"),
+                Fault::Slowdown {
+                    proc,
+                    from,
+                    until,
+                    factor,
+                } => format!("slow:{proc}@{from}-{until}x{factor}"),
+                Fault::Crash {
+                    task,
+                    at_frac,
+                    attempts,
+                } => {
+                    if *attempts == 1 {
+                        format!("crash:{}@{}", task.0, at_frac)
+                    } else {
+                        format!("crash:{}@{}x{}", task.0, at_frac, attempts)
+                    }
+                }
+            })
+            .collect();
+        items.join(",")
+    }
 }
 
 /// What the engine should do with one failed task attempt.
@@ -303,6 +401,18 @@ pub enum RecoveryAction {
     Abort,
     /// Put the task back into the ready set for another attempt.
     Retry,
+}
+
+/// What recovery wants done about a suspected straggler attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StragglerAction {
+    /// Leave it running; the duplicate-free trace is unchanged.
+    Ignore,
+    /// Ask the engine for a speculative duplicate on idle processors.
+    /// The engine still enforces the global `max_speculative` budget, the
+    /// per-task attempt budget, and needs free processors — the request
+    /// is dropped silently when any of those fail.
+    Speculate,
 }
 
 /// Read-only execution state handed to a [`RecoveryPolicy`].
@@ -332,7 +442,7 @@ pub struct RecoveryCtx<'a> {
 /// disjoint subsets of the free processors, ready tasks only.
 pub trait RecoveryPolicy {
     /// Display name for reports.
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// One-time setup before execution starts.
     fn prepare(&mut self, _g: &TaskGraph, _cluster: &Cluster) {}
@@ -342,9 +452,23 @@ pub trait RecoveryPolicy {
     fn on_proc_failure(&mut self, _ctx: &RecoveryCtx<'_>, _proc: ProcId) {}
 
     /// A task attempt just died (scripted crash or killed by a processor
-    /// failure). Returns what the engine should do with it.
+    /// failure), leaving the task with no attempt in flight. Returns what
+    /// the engine should do with it.
     fn on_task_failure(&mut self, _ctx: &RecoveryCtx<'_>, _task: TaskId) -> RecoveryAction {
         RecoveryAction::Abort
+    }
+
+    /// The watchdog flagged `attempt` of `task` as running past its
+    /// deadline (`OnlineConfig::straggler_threshold` × the noise-free
+    /// estimate). The default ignores it; [`Hedged`] answers with
+    /// [`StragglerAction::Speculate`].
+    fn on_straggler(
+        &mut self,
+        _ctx: &RecoveryCtx<'_>,
+        _task: TaskId,
+        _attempt: u32,
+    ) -> StragglerAction {
+        StragglerAction::Ignore
     }
 
     /// When true, the base policy is no longer consulted and
@@ -374,7 +498,7 @@ pub trait RecoveryPolicy {
 pub struct FailStop;
 
 impl RecoveryPolicy for FailStop {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "fail-stop"
     }
 }
@@ -400,7 +524,7 @@ impl RetryShrink {
 }
 
 impl RecoveryPolicy for RetryShrink {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "retry-shrink"
     }
 
@@ -561,7 +685,7 @@ impl Default for Replan {
 }
 
 impl RecoveryPolicy for Replan {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "replan"
     }
 
@@ -637,6 +761,84 @@ impl RecoveryPolicy for Replan {
     }
 }
 
+/// Adds speculative re-execution to any inner recovery policy.
+///
+/// Every hook delegates to the wrapped policy; only
+/// [`RecoveryPolicy::on_straggler`] is overridden to always request a
+/// duplicate. The report name is `hedged-<inner>`.
+pub struct Hedged {
+    inner: Box<dyn RecoveryPolicy>,
+    name: String,
+}
+
+impl Hedged {
+    /// Wraps `inner`, answering every straggler alarm with
+    /// [`StragglerAction::Speculate`].
+    pub fn new(inner: Box<dyn RecoveryPolicy>) -> Self {
+        let name = format!("hedged-{}", inner.name());
+        Self { inner, name }
+    }
+}
+
+impl RecoveryPolicy for Hedged {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&mut self, g: &TaskGraph, cluster: &Cluster) {
+        self.inner.prepare(g, cluster);
+    }
+
+    fn on_proc_failure(&mut self, ctx: &RecoveryCtx<'_>, proc: ProcId) {
+        self.inner.on_proc_failure(ctx, proc);
+    }
+
+    fn on_task_failure(&mut self, ctx: &RecoveryCtx<'_>, task: TaskId) -> RecoveryAction {
+        self.inner.on_task_failure(ctx, task)
+    }
+
+    fn on_straggler(
+        &mut self,
+        _ctx: &RecoveryCtx<'_>,
+        _task: TaskId,
+        _attempt: u32,
+    ) -> StragglerAction {
+        StragglerAction::Speculate
+    }
+
+    fn overrides_dispatch(&self) -> bool {
+        self.inner.overrides_dispatch()
+    }
+
+    fn dispatch_recovery(
+        &mut self,
+        ctx: &RecoveryCtx<'_>,
+        ready: &[TaskId],
+        free: &ProcSet,
+        stall: bool,
+        log: &mut Vec<TraceEvent>,
+    ) -> Vec<(TaskId, ProcSet)> {
+        self.inner.dispatch_recovery(ctx, ready, free, stall, log)
+    }
+}
+
+/// Builds a recovery policy from its report name: `failstop`/`fail-stop`,
+/// `retryshrink`/`retry-shrink`, `replan`, or any of those behind a
+/// `hedged-` prefix (e.g. `hedged-replan`). Returns `None` for unknown
+/// names.
+pub fn recovery_by_name(name: &str) -> Option<Box<dyn RecoveryPolicy>> {
+    if let Some(inner) = name.strip_prefix("hedged-") {
+        return recovery_by_name(inner)
+            .map(|p| Box::new(Hedged::new(p)) as Box<dyn RecoveryPolicy>);
+    }
+    match name {
+        "failstop" | "fail-stop" => Some(Box::new(FailStop)),
+        "retryshrink" | "retry-shrink" => Some(Box::new(RetryShrink::new())),
+        "replan" => Some(Box::new(Replan::locmps())),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,6 +878,110 @@ mod tests {
         let mut both = ProcSet::single(0);
         both.insert(1);
         assert_eq!(plan.slowdown_factor(&both, 2.0), 4.0, "slowest member");
+    }
+
+    #[test]
+    fn to_spec_roundtrips_through_parse() {
+        let spec = "fail:1@8,slow:0@2-9x3,crash:4@0.5x2,crash:7@0.25";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.to_spec(), spec);
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        assert_eq!(FaultPlan::new().to_spec(), "");
+    }
+
+    #[test]
+    fn finish_after_integrates_piecewise_rates() {
+        let plan = FaultPlan::parse("slow:0@10-20x4").unwrap();
+        let p0 = ProcSet::single(0);
+        // Entirely before the window: unaffected, and exactly from+work.
+        assert_eq!(plan.finish_after(&p0, 0.0, 5.0), 5.0);
+        // Entirely inside the window: work × factor.
+        assert_eq!(plan.finish_after(&p0, 10.0, 2.0), 18.0);
+        // Window opens AND closes mid-attempt: 10 nominal seconds at
+        // full rate, [10, 20) absorbs 2.5 more at factor 4, and the
+        // remaining 2.5 finish at full rate — 22.5 total.
+        assert!((plan.finish_after(&p0, 0.0, 15.0) - 22.5).abs() < 1e-12);
+        // Window closes mid-attempt: 2.5 nominal seconds absorbed by
+        // [10, 20), the rest at full rate after 20.
+        assert!((plan.finish_after(&p0, 10.0, 7.5) - 25.0).abs() < 1e-12);
+        // Unrelated processor: unaffected.
+        assert_eq!(plan.finish_after(&ProcSet::single(1), 0.0, 15.0), 15.0);
+        // Compounding windows still integrate segment by segment.
+        let stacked = FaultPlan::parse("slow:0@0-10x2,slow:0@5-10x3").unwrap();
+        // [0,5) at 2x absorbs 2.5, [5,10) at 6x absorbs 5/6, rest at 1x.
+        let done_inside = 2.5 + 5.0 / 6.0;
+        let want = 10.0 + (4.0 - done_inside);
+        assert!((stacked.finish_after(&p0, 0.0, 4.0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_by_name_resolves_plain_and_hedged() {
+        for (spec, want) in [
+            ("failstop", "fail-stop"),
+            ("fail-stop", "fail-stop"),
+            ("retryshrink", "retry-shrink"),
+            ("replan", "replan"),
+            ("hedged-retryshrink", "hedged-retry-shrink"),
+            ("hedged-replan", "hedged-replan"),
+            ("hedged-failstop", "hedged-fail-stop"),
+        ] {
+            let p = recovery_by_name(spec).unwrap_or_else(|| panic!("{spec} must resolve"));
+            assert_eq!(p.name(), want);
+        }
+        assert!(recovery_by_name("nope").is_none());
+        assert!(recovery_by_name("hedged-nope").is_none());
+    }
+
+    #[test]
+    fn crash_storm_terminates_via_attempts_exhausted() {
+        use crate::engine::{OnlineConfig, RuntimeEngine, TraceEventKind};
+        use crate::policy::GreedyOneProc;
+        use locmps_speedup::ExecutionProfile;
+
+        let mut g = TaskGraph::new();
+        g.add_task("doomed", ExecutionProfile::linear(10.0));
+        g.add_task("fine", ExecutionProfile::linear(4.0));
+        let cluster = Cluster::new(2, 12.5);
+        // Livelock-shaped plan: every attempt of task 0 crashes, forever.
+        let faults = FaultPlan::parse("crash:0@0.5x999999").unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut RetryShrink::new(),
+        );
+        assert!(trace.aborted && !trace.is_complete());
+        assert_eq!(trace.completed, 1, "the healthy task still finishes");
+        let cfg = OnlineConfig::default();
+        assert!(
+            trace.events.iter().any(|e| matches!(
+                e.kind,
+                TraceEventKind::AttemptsExhausted { task: TaskId(0), attempts }
+                    if attempts == cfg.max_attempts
+            )),
+            "budget-spent abort must be recorded: {:#?}",
+            trace.events
+        );
+        // Partial trace: every start is still closed by finish or crash.
+        let starts = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskStart { .. }))
+            .count();
+        let closes = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::TaskFinish { .. } | TraceEventKind::TaskCrash { .. }
+                )
+            })
+            .count();
+        assert_eq!(starts, closes);
+        // max_attempts starts + crashes for task 0, a retry between each,
+        // one start + finish for task 1, one exhausted + one abort.
+        let expected = cfg.max_attempts as usize * 2 + (cfg.max_attempts as usize - 1) + 4;
+        assert_eq!(trace.events.len(), expected);
     }
 
     #[test]

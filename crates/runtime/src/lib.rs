@@ -32,15 +32,29 @@
 //! log records starts, finishes, crashes, processor failures, retries,
 //! replans and aborts; the `locmps-analysis` LM3xx diagnostics audit that
 //! log for causality violations, orphaned tasks and lost work.
+//!
+//! Slow tasks get the same treatment as dead ones: a watchdog derives a
+//! per-attempt deadline from the noise-free estimate
+//! (`OnlineConfig::straggler_threshold`), suspected stragglers reach
+//! recovery via `RecoveryPolicy::on_straggler`, and the [`fault::Hedged`]
+//! wrapper answers every alarm with a *speculative duplicate* on idle
+//! processors — first finish wins, the loser is killed deterministically.
+//! Retries are budgeted (`OnlineConfig::max_attempts`, exponential
+//! `backoff`), so crash storms abort cleanly instead of livelocking.
+//! The [`chaos`] module turns all of it into a test harness: seeded
+//! randomized fault campaigns whose failing plans are shrunk
+//! delta-debugging-style to minimal `--faults` reproducers.
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod fault;
 pub mod policy;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use engine::{ExecutionTrace, OnlineConfig, RuntimeEngine, TraceEvent, TraceEventKind};
 pub use fault::{
-    FailStop, Fault, FaultError, FaultPlan, RecoveryAction, RecoveryCtx, RecoveryPolicy, Replan,
-    RetryShrink,
+    recovery_by_name, FailStop, Fault, FaultError, FaultPlan, Hedged, RecoveryAction, RecoveryCtx,
+    RecoveryPolicy, Replan, RetryShrink, StragglerAction,
 };
 pub use policy::{GreedyOneProc, OnlineLocbs, OnlinePolicy, PlanFollower};

@@ -34,7 +34,11 @@ fn main() {
     for cv in [0.0, 0.1, 0.25, 0.5] {
         let mut means = [0.0f64; 3];
         for &seed in &seeds {
-            let cfg = OnlineConfig { seed, exec_cv: cv };
+            let cfg = OnlineConfig {
+                seed,
+                exec_cv: cv,
+                ..OnlineConfig::default()
+            };
             means[0] += RuntimeEngine::new(&g, &cluster, cfg)
                 .run(&mut PlanFollower::locmps())
                 .makespan;

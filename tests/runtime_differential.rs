@@ -141,6 +141,7 @@ fn noisy_replay_still_matches_when_keyed_identically() {
             OnlineConfig {
                 seed,
                 exec_cv: 0.25,
+                ..OnlineConfig::default()
             },
         )
         .run(&mut PlanFollower::locmps());

@@ -112,7 +112,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cluster = Cluster::new(p, 25.0);
-        let cfg = OnlineConfig { seed, exec_cv: 0.2 };
+        let cfg = OnlineConfig { seed, exec_cv: 0.2, ..OnlineConfig::default() };
         let m0 = RuntimeEngine::new(&g, &cluster, OnlineConfig::default())
             .run(&mut PlanFollower::locmps())
             .makespan;

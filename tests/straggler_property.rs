@@ -1,0 +1,313 @@
+//! Property tests for the straggler-mitigation machinery: watchdog
+//! deadlines, speculative duplicates and the chaos shrinker.
+//!
+//! The invariants:
+//! * with the watchdog disarmed and no faults, the engine is **byte-for-
+//!   byte** the pre-straggler engine — the 12 `ONLINE_GOLDEN` trace
+//!   fingerprints reproduce even with every other straggler knob set to a
+//!   non-default value;
+//! * a hedged run never holds more than `max_speculative` duplicates in
+//!   flight, and every `SpeculativeLaunch` is closed by exactly one of
+//!   `TaskFinish`, `AttemptKilled` or `TaskCrash` naming its attempt;
+//! * a minimized chaos reproducer still reproduces the failure key of
+//!   the original campaign it was shrunk from.
+
+use locmps::analysis::analyze_trace;
+use locmps::prelude::*;
+use locmps::runtime::chaos::{run_chaos, ChaosConfig};
+use locmps::runtime::{
+    recovery_by_name, Fault, FaultPlan, OnlineConfig, OnlineLocbs, PlanFollower, RuntimeEngine,
+    TraceEventKind,
+};
+use locmps::speedup::DowneyParams;
+use locmps::taskgraph::TaskId;
+use locmps::workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+use locmps::workloads::toys::{chain, fork_join, independent};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// (a) disarmed watchdog + empty faults == the pinned golden traces
+// ---------------------------------------------------------------------
+
+/// The golden zoo (same workloads and clusters as `tests/golden_zoo.rs`).
+fn zoo() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("chain", chain(6, 10.0, 20.0)),
+        ("fork_join", fork_join(5, 8.0, 15.0)),
+        ("independent", independent(6, 12.0, 0.2)),
+        (
+            "synthetic",
+            synthetic_graph(&SyntheticConfig {
+                n_tasks: 18,
+                ccr: 0.5,
+                seed: 77,
+                ..Default::default()
+            }),
+        ),
+        (
+            "strassen",
+            strassen_graph(&StrassenConfig {
+                n: 512,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ccsd_t1",
+            ccsd_t1_graph(&TceConfig {
+                n_occ: 16,
+                n_virt: 64,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+fn fnv(text: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Mirror of `ONLINE_GOLDEN` in `tests/golden_zoo.rs`: the fault-free
+/// `OnlineLocbs` trace fingerprints pinned before the straggler
+/// machinery existed. This test must match them with the watchdog off.
+const ONLINE_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/online-locbs", 0x2f27a9a230875a07),
+    ("chain/noovl/online-locbs", 0x2f27a9a230875a07),
+    ("fork_join/ovl/online-locbs", 0xa07ab444da17e82c),
+    ("fork_join/noovl/online-locbs", 0xbc8a92bc7a1dd01d),
+    ("independent/ovl/online-locbs", 0x88777aa2c347230f),
+    ("independent/noovl/online-locbs", 0x88777aa2c347230f),
+    ("synthetic/ovl/online-locbs", 0x2050c643bb33c7ca),
+    ("synthetic/noovl/online-locbs", 0x012bd9e409ae32ab),
+    ("strassen/ovl/online-locbs", 0xc3692116786fa996),
+    ("strassen/noovl/online-locbs", 0xeed236db07ee3ba4),
+    ("ccsd_t1/ovl/online-locbs", 0x99c14045cdd17f7b),
+    ("ccsd_t1/noovl/online-locbs", 0x78983ddd702114c7),
+];
+
+#[test]
+fn disarmed_watchdog_reproduces_the_online_golden_fingerprints() {
+    // Every straggler knob at a non-default value EXCEPT the threshold:
+    // with the watchdog disarmed and no faults injected, none of the new
+    // machinery may leave a trace — bit-identical to the pinned seeds.
+    let cfg = OnlineConfig {
+        straggler_threshold: f64::INFINITY,
+        max_speculative: 5,
+        max_attempts: 3,
+        backoff: 7.5,
+        ..OnlineConfig::default()
+    };
+    let mut idx = 0;
+    for (wname, g) in zoo() {
+        for (cname, cluster) in [
+            ("ovl", Cluster::new(7, 50.0)),
+            ("noovl", Cluster::new(7, 50.0).without_overlap()),
+        ] {
+            let trace = RuntimeEngine::new(&g, &cluster, cfg).run(&mut OnlineLocbs::default());
+            let fp = fnv(&serde_json::to_string(&trace).expect("traces serialize"));
+            let (gname, gfp) = ONLINE_GOLDEN[idx];
+            assert_eq!(format!("{wname}/{cname}/online-locbs"), gname);
+            assert_eq!(
+                fp, gfp,
+                "{gname}: disarmed straggler machinery changed the trace bytes"
+            );
+            idx += 1;
+        }
+    }
+    assert_eq!(idx, ONLINE_GOLDEN.len());
+}
+
+// ---------------------------------------------------------------------
+// (b) speculation is bounded and every duplicate is accounted for
+// ---------------------------------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..12, any::<u64>(), 0.1..0.45f64).prop_map(|(n, seed, density)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let work = 2.0 + 30.0 * next();
+            let a = 1.0 + 40.0 * next();
+            let sigma = 2.5 * next();
+            let model = SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap());
+            g.add_task(format!("t{i}"), ExecutionProfile::new(work, model).unwrap());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 200.0 * next())
+                        .unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+/// A straggler-heavy adversity script: a quarter of the processors are
+/// slowed 6x for the whole run, plus one scripted crash.
+fn straggler_plan(g: &TaskGraph, p: usize, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for i in 0..(p / 4).max(1) {
+        plan.push(Fault::Slowdown {
+            proc: (((seed as usize).wrapping_add(i * 3)) % p) as u32,
+            from: 0.0,
+            until: 1e9,
+            factor: 6.0,
+        })
+        .expect("slowdown fault is valid");
+    }
+    plan.push(Fault::Crash {
+        task: TaskId((seed % g.n_tasks() as u64) as u32),
+        at_frac: 0.25 + 0.5 * ((seed / 7) % 2) as f64,
+        attempts: 1 + (seed % 2) as u32,
+    })
+    .expect("crash fault is valid");
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn speculation_is_bounded_and_every_duplicate_is_closed(
+        g in arb_graph(),
+        p in 2usize..7,
+        seed in any::<u64>(),
+        max_spec in 1usize..4,
+        use_replan in any::<bool>(),
+    ) {
+        let hedged = if use_replan { "hedged-replan" } else { "hedged-retryshrink" };
+        let cluster = Cluster::new(p, 25.0);
+        let cfg = OnlineConfig {
+            seed,
+            exec_cv: 0.3,
+            straggler_threshold: 1.5,
+            max_speculative: max_spec,
+            ..OnlineConfig::default()
+        };
+        let faults = straggler_plan(&g, p, seed);
+        let mut recovery = recovery_by_name(hedged).expect("known recovery");
+        let trace = RuntimeEngine::new(&g, &cluster, cfg)
+            .run_with_faults(&mut PlanFollower::locmps(), &faults, recovery.as_mut());
+
+        // Replay the log: track which speculative attempts are open.
+        let mut open: Vec<(TaskId, u32)> = Vec::new();
+        for ev in &trace.events {
+            match ev.kind {
+                TraceEventKind::SpeculativeLaunch { task, attempt, .. } => {
+                    prop_assert!(
+                        !open.contains(&(task, attempt)),
+                        "duplicate speculative launch of {task} attempt {attempt}"
+                    );
+                    open.push((task, attempt));
+                    prop_assert!(
+                        open.len() <= max_spec,
+                        "{} speculative attempts in flight exceeds max_speculative={max_spec}",
+                        open.len()
+                    );
+                }
+                TraceEventKind::TaskFinish { task, attempt }
+                | TraceEventKind::AttemptKilled { task, attempt, .. }
+                | TraceEventKind::TaskCrash { task, attempt, .. } => {
+                    open.retain(|&o| o != (task, attempt));
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(
+            open.is_empty(),
+            "speculative attempts never closed: {open:?}"
+        );
+        // And the hedged trace still passes the full LM3xx audit.
+        let report = analyze_trace(&trace, &g, &cluster);
+        prop_assert!(!report.has_errors(), "{}: {}", hedged, report.render_text());
+    }
+
+    // -----------------------------------------------------------------
+    // (c) a shrunk chaos reproducer still reproduces the failure key
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn minimized_chaos_reproducers_still_reproduce(campaign_seed in 0u64..64) {
+        let g = fork_join(4, 8.0, 18.0);
+        let cluster = Cluster::new(3, 25.0);
+        let cfg = ChaosConfig {
+            inject: true,
+            ..ChaosConfig::default()
+        };
+        // Tripwire oracle: any observed crash of task 0 is a "failure"
+        // (guaranteed by inject), keyed INJECTED.
+        let oracle = |trace: &locmps::runtime::ExecutionTrace,
+                      _: &TaskGraph,
+                      _: &Cluster|
+         -> Option<String> {
+            trace
+                .events
+                .iter()
+                .any(|e| {
+                    matches!(
+                        e.kind,
+                        TraceEventKind::TaskCrash { task: TaskId(0), .. }
+                    )
+                })
+                .then(|| "INJECTED: task 0 crash observed".to_string())
+        };
+        let workloads = vec![("fork_join".to_string(), g.clone())];
+        let report = run_chaos(
+            &workloads,
+            &cluster,
+            &["retryshrink".to_string()],
+            1,
+            &ChaosConfig {
+                engine: OnlineConfig {
+                    seed: campaign_seed,
+                    ..cfg.engine
+                },
+                ..cfg
+            },
+            oracle,
+        );
+        prop_assert_eq!(report.failures.len(), 1, "the spike trips every campaign");
+        for f in &report.failures {
+            // Re-run the minimized plan from its printed spec: the same
+            // failure key must fire again.
+            let minimized = FaultPlan::parse(&f.minimized_spec).expect("specs round-trip");
+            let mut recovery = recovery_by_name(&f.recovery).expect("known recovery");
+            let trace = RuntimeEngine::new(
+                &g,
+                &cluster,
+                OnlineConfig {
+                    seed: campaign_seed,
+                    ..cfg.engine
+                },
+            )
+            .run_with_faults(&mut OnlineLocbs::default(), &minimized, recovery.as_mut());
+            let error = oracle(&trace, &g, &cluster);
+            prop_assert!(
+                error.is_some(),
+                "minimized spec {:?} no longer reproduces {:?}",
+                &f.minimized_spec,
+                &f.error
+            );
+            let key = |s: &str| s.split(':').next().unwrap_or("").to_string();
+            prop_assert_eq!(
+                key(&error.unwrap()),
+                key(&f.error),
+                "failure key drifted under shrinking"
+            );
+        }
+    }
+}
