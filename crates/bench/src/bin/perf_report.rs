@@ -105,7 +105,29 @@ fn time_case(n_tasks: usize, p: usize) -> Case {
     }
 }
 
-fn locbs_mode(out_path: &str) {
+// Hand-rolled JSON keeps the report layout stable and human-diffable;
+// every float goes through `serde_json::fmt_float_fixed`, which rejects
+// NaN/inf instead of printing an unparseable token.
+fn render_locbs_json(cases: &[Case]) -> Result<String, serde_json::NonFiniteFloat> {
+    let mut json = String::from("{\n  \"bench\": \"locbs_placement\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n_tasks\": {}, \"p\": {}, \"runs\": {}, \"min_ms\": {}, \
+             \"mean_ms\": {}, \"makespan\": {}}}{}\n",
+            c.n_tasks,
+            c.p,
+            c.runs,
+            serde_json::fmt_float_fixed(c.min_ms, 3)?,
+            serde_json::fmt_float_fixed(c.mean_ms, 3)?,
+            serde_json::fmt_float_fixed(c.makespan, 6)?,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    Ok(json)
+}
+
+fn locbs_mode(out_path: &str) -> Result<(), String> {
     let cases: Vec<Case> = [(100usize, 32usize), (500, 64), (1000, 128)]
         .into_iter()
         .map(|(n, p)| {
@@ -119,24 +141,10 @@ fn locbs_mode(out_path: &str) {
         })
         .collect();
 
-    // Hand-rolled JSON keeps the report layout stable and human-diffable.
-    let mut json = String::from("{\n  \"bench\": \"locbs_placement\",\n  \"cases\": [\n");
-    for (i, c) in cases.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"n_tasks\": {}, \"p\": {}, \"runs\": {}, \"min_ms\": {:.3}, \
-             \"mean_ms\": {:.3}, \"makespan\": {:.6}}}{}\n",
-            c.n_tasks,
-            c.p,
-            c.runs,
-            c.min_ms,
-            c.mean_ms,
-            c.makespan,
-            if i + 1 < cases.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(out_path, &json).expect("write benchmark report");
+    let json = render_locbs_json(&cases).map_err(|e| format!("locbs report: {e}"))?;
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path}");
+    Ok(())
 }
 
 /// One end-to-end search case: both configurations on the same graph.
@@ -212,7 +220,42 @@ fn time_locmps_case(n_tasks: usize, p: usize, max_rounds: usize) -> LocmpsCase {
     }
 }
 
-fn locmps_mode(out_path: &str) {
+fn render_locmps_json(cases: &[LocmpsCase]) -> Result<String, serde_json::NonFiniteFloat> {
+    let mut json = String::from("{\n  \"bench\": \"locmps_search\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let k = &c.default_counters;
+        json.push_str(&format!(
+            "    {{\"n_tasks\": {}, \"p\": {}, \"max_rounds\": {}, \
+             \"default_s\": {}, \"exhaustive_s\": {}, \"speedup\": {}, \
+             \"makespan\": {}, \"exhaustive_passes\": {}, \
+             \"full_pass_reduction\": {}, \"counters\": {{\
+             \"locbs_passes\": {}, \"pass_memo_hits\": {}, \"probes_aborted\": {}, \
+             \"branches_pruned\": {}, \"lookahead_cutoffs\": {}, \
+             \"pool_tasks\": {}, \"commits\": {}}}}}{}\n",
+            c.n_tasks,
+            c.p,
+            c.max_rounds,
+            serde_json::fmt_float_fixed(c.default_s, 3)?,
+            serde_json::fmt_float_fixed(c.exhaustive_s, 3)?,
+            serde_json::fmt_float_fixed(c.speedup(), 3)?,
+            serde_json::fmt_float_fixed(c.makespan, 6)?,
+            c.exhaustive_passes,
+            serde_json::fmt_float_fixed(c.full_pass_reduction(), 4)?,
+            k.locbs_passes,
+            k.pass_memo_hits,
+            k.probes_aborted,
+            k.branches_pruned,
+            k.lookahead_cutoffs,
+            k.pool_tasks,
+            k.commits,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    Ok(json)
+}
+
+fn locmps_mode(out_path: &str) -> Result<(), String> {
     // (100, 32) runs to natural convergence. The larger points cap the
     // outer rounds — identically for both configurations — so the harness
     // finishes in minutes instead of hours; per-round work is what the
@@ -241,51 +284,61 @@ fn locmps_mode(out_path: &str) {
     })
     .collect();
 
-    let mut json = String::from("{\n  \"bench\": \"locmps_search\",\n  \"cases\": [\n");
-    for (i, c) in cases.iter().enumerate() {
-        let k = &c.default_counters;
-        json.push_str(&format!(
-            "    {{\"n_tasks\": {}, \"p\": {}, \"max_rounds\": {}, \
-             \"default_s\": {:.3}, \"exhaustive_s\": {:.3}, \"speedup\": {:.3}, \
-             \"makespan\": {:.6}, \"exhaustive_passes\": {}, \
-             \"full_pass_reduction\": {:.4}, \"counters\": {{\
-             \"locbs_passes\": {}, \"pass_memo_hits\": {}, \"probes_aborted\": {}, \
-             \"branches_pruned\": {}, \"lookahead_cutoffs\": {}, \
-             \"pool_tasks\": {}, \"commits\": {}}}}}{}\n",
-            c.n_tasks,
-            c.p,
-            c.max_rounds,
-            c.default_s,
-            c.exhaustive_s,
-            c.speedup(),
-            c.makespan,
-            c.exhaustive_passes,
-            c.full_pass_reduction(),
-            k.locbs_passes,
-            k.pass_memo_hits,
-            k.probes_aborted,
-            k.branches_pruned,
-            k.lookahead_cutoffs,
-            k.pool_tasks,
-            k.commits,
-            if i + 1 < cases.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(out_path, &json).expect("write benchmark report");
+    let json = render_locmps_json(&cases).map_err(|e| format!("locmps report: {e}"))?;
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path}");
+    Ok(())
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
+    let result = match args.next().as_deref() {
         Some("locmps") => {
             let path = args
                 .next()
                 .unwrap_or_else(|| "BENCH_locmps.json".to_string());
-            locmps_mode(&path);
+            locmps_mode(&path)
         }
         Some(path) => locbs_mode(path),
         None => locbs_mode("BENCH_locbs.json"),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    fn case(min_ms: f64) -> Case {
+        Case {
+            n_tasks: 100,
+            p: 32,
+            runs: 30,
+            min_ms,
+            mean_ms: 1.5,
+            makespan: 1234.5,
+        }
+    }
+
+    /// Regression: an `inf` measurement (e.g. a min-fold over zero runs)
+    /// used to be printed verbatim by `format!("{:.3}", ..)`, producing a
+    /// report no JSON parser accepts. The guarded helper rejects the
+    /// document instead.
+    #[test]
+    fn report_rejects_non_finite_measurements() {
+        assert!(render_locbs_json(&[case(f64::INFINITY)]).is_err());
+        assert!(render_locbs_json(&[case(f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn report_output_is_valid_json() {
+        let json = render_locbs_json(&[case(0.75), case(2.25)]).unwrap();
+        let v: Value = serde_json::from_str(&json).expect("report must parse");
+        let cases = serde::field(v.as_object().unwrap(), "cases").unwrap();
+        assert_eq!(cases.as_array().unwrap().len(), 2);
     }
 }

@@ -332,11 +332,11 @@ fn main() {
         proc_failures: Vec<Cell>,
         stragglers: Vec<SlowdownCell>,
     }
-    let json = serde_json::to_string_pretty(&BenchFile {
+    let json = serde_json::to_string_pretty_checked(&BenchFile {
         proc_failures: cells,
         stragglers: slow_cells,
     })
-    .expect("cells serialize");
+    .expect("resilience cells are finite and serialize");
     let path = ctx.out_dir.join("BENCH_resilience.json");
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not save {}: {e}", path.display());

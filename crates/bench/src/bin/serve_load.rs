@@ -1,0 +1,265 @@
+//! Load generator for the `locmps serve` daemon.
+//!
+//! Boots a real daemon on an OS-assigned port, then hammers it from
+//! concurrent client threads with mixed-tenant submissions drawn from a
+//! small pool of distinct DAGs (so duplicates exercise the schedule
+//! cache). Records per-request latency and writes throughput, p50/p95/p99
+//! and the daemon's own counters to `BENCH_serve.json`.
+//!
+//! The run **fails** (exit 1) if any invariant breaks: a non-200
+//! submission, a job that does not finish `done`, a lost acknowledgement,
+//! a fingerprint scheduled more than once, or a duplicate-free cache.
+//!
+//! ```sh
+//! cargo run --release -p locmps-bench --bin serve_load [-- --quick] [--out DIR]
+//! ```
+
+use std::collections::HashSet;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use locmps_bench::experiments::ExperimentCtx;
+use locmps_serve::{ServeConfig, Server};
+use locmps_workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use serde::{Serialize, Value};
+
+/// One HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pulls `"name":<uint>` out of a flat JSON object body.
+fn uint_field(body: &str, name: &str) -> u64 {
+    let value: Value = serde_json::from_str(body).expect("daemon emits valid JSON");
+    match serde::field(value.as_object().expect("object body"), name) {
+        Ok(Value::UInt(n)) => *n,
+        other => panic!("field {name:?} missing or not an integer: {other:?}"),
+    }
+}
+
+struct RequestOutcome {
+    millis: f64,
+    cached: bool,
+    job_id: u64,
+    fingerprint: String,
+}
+
+#[derive(Serialize)]
+struct LatencyStats {
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchFile {
+    quick: bool,
+    client_threads: usize,
+    submissions: usize,
+    tenants: usize,
+    distinct_jobs: usize,
+    wall_seconds: f64,
+    throughput_per_sec: f64,
+    latency: LatencyStats,
+    cache_hit_rate: f64,
+    daemon: DaemonCounters,
+}
+
+#[derive(Serialize)]
+struct DaemonCounters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced: u64,
+    schedules_computed: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    let (threads, per_thread) = if ctx.quick { (4, 30) } else { (8, 50) };
+    const TENANTS: usize = 4;
+    const VARIANTS: usize = 12;
+    let algos = ["locmps", "cpr", "data"];
+
+    // Pre-render the submission bodies: a pool of distinct synthetic DAGs
+    // crossed with a few algorithms, reused round-robin so a large share
+    // of the load is cacheable duplicates — exactly the multi-tenant
+    // pattern the daemon is built for.
+    let bodies: Vec<String> = (0..VARIANTS)
+        .map(|i| {
+            let g = synthetic_graph(&SyntheticConfig {
+                n_tasks: 16 + 2 * (i % 4),
+                seed: i as u64,
+                ..SyntheticConfig::default()
+            });
+            let algo = algos[i % algos.len()];
+            format!(
+                "{{\"procs\":16,\"bandwidth\":125.0,\"algo\":\"{algo}\",\"wait\":true,\"graph\":{}}}",
+                g.to_json()
+            )
+        })
+        .collect();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            queue_cap: 256,
+            tenant_quota: 256,
+        },
+    )
+    .expect("bind daemon");
+    let addr = server.addr();
+    let handle = server.spawn();
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let bodies = bodies.clone();
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let n = t * per_thread + i;
+                    let body = bodies[n % bodies.len()].replacen(
+                        "{\"procs\"",
+                        &format!("{{\"tenant\":\"tenant-{}\",\"procs\"", n % TENANTS),
+                        1,
+                    );
+                    let t0 = Instant::now();
+                    let (status, resp) = exchange(addr, "POST", "/v1/jobs", &body);
+                    let millis = t0.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(status, 200, "submission failed: {resp}");
+                    assert!(resp.contains("\"state\":\"done\""), "not done: {resp}");
+                    let fingerprint = resp
+                        .split("\"fingerprint\":\"")
+                        .nth(1)
+                        .and_then(|r| r.split('"').next())
+                        .expect("ack carries a fingerprint")
+                        .to_string();
+                    outcomes.push(RequestOutcome {
+                        millis,
+                        cached: resp.contains("\"cached\":true"),
+                        job_id: uint_field(&resp, "job_id"),
+                        fingerprint,
+                    });
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    let mut outcomes = Vec::new();
+    for w in workers {
+        outcomes.extend(w.join().expect("client thread"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let total = outcomes.len();
+
+    // Invariants before statistics: nothing lost, nothing double-scheduled.
+    let ids: HashSet<u64> = outcomes.iter().map(|o| o.job_id).collect();
+    assert_eq!(ids.len(), total, "daemon handed out duplicate job ids");
+    let fps: HashSet<&str> = outcomes.iter().map(|o| o.fingerprint.as_str()).collect();
+    let (status, stats_body) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let daemon = DaemonCounters {
+        submitted: uint_field(&stats_body, "submitted"),
+        completed: uint_field(&stats_body, "completed"),
+        failed: uint_field(&stats_body, "failed"),
+        cache_hits: uint_field(&stats_body, "cache_hits"),
+        cache_misses: uint_field(&stats_body, "cache_misses"),
+        coalesced: uint_field(&stats_body, "coalesced"),
+        schedules_computed: uint_field(&stats_body, "schedules_computed"),
+    };
+    assert_eq!(daemon.submitted, total as u64, "lost submissions");
+    assert_eq!(daemon.completed, total as u64, "unfinished jobs");
+    assert_eq!(daemon.failed, 0, "failed jobs under load");
+    assert_eq!(
+        daemon.schedules_computed, daemon.cache_misses,
+        "a fingerprint was scheduled more than once"
+    );
+    assert_eq!(
+        daemon.cache_misses as usize,
+        fps.len(),
+        "misses must equal distinct fingerprints"
+    );
+    assert!(daemon.cache_hits > 0, "duplicate submissions never hit");
+
+    let mut sorted: Vec<f64> = outcomes.iter().map(|o| o.millis).collect();
+    sorted.sort_by(f64::total_cmp);
+    let latency = LatencyStats {
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+        p99_ms: percentile(&sorted, 0.99),
+        mean_ms: sorted.iter().sum::<f64>() / total as f64,
+        max_ms: *sorted.last().expect("at least one request"),
+    };
+    let hit_rate = daemon.cache_hits as f64 / total as f64;
+    // `cached` in the ack means "answered by a finished entry"; coalesced
+    // waiters also count as hits in the daemon's ledger.
+    let acked_cached = outcomes.iter().filter(|o| o.cached).count() as u64;
+    assert!(acked_cached <= daemon.cache_hits);
+
+    println!(
+        "{total} submissions / {threads} threads in {wall:.2}s  \
+         ({:.1} req/s, hit rate {:.0}%)",
+        total as f64 / wall,
+        hit_rate * 100.0
+    );
+    println!(
+        "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        latency.p50_ms, latency.p95_ms, latency.p99_ms, latency.max_ms
+    );
+
+    let file = BenchFile {
+        quick: ctx.quick,
+        client_threads: threads,
+        submissions: total,
+        tenants: TENANTS,
+        distinct_jobs: fps.len(),
+        wall_seconds: wall,
+        throughput_per_sec: total as f64 / wall,
+        latency,
+        cache_hit_rate: hit_rate,
+        daemon,
+    };
+    let json = serde_json::to_string_pretty_checked(&file)
+        .expect("load statistics are finite and serialize");
+    let path = ctx.out_dir.join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+
+    let (status, _) = exchange(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}

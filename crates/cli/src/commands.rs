@@ -1,7 +1,6 @@
 //! The CLI subcommands.
 
-use locmps_baselines::{Cpa, Cpr, DataParallel, TaskParallel, Tsas};
-use locmps_core::{GanttOptions, LocMps, LocMpsConfig, Scheduler};
+use locmps_core::{GanttOptions, Scheduler};
 use locmps_platform::Cluster;
 use locmps_sim::{simulate, SimConfig};
 use locmps_taskgraph::{GraphStats, TaskGraph};
@@ -57,6 +56,13 @@ commands:
                                   --inject spikes every plan with a
                                   tripwired crash to self-test the
                                   find-and-shrink loop end to end
+  serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
+           [--tenant-quota N]
+                                  run the scheduling daemon: accept task
+                                  graphs over HTTP/1.1 + JSON, schedule
+                                  them on a worker pool, cache results by
+                                  canonical DAG fingerprint, and enforce
+                                  per-tenant quotas (see docs/SERVE.md)
 ";
 
 /// Dispatches one invocation.
@@ -72,6 +78,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("analyze") => analyze(&args),
         Some("run") => run_online(&args),
         Some("chaos") => chaos(&args),
+        Some("serve") => serve(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -193,24 +200,15 @@ fn svg(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    Ok(match name {
-        "locmps" => Box::new(LocMps::default()),
-        "icaslb" => Box::new(LocMps::new(LocMpsConfig::icaslb())),
-        "nobackfill" => Box::new(LocMps::new(LocMpsConfig::no_backfill())),
-        "cpr" => Box::new(Cpr),
-        "cpa" => Box::new(Cpa),
-        "tsas" => Box::new(Tsas::default()),
-        "task" => Box::new(TaskParallel),
-        "data" => Box::new(DataParallel),
-        other => return Err(format!("unknown scheduler {other:?}")),
-    })
+/// One registry for every front end: the CLI resolves scheduler names
+/// through `locmps-serve`'s table, so `locmps schedule --algo X` and a
+/// daemon submission with `"algo": "X"` can never drift apart.
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler + Send + Sync>, String> {
+    locmps_serve::scheduler_by_name(name)
 }
 
-/// CPR and CPA come from locality-oblivious runtimes; everything else
-/// reuses resident block-cyclic data (see `locmps-sim`).
 fn locality_aware(name: &str) -> bool {
-    !matches!(name, "cpr" | "cpa" | "tsas")
+    locmps_serve::registry::locality_aware(name)
 }
 
 fn schedule(args: &Args) -> Result<(), String> {
@@ -391,18 +389,8 @@ fn run_online(args: &Args) -> Result<(), String> {
         max_attempts: args.get_or("max-attempts", 16u32)?,
         backoff: args.get_or("backoff", 0.0f64)?,
     };
-    if !cfg.exec_cv.is_finite() || cfg.exec_cv < 0.0 {
-        return Err("--cv must be finite and >= 0".into());
-    }
-    if cfg.straggler_threshold <= 1.0 {
-        return Err("--straggler-threshold must be > 1 (alarms would beat the estimate)".into());
-    }
-    if cfg.max_attempts == 0 {
-        return Err("--max-attempts must be >= 1".into());
-    }
-    if !cfg.backoff.is_finite() || cfg.backoff < 0.0 {
-        return Err("--backoff must be finite and >= 0".into());
-    }
+    // The engine's own typed admission checks; --cv maps to exec_cv etc.
+    cfg.validate().map_err(|e| e.to_string())?;
 
     let mut policy: Box<dyn OnlinePolicy> = match args.option("policy").unwrap_or("plan") {
         "plan" => Box::new(PlanFollower::locmps()),
@@ -436,7 +424,9 @@ fn run_online(args: &Args) -> Result<(), String> {
             trace,
             report,
         };
-        let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        // Checked serialization: a non-finite headline number would
+        // otherwise degrade to `null` and corrupt downstream tooling.
+        let json = serde_json::to_string_pretty_checked(&summary).map_err(|e| e.to_string())?;
         println!("{json}");
         let report = &summary.report;
         check_run_outcome(&summary.trace, report, args)
@@ -563,6 +553,7 @@ fn chaos(args: &Args) -> Result<(), String> {
         max_faults: args.get_or("max-faults", if quick { 4 } else { 6 })?,
         inject,
     };
+    cfg.engine.validate().map_err(|e| e.to_string())?;
 
     // The audit oracle: the first LM3xx error diagnostic fails the case.
     // Under --inject a tripwire treats any observed crash of task 0 as a
@@ -600,7 +591,7 @@ fn chaos(args: &Args) -> Result<(), String> {
     );
 
     if args.has("json") {
-        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty_checked(&report).map_err(|e| e.to_string())?;
         println!("{json}");
     } else {
         println!(
@@ -662,6 +653,28 @@ fn compare(args: &Args) -> Result<(), String> {
         );
     }
     println!("\n(rel = makespan(LoC-MPS)/makespan(scheme); < 1 trails LoC-MPS)");
+    Ok(())
+}
+
+/// `locmps serve`: run the scheduling daemon in the foreground until a
+/// `POST /v1/shutdown` drains it.
+fn serve(args: &Args) -> Result<(), String> {
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7077");
+    let cfg = locmps_serve::ServeConfig {
+        workers: args.get_or("workers", 2usize)?.max(1),
+        queue_cap: args.get_or("queue-cap", 64usize)?.max(1),
+        tenant_quota: args.get_or("tenant-quota", 8usize)?.max(1),
+    };
+    let server = locmps_serve::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!(
+        "locmps-serve listening on {} ({} workers, queue cap {}, tenant quota {})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.tenant_quota
+    );
+    server.run();
+    eprintln!("locmps-serve drained and stopped");
     Ok(())
 }
 

@@ -119,6 +119,17 @@ impl SchedulerOutput {
     }
 }
 
+// The serve daemon computes schedules on worker threads and shares the
+// results across connections, so scheduler outputs must stay plain owned
+// data. These assertions turn an accidental `Rc`/`RefCell` in any nested
+// type into a compile error instead of a daemon that no longer builds.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SchedulerOutput>();
+    assert_send_sync::<SearchCounters>();
+    assert_send_sync::<SchedError>();
+};
+
 /// A mixed-parallel scheduler: decides allocation, mapping and timing for a
 /// task graph on a cluster.
 pub trait Scheduler {

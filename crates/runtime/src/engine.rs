@@ -73,6 +73,126 @@ impl Default for OnlineConfig {
     }
 }
 
+/// A rejected [`OnlineConfig`] field: the typed form of the engine's
+/// admission checks, shared by every front end (CLI flags, the serve
+/// daemon's JSON boundary) so a bad configuration is refused *before* it
+/// can poison the event heap with a non-finite key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineConfigError {
+    /// A float field is `NaN`/`±inf` where a finite value is required.
+    NonFinite {
+        /// Which field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A float field is negative.
+    Negative {
+        /// Which field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `straggler_threshold` at or below 1 would alarm on every task
+    /// before its noise-free estimate elapses.
+    ThresholdTooLow {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `max_attempts == 0` could never launch anything.
+    ZeroAttempts,
+}
+
+impl std::fmt::Display for OnlineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFinite { field, value } => {
+                write!(f, "{field} must be finite (got {value})")
+            }
+            Self::Negative { field, value } => {
+                write!(f, "{field} must be >= 0 (got {value})")
+            }
+            Self::ThresholdTooLow { value } => write!(
+                f,
+                "straggler_threshold must be > 1 (got {value}; alarms would beat the estimate)"
+            ),
+            Self::ZeroAttempts => write!(f, "max_attempts must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineConfigError {}
+
+impl OnlineConfig {
+    /// Checks every field the engine's arithmetic depends on.
+    ///
+    /// `straggler_threshold = +inf` is legal (it disables the watchdog);
+    /// every other float must be finite, `backoff` and `exec_cv`
+    /// non-negative, and `max_attempts` at least 1. The engine saturates
+    /// backoff delays at [`MAX_RETRY_DELAY`] as defense in depth, but
+    /// front ends should reject bad configurations here, with a typed
+    /// error, instead of running with silently clamped semantics.
+    ///
+    /// # Errors
+    /// The first [`OnlineConfigError`] found, field by field.
+    pub fn validate(&self) -> Result<(), OnlineConfigError> {
+        if !self.exec_cv.is_finite() {
+            return Err(OnlineConfigError::NonFinite {
+                field: "exec_cv",
+                value: self.exec_cv,
+            });
+        }
+        if self.exec_cv < 0.0 {
+            return Err(OnlineConfigError::Negative {
+                field: "exec_cv",
+                value: self.exec_cv,
+            });
+        }
+        // NaN is rejected by the same arm as a too-low threshold.
+        if self.straggler_threshold.is_nan() || self.straggler_threshold <= 1.0 {
+            return Err(OnlineConfigError::ThresholdTooLow {
+                value: self.straggler_threshold,
+            });
+        }
+        if !self.backoff.is_finite() {
+            return Err(OnlineConfigError::NonFinite {
+                field: "backoff",
+                value: self.backoff,
+            });
+        }
+        if self.backoff < 0.0 {
+            return Err(OnlineConfigError::Negative {
+                field: "backoff",
+                value: self.backoff,
+            });
+        }
+        if self.max_attempts == 0 {
+            return Err(OnlineConfigError::ZeroAttempts);
+        }
+        Ok(())
+    }
+}
+
+// Engine inputs and outputs cross thread boundaries in the serve daemon
+// (jobs are executed on a worker pool and traces shared across
+// connections); keep them plain owned data.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OnlineConfig>();
+    assert_send_sync::<ExecutionTrace>();
+    assert_send_sync::<TraceEvent>();
+};
+
+/// Saturation bound on one retry-backoff delay. The exponent of
+/// `backoff × 2^(k-1)` is already clamped, but a huge (finite) base —
+/// `backoff ≥ ~4.2e299` at the exponent cap — would still overflow the
+/// product to `+inf` and push a non-finite key into the event heap, where
+/// it corrupts the total event order and every downstream makespan. Any
+/// delay is therefore capped here: far beyond any plausible simulated
+/// time, yet small enough that `now + delay` stays finite across a full
+/// attempt budget.
+pub const MAX_RETRY_DELAY: f64 = 1e18;
+
 /// One entry of the structured execution log, in processing order.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceEvent {
@@ -988,10 +1108,12 @@ impl<'a> RuntimeEngine<'a> {
                 });
                 if exec.cfg.backoff > 0.0 {
                     // k-th failure (launched ≥ 1 here) waits 2^(k-1)
-                    // base delays; the exponent is clamped so the delay
-                    // stays finite for any budget.
+                    // base delays; the exponent is clamped for any
+                    // budget, and the product is saturated at
+                    // MAX_RETRY_DELAY so a huge base cannot overflow to
+                    // a non-finite heap key (see MAX_RETRY_DELAY).
                     let exp = (launched - 1).min(32) as i32;
-                    let delay = exec.cfg.backoff * f64::powi(2.0, exp);
+                    let delay = (exec.cfg.backoff * f64::powi(2.0, exp)).min(MAX_RETRY_DELAY);
                     exec.events
                         .push(Reverse((Time(exec.now + delay), RANK_RETRY, t.0, launched)));
                     exec.pending_retries += 1;
@@ -1368,6 +1490,115 @@ mod tests {
             delayed.makespan
         );
         assert_eq!(delayed.retries(), 2);
+    }
+
+    /// Regression: with a huge (but finite) base delay and an attempt
+    /// budget near the exponent cap, `backoff × 2^(k-1)` used to overflow
+    /// to `+inf` around the 29th retry, pushing a non-finite key into the
+    /// event heap — every later event (and the makespan) reported `inf`.
+    /// The saturated delay keeps the whole trace finite and ordered.
+    #[test]
+    fn huge_backoff_saturates_instead_of_overflowing_the_heap() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        let cluster = Cluster::new(1, 12.5);
+        // Crashes on every one of the budgeted attempts, so the run walks
+        // the full backoff ladder before aborting.
+        let faults = FaultPlan::parse("crash:0@0.5x64").unwrap();
+        let cfg = OnlineConfig {
+            backoff: 1e300,
+            max_attempts: 40,
+            ..OnlineConfig::default()
+        };
+        cfg.validate().expect("finite backoff is admissible");
+        let trace = RuntimeEngine::new(&g, &cluster, cfg).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut RetryShrink::new(),
+        );
+        assert!(trace.aborted, "budget must run out");
+        assert!(
+            trace.makespan.is_finite(),
+            "makespan overflowed: {}",
+            trace.makespan
+        );
+        let mut prev = 0.0;
+        for e in &trace.events {
+            assert!(e.time.is_finite(), "non-finite event time: {e:?}");
+            assert!(e.time >= prev, "event order lost at {e:?}");
+            prev = e.time;
+        }
+        assert!(matches!(
+            trace.events.last().map(|e| &e.kind),
+            Some(TraceEventKind::AttemptsExhausted { .. } | TraceEventKind::Abort { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_the_fields_the_heap_depends_on() {
+        assert!(OnlineConfig::default().validate().is_ok());
+        let bad = |cfg: OnlineConfig| cfg.validate().unwrap_err();
+        assert!(matches!(
+            bad(OnlineConfig {
+                backoff: f64::INFINITY,
+                ..OnlineConfig::default()
+            }),
+            OnlineConfigError::NonFinite {
+                field: "backoff",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(OnlineConfig {
+                backoff: f64::NAN,
+                ..OnlineConfig::default()
+            }),
+            OnlineConfigError::NonFinite {
+                field: "backoff",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(OnlineConfig {
+                backoff: -1.0,
+                ..OnlineConfig::default()
+            }),
+            OnlineConfigError::Negative {
+                field: "backoff",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(OnlineConfig {
+                exec_cv: f64::NAN,
+                ..OnlineConfig::default()
+            }),
+            OnlineConfigError::NonFinite {
+                field: "exec_cv",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(OnlineConfig {
+                straggler_threshold: 1.0,
+                ..OnlineConfig::default()
+            }),
+            OnlineConfigError::ThresholdTooLow { .. }
+        ));
+        assert!(matches!(
+            bad(OnlineConfig {
+                max_attempts: 0,
+                ..OnlineConfig::default()
+            }),
+            OnlineConfigError::ZeroAttempts
+        ));
+        // +inf threshold stays legal: it just disables the watchdog.
+        assert!(OnlineConfig {
+            straggler_threshold: f64::INFINITY,
+            ..OnlineConfig::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -111,17 +111,25 @@ impl FaultPlan {
 
     /// Adds one fault after validating its fields.
     ///
+    /// A negative zero passes the range checks (`-0.0 < 0.0` is false)
+    /// but would render as `-0` in [`FaultPlan::to_spec`], where the
+    /// leading sign collides with the `T0-T1` window separator and breaks
+    /// the `to_spec → parse` round-trip; the sign is dropped here so a
+    /// stored plan is always exactly re-parseable.
+    ///
     /// # Errors
     /// [`FaultError::Invalid`] when a time is negative or non-finite, a
     /// slowdown window is empty or its factor below 1, or a crash
     /// fraction lies outside `(0, 1)` / has zero attempts.
     pub fn push(&mut self, fault: Fault) -> Result<(), FaultError> {
+        let mut fault = fault;
         let bad = |what| Err(FaultError::Invalid { what });
-        match &fault {
+        match &mut fault {
             Fault::ProcFail { at, .. } => {
                 if !at.is_finite() || *at < 0.0 {
                     return bad("failure time must be finite and non-negative");
                 }
+                *at += 0.0; // normalizes -0.0 to +0.0
             }
             Fault::Slowdown {
                 from,
@@ -129,12 +137,13 @@ impl FaultPlan {
                 factor,
                 ..
             } => {
-                if !from.is_finite() || !until.is_finite() || *from < 0.0 || until <= from {
+                if !from.is_finite() || !until.is_finite() || *from < 0.0 || *until <= *from {
                     return bad("slowdown window must be finite with from < until");
                 }
                 if !factor.is_finite() || *factor < 1.0 {
                     return bad("slowdown factor must be finite and >= 1");
                 }
+                *from += 0.0; // normalizes -0.0 to +0.0
             }
             Fault::Crash {
                 at_frac, attempts, ..
@@ -240,7 +249,8 @@ impl FaultPlan {
             let pick = (seeding::keyed_unit(seed, 2 * i as u64) * candidates.len() as f64) as usize;
             let proc = candidates.remove(pick.min(candidates.len() - 1));
             let at = horizon.max(0.0) * (0.1 + 0.8 * seeding::keyed_unit(seed, 2 * i as u64 + 1));
-            plan.faults.push(Fault::ProcFail { proc, at });
+            plan.push(Fault::ProcFail { proc, at })
+                .expect("keyed draws stay finite and non-negative");
         }
         plan
     }
@@ -362,8 +372,14 @@ impl FaultPlan {
     }
 
     /// Renders the plan back into the spec grammar [`FaultPlan::parse`]
-    /// accepts; `parse(plan.to_spec())` reproduces the plan. This is how
-    /// the chaos harness prints minimized reproducers.
+    /// accepts; `parse(plan.to_spec())` reproduces the plan **bit for
+    /// bit** for every plan [`FaultPlan::push`] admits. This is how the
+    /// chaos harness prints minimized reproducers, so exactness matters:
+    /// floats print through Rust's `Display`, the shortest decimal that
+    /// parses back to the identical bits (never exponential notation, so
+    /// no `e±` can collide with the grammar's separators), and `push`
+    /// normalizes the one admissible value with a troublesome rendering,
+    /// `-0.0`, whose `-0` text would break the `T0-T1` window split.
     pub fn to_spec(&self) -> String {
         let items: Vec<String> = self
             .faults
@@ -887,6 +903,81 @@ mod tests {
         assert_eq!(plan.to_spec(), spec);
         assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
         assert_eq!(FaultPlan::new().to_spec(), "");
+    }
+
+    /// Regression: `-0.0` passes the `< 0.0` range checks but used to be
+    /// stored un-normalized, so `to_spec` printed `slow:0@-0-1x2` — whose
+    /// leading `-` the window parser reads as the `T0-T1` separator,
+    /// making the minimized reproducer of a chaos failure unparseable.
+    #[test]
+    fn negative_zero_round_trips_exactly() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::Slowdown {
+            proc: 0,
+            from: -0.0,
+            until: 1.0,
+            factor: 2.0,
+        })
+        .unwrap();
+        plan.push(Fault::ProcFail { proc: 1, at: -0.0 }).unwrap();
+        let spec = plan.to_spec();
+        let back = FaultPlan::parse(&spec).expect(&spec);
+        assert_eq!(back, plan, "{spec}");
+        assert_eq!(spec, "slow:0@0-1x2,fail:1@0");
+    }
+
+    /// Shortest-form `Display` must survive the grammar for adversarial
+    /// magnitudes: huge, subnormal, and maximally-precise mantissas all
+    /// round-trip to the identical bits.
+    #[test]
+    fn to_spec_is_exact_for_adversarial_floats() {
+        let times = [
+            0.0,
+            5e-324,            // smallest subnormal
+            f64::MIN_POSITIVE, // smallest normal
+            0.1,
+            1.0 / 3.0,
+            2.0 + 6.0 * 0.7234567891234567, // a keyed-draw-shaped factor
+            1e300,
+            f64::MAX,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            let mut plan = FaultPlan::new();
+            plan.push(Fault::ProcFail { proc: 0, at: t }).unwrap();
+            // `from + 1.0` must exceed `from`, so fold huge magnitudes
+            // into a range where +1.0 is representable; the modulo keeps
+            // the mantissa adversarial.
+            let from = t % 1e15;
+            plan.push(Fault::Slowdown {
+                proc: 1,
+                from,
+                until: from + 1.0,
+                factor: 1.0 + t.min(1e12),
+            })
+            .unwrap();
+            let frac = (t % 1.0).clamp(0.25, 0.75);
+            plan.push(Fault::Crash {
+                task: TaskId(i as u32),
+                at_frac: frac,
+                attempts: 1 + i as u32,
+            })
+            .unwrap();
+            let spec = plan.to_spec();
+            let back = FaultPlan::parse(&spec).expect(&spec);
+            assert_eq!(back, plan, "lossy round-trip for {t:e}: {spec}");
+        }
+    }
+
+    /// The random generator's plans must obey the same validation (and
+    /// normalization) as hand-built ones: every generated plan re-parses
+    /// from its own spec.
+    #[test]
+    fn random_plans_round_trip_through_spec() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::random_proc_failures(seed, 8, 5, 100.0);
+            let spec = plan.to_spec();
+            assert_eq!(FaultPlan::parse(&spec).expect(&spec), plan, "{spec}");
+        }
     }
 
     #[test]

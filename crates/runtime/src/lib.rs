@@ -52,7 +52,10 @@ pub mod fault;
 pub mod policy;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
-pub use engine::{ExecutionTrace, OnlineConfig, RuntimeEngine, TraceEvent, TraceEventKind};
+pub use engine::{
+    ExecutionTrace, OnlineConfig, OnlineConfigError, RuntimeEngine, TraceEvent, TraceEventKind,
+    MAX_RETRY_DELAY,
+};
 pub use fault::{
     recovery_by_name, FailStop, Fault, FaultError, FaultPlan, Hedged, RecoveryAction, RecoveryCtx,
     RecoveryPolicy, Replan, RetryShrink, StragglerAction,

@@ -1,0 +1,198 @@
+//! Canonical task-graph and job fingerprints — the schedule cache keys.
+//!
+//! Two submissions that would produce the same schedule must hash to the
+//! same key, so the canonical form deliberately **excludes** task names
+//! (labels never influence scheduling decisions) and **includes**, bit
+//! for bit, everything that does: per-task execution profiles, the data
+//! edges with their volumes, the cluster shape, the algorithm, and — for
+//! online runs — the engine configuration and fault script. Floats are
+//! hashed by their IEEE-754 bit patterns (`to_bits`), so `0.1` and a
+//! value that merely prints the same can never collide by formatting.
+
+use locmps_taskgraph::{EdgeKind, TaskGraph};
+use serde::{Serialize, Value};
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what an in-process cache key needs (this is not a defense
+/// against adversarial collisions; quotas bound what a tenant can do).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+/// Hashes a serde value tree with type tags, so `1` (int), `"1"` (string)
+/// and `[1]` (array) cannot collide structurally.
+fn hash_value(h: &mut Fnv, v: &Value) {
+    match v {
+        Value::Null => h.write(&[0]),
+        Value::Bool(b) => h.write(&[1, u8::from(*b)]),
+        Value::UInt(n) => {
+            h.write(&[2]);
+            h.write_u64(*n);
+        }
+        Value::Int(n) => {
+            h.write(&[3]);
+            h.write_u64(*n as u64);
+        }
+        Value::Float(f) => {
+            h.write(&[4]);
+            h.write_f64(*f);
+        }
+        Value::Str(s) => {
+            h.write(&[5]);
+            h.write_str(s);
+        }
+        Value::Array(items) => {
+            h.write(&[6]);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Object(entries) => {
+            h.write(&[7]);
+            h.write_u64(entries.len() as u64);
+            for (k, val) in entries {
+                h.write_str(k);
+                hash_value(h, val);
+            }
+        }
+    }
+}
+
+/// The canonical fingerprint of a task graph: execution profiles in task
+/// id order plus the sorted data-edge list. Task names are excluded, so
+/// relabelled resubmissions of the same DAG dedupe to one cache entry.
+pub fn graph_fingerprint(g: &TaskGraph) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(g.n_tasks() as u64);
+    for (_, task) in g.tasks() {
+        hash_value(&mut h, &task.profile.to_value());
+    }
+    let mut edges: Vec<(u32, u32, f64)> = g
+        .edges()
+        .filter(|(_, e)| e.kind == EdgeKind::Data)
+        .map(|(_, e)| (e.src.0, e.dst.0, e.volume))
+        .collect();
+    edges.sort_by_key(|&(src, dst, _)| (src, dst));
+    h.write_u64(edges.len() as u64);
+    for (src, dst, volume) in edges {
+        h.write_u64(u64::from(src));
+        h.write_u64(u64::from(dst));
+        h.write_f64(volume);
+    }
+    h.0
+}
+
+/// The cache key of one job: the graph fingerprint combined with every
+/// non-graph input that influences the result — cluster shape, algorithm,
+/// and (for online runs) the engine parameters and fault script.
+#[allow(clippy::too_many_arguments)]
+pub fn job_fingerprint(
+    graph_fp: u64,
+    procs: usize,
+    bandwidth: f64,
+    algo: &str,
+    run: Option<(u64, f64, &str, &str, &str)>,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(graph_fp);
+    h.write_u64(procs as u64);
+    h.write_f64(bandwidth);
+    h.write_str(algo);
+    match run {
+        None => h.write(&[0]),
+        Some((seed, exec_cv, policy, recovery, faults)) => {
+            h.write(&[1]);
+            h.write_u64(seed);
+            h.write_f64(exec_cv);
+            h.write_str(policy);
+            h.write_str(recovery);
+            h.write_str(faults);
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    fn diamond(names: [&str; 4], volume: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = names
+            .iter()
+            .map(|n| g.add_task(*n, ExecutionProfile::linear(10.0)))
+            .collect();
+        g.add_edge(ids[0], ids[1], volume).unwrap();
+        g.add_edge(ids[0], ids[2], volume).unwrap();
+        g.add_edge(ids[1], ids[3], volume).unwrap();
+        g.add_edge(ids[2], ids[3], volume).unwrap();
+        g
+    }
+
+    #[test]
+    fn names_do_not_change_the_fingerprint() {
+        let a = diamond(["a", "b", "c", "d"], 100.0);
+        let b = diamond(["w", "x", "y", "z"], 100.0);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&b));
+    }
+
+    #[test]
+    fn structure_and_volumes_do_change_it() {
+        let a = diamond(["a", "b", "c", "d"], 100.0);
+        let b = diamond(["a", "b", "c", "d"], 100.5);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        let mut c = diamond(["a", "b", "c", "d"], 100.0);
+        c.add_task("e", ExecutionProfile::linear(1.0));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&c));
+    }
+
+    #[test]
+    fn job_fingerprint_separates_cluster_algo_and_mode() {
+        let g = diamond(["a", "b", "c", "d"], 100.0);
+        let fp = graph_fingerprint(&g);
+        let base = job_fingerprint(fp, 16, 125.0, "locmps", None);
+        assert_ne!(base, job_fingerprint(fp, 32, 125.0, "locmps", None));
+        assert_ne!(base, job_fingerprint(fp, 16, 250.0, "locmps", None));
+        assert_ne!(base, job_fingerprint(fp, 16, 125.0, "cpr", None));
+        assert_ne!(
+            base,
+            job_fingerprint(
+                fp,
+                16,
+                125.0,
+                "locmps",
+                Some((0, 0.0, "plan", "failstop", ""))
+            )
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams — just enough for the
+//! daemon's JSON protocol, with explicit limits instead of dependencies.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, and
+//! responses with a status line, fixed headers, and a body. Not
+//! supported (and answered with a clean 4xx rather than undefined
+//! behaviour): chunked transfer encoding, continuation lines, pipelined
+//! requests. Every response carries `Connection: close`; one connection
+//! serves one exchange, which keeps the daemon's concurrency model
+//! trivially auditable.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Largest accepted header block (request line + all headers).
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, or an error message for the 400 response.
+    ///
+    /// # Errors
+    /// When the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".to_string())
+    }
+}
+
+/// Why a request could not be parsed; each variant maps to one status.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed before sending a full request line.
+    ConnectionClosed,
+    /// Malformed request line or header (400).
+    Malformed(String),
+    /// Header block exceeds [`MAX_HEADER_BYTES`] (431).
+    HeadersTooLarge,
+    /// Body exceeds [`MAX_BODY_BYTES`] (413).
+    BodyTooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            ParseError::HeadersTooLarge => {
+                write!(f, "header block exceeds {MAX_HEADER_BYTES} bytes")
+            }
+            ParseError::BodyTooLarge => write!(f, "body exceeds {MAX_BODY_BYTES} bytes"),
+        }
+    }
+}
+
+impl ParseError {
+    /// The HTTP status this parse failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::ConnectionClosed | ParseError::Malformed(_) => 400,
+            ParseError::HeadersTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+        }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+/// [`ParseError`] on close, malformed input, or an exceeded limit.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut header_bytes = 0usize;
+
+    let mut line = String::new();
+    read_line(&mut reader, &mut line, &mut header_bytes)?;
+    if line.is_empty() {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("request line has no target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        read_line(&mut reader, &mut line, &mut header_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed(format!(
+                "header without colon: {line:?}"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length {value:?}")))?;
+        } else if name == "transfer-encoding" {
+            return Err(ParseError::Malformed(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge);
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ParseError::Malformed("body shorter than content-length".into()))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF (or LF) terminated line into `line`, stripped of the
+/// terminator, enforcing the cumulative header budget.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    consumed: &mut usize,
+) -> Result<(), ParseError> {
+    line.clear();
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader
+            .fill_buf()
+            .map_err(|e| ParseError::Malformed(format!("read: {e}")))?;
+        if chunk.is_empty() {
+            break; // EOF
+        }
+        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        *consumed += taken;
+        if *consumed > MAX_HEADER_BYTES {
+            return Err(ParseError::HeadersTooLarge);
+        }
+        buf.extend_from_slice(&chunk[..taken]);
+        reader.consume(taken);
+        if done {
+            break;
+        }
+    }
+    while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    *line = String::from_utf8(buf)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 header bytes".into()))?;
+    Ok(())
+}
+
+/// The canonical reason phrase for the statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete `Connection: close` response with a JSON body.
+///
+/// # Errors
+/// Propagates the underlying I/O error (the peer may have vanished).
+pub fn write_json<W: Write>(stream: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Renders `{"error": msg}` with correct JSON string escaping.
+pub fn error_body(msg: &str) -> String {
+    let value = serde::Value::Object(vec![(
+        "error".to_string(),
+        serde::Value::Str(msg.to_string()),
+    )]);
+    serde_json::to_string(&value).expect("a string-only object always serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/jobs?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_bare_lf_line_endings() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(
+            read_request(&b"not-http\r\n\r\n"[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b""[..]),
+            Err(ParseError::ConnectionClosed)
+        ));
+        let huge = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(huge.as_bytes()),
+            Err(ParseError::BodyTooLarge)
+        ));
+        let mut headers = String::from("GET / HTTP/1.1\r\n");
+        while headers.len() <= MAX_HEADER_BYTES {
+            headers.push_str("x-filler: yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy\r\n");
+        }
+        headers.push_str("\r\n");
+        assert!(matches!(
+            read_request(headers.as_bytes()),
+            Err(ParseError::HeadersTooLarge)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            read_request(&raw[..]),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_writer_emits_content_length() {
+        let mut out = Vec::new();
+        write_json(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_body_escapes_quotes() {
+        let body = error_body("bad \"thing\"");
+        assert_eq!(body, "{\"error\":\"bad \\\"thing\\\"\"}");
+    }
+}

@@ -1,0 +1,40 @@
+//! **Scheduler-as-a-service**: a long-running, multi-tenant front end for
+//! the LoC-MPS scheduling library.
+//!
+//! The offline algorithms in `locmps-core` and the online runtime in
+//! `locmps-runtime` are one-shot libraries; this crate makes them
+//! *resident*. A daemon accepts task-graph submissions over a minimal
+//! HTTP/1.1 + JSON protocol (std `TcpListener` only — no external
+//! dependencies), schedules them on a worker pool, and keeps a cache of
+//! finished schedules keyed by a canonical task-graph fingerprint so
+//! near-identical DAG submissions are answered without recomputation.
+//!
+//! The crate is split so that scheduling never touches I/O:
+//!
+//! * [`registry`] — name → scheduler construction, shared with the CLI
+//!   (one core library serves both front ends, and a future WASM build);
+//! * [`fingerprint`] — canonical task-graph/job fingerprints (cache keys);
+//! * [`svc`] — the I/O-free service core: job table, schedule cache,
+//!   per-tenant admission control and quotas, a bounded work queue with
+//!   backpressure, a worker pool, and graceful drain;
+//! * [`http`] — a minimal HTTP/1.1 request parser / response writer;
+//! * [`server`] — the TCP accept loop, request routing, structured
+//!   per-request logging, and the shutdown endpoint.
+//!
+//! See `docs/SERVE.md` for the wire protocol and README § Service for a
+//! curl-able walkthrough.
+#![deny(missing_docs)]
+
+pub mod fingerprint;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod svc;
+
+pub use fingerprint::{graph_fingerprint, job_fingerprint};
+pub use registry::{scheduler_by_name, scheduler_names};
+pub use server::{Server, ServerHandle};
+pub use svc::{
+    JobSpec, JobState, JobStatus, Mode, RunParams, ServeConfig, Service, Stats, SubmitAck,
+    SubmitError,
+};

@@ -1,0 +1,64 @@
+//! Scheduler registry: one name → construction table shared by every
+//! front end (CLI subcommands, the serve daemon, future WASM bindings),
+//! so the set of schedulable algorithms cannot drift between them.
+
+use locmps_baselines::{Cpa, Cpr, DataParallel, TaskParallel, Tsas};
+use locmps_core::{LocMps, LocMpsConfig, Scheduler};
+
+/// The names [`scheduler_by_name`] accepts, in display order.
+pub const SCHEDULER_NAMES: [&str; 8] = [
+    "locmps",
+    "icaslb",
+    "nobackfill",
+    "cpr",
+    "cpa",
+    "tsas",
+    "task",
+    "data",
+];
+
+/// The names [`scheduler_by_name`] accepts.
+pub fn scheduler_names() -> &'static [&'static str] {
+    &SCHEDULER_NAMES
+}
+
+/// Constructs the scheduler registered under `name`.
+///
+/// The trait object is `Send + Sync`: every registered scheduler is a
+/// plain configuration struct, so the daemon can construct one per job on
+/// any worker thread.
+///
+/// # Errors
+/// A human-readable message naming the unknown scheduler.
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler + Send + Sync>, String> {
+    Ok(match name {
+        "locmps" => Box::new(LocMps::default()),
+        "icaslb" => Box::new(LocMps::new(LocMpsConfig::icaslb())),
+        "nobackfill" => Box::new(LocMps::new(LocMpsConfig::no_backfill())),
+        "cpr" => Box::new(Cpr),
+        "cpa" => Box::new(Cpa),
+        "tsas" => Box::new(Tsas::default()),
+        "task" => Box::new(TaskParallel),
+        "data" => Box::new(DataParallel),
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}
+
+/// CPR and CPA come from locality-oblivious runtimes; everything else
+/// reuses resident block-cyclic data (see `locmps-sim`).
+pub fn locality_aware(name: &str) -> bool {
+    !matches!(name, "cpr" | "cpa" | "tsas")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_constructs() {
+        for name in scheduler_names() {
+            assert!(scheduler_by_name(name).is_ok(), "{name}");
+        }
+        assert!(scheduler_by_name("does-not-exist").is_err());
+    }
+}

@@ -1,0 +1,880 @@
+//! The I/O-free service core: everything the daemon does between parsing
+//! a request and writing a response.
+//!
+//! * a **job table** with monotonically increasing ids;
+//! * a **schedule cache** keyed by [`crate::job_fingerprint`]: finished
+//!   results are shared (`Arc`) across jobs, and submissions that arrive
+//!   while the same fingerprint is still being computed are *coalesced*
+//!   onto the in-flight computation — a fingerprint is never scheduled
+//!   twice;
+//! * **per-tenant admission control**: each tenant may hold at most
+//!   `tenant_quota` non-terminal jobs; excess submissions are rejected
+//!   with a typed error (the HTTP layer maps it to 429);
+//! * a **bounded work queue**: when `queue_cap` computations are already
+//!   pending, new work is rejected (backpressure) instead of queued
+//!   without bound;
+//! * **graceful drain**: [`Service::drain`] stops admission and blocks
+//!   until every accepted job reached a terminal state, so a shutdown
+//!   loses nothing that was acknowledged.
+//!
+//! All waiting is done with a `Mutex` + `Condvar` pair; worker threads
+//! compute schedules outside the lock.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use locmps_analysis::analyze_trace;
+use locmps_platform::Cluster;
+use locmps_runtime::{
+    recovery_by_name, FaultPlan, GreedyOneProc, OnlineConfig, OnlineLocbs, OnlinePolicy,
+    PlanFollower, RuntimeEngine,
+};
+use locmps_taskgraph::TaskGraph;
+use serde::Serialize;
+
+use crate::fingerprint::{graph_fingerprint, job_fingerprint};
+use crate::registry::scheduler_by_name;
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads computing schedules.
+    pub workers: usize,
+    /// Maximum queued (not yet running) computations before submissions
+    /// are rejected with backpressure.
+    pub queue_cap: usize,
+    /// Maximum non-terminal jobs one tenant may hold at once.
+    pub tenant_quota: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_cap: 64,
+            tenant_quota: 8,
+        }
+    }
+}
+
+/// Online-run parameters of a `mode: "run"` job.
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Engine seed (duration noise).
+    pub seed: u64,
+    /// Coefficient of variation of the duration noise.
+    pub exec_cv: f64,
+    /// Dispatch policy: `plan`, `online` or `greedy`.
+    pub policy: String,
+    /// Recovery policy name (`failstop`, `retry`, `replan`, `hedged-…`).
+    pub recovery: String,
+    /// Fault script in the `--faults` grammar (empty for none).
+    pub faults: String,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            exec_cv: 0.0,
+            policy: "plan".into(),
+            recovery: "failstop".into(),
+            faults: String::new(),
+        }
+    }
+}
+
+/// What a job computes.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Offline schedule only.
+    Schedule,
+    /// Offline schedule plus an online execution producing a trace.
+    Run(RunParams),
+}
+
+/// One validated submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Submitting tenant (admission control key).
+    pub tenant: String,
+    /// The task graph to schedule.
+    pub graph: TaskGraph,
+    /// Cluster size.
+    pub procs: usize,
+    /// Link bandwidth (MB/s).
+    pub bandwidth: f64,
+    /// Scheduler name (see [`crate::registry`]).
+    pub algo: String,
+    /// Offline-only or online run.
+    pub mode: Mode,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Waiting for a worker (or for the in-flight twin computation).
+    Queued,
+    /// A worker is computing it.
+    Running,
+    /// Finished; results are available.
+    Done,
+    /// The scheduler rejected it (the error text says why).
+    Failed,
+}
+
+impl JobState {
+    fn terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+
+    /// Lower-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// A status snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Cache key.
+    pub fingerprint: u64,
+    /// Current state.
+    pub state: JobState,
+    /// Whether the result came from the schedule cache (hit or coalesced).
+    pub cached: bool,
+    /// Failure message for [`JobState::Failed`].
+    pub error: Option<String>,
+    /// Planned makespan once done.
+    pub makespan: Option<f64>,
+}
+
+/// Acknowledgement of an accepted submission.
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitAck {
+    /// The job id to poll.
+    pub job_id: u64,
+    /// The canonical cache key the submission mapped to.
+    pub fingerprint: u64,
+    /// `true` when a finished cache entry answered the submission
+    /// immediately — the job is already `Done`.
+    pub cached: bool,
+    /// `true` when the submission was attached to an identical in-flight
+    /// computation instead of being scheduled again.
+    pub coalesced: bool,
+}
+
+/// Why a submission was refused. The daemon maps these to HTTP statuses
+/// (400 / 429 / 503); the service core stays transport-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The request itself is invalid (unknown algorithm, bad config…).
+    Invalid(String),
+    /// The tenant already holds `limit` non-terminal jobs.
+    QuotaExceeded {
+        /// The tenant at its limit.
+        tenant: String,
+        /// The configured quota.
+        limit: usize,
+    },
+    /// The work queue is full; retry later.
+    QueueFull {
+        /// The configured queue bound.
+        cap: usize,
+    },
+    /// The service is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            SubmitError::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant {tenant:?} already holds {limit} active jobs")
+            }
+            SubmitError::QueueFull { cap } => {
+                write!(f, "work queue is full ({cap} pending computations)")
+            }
+            SubmitError::Draining => write!(f, "service is draining; not accepting jobs"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Monotonic counters a `GET /v1/stats` reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Stats {
+    /// Jobs accepted (acked with a job id).
+    pub submitted: u64,
+    /// Jobs that reached `Done`.
+    pub completed: u64,
+    /// Jobs that reached `Failed`.
+    pub failed: u64,
+    /// Submissions answered by a finished cache entry.
+    pub cache_hits: u64,
+    /// Submissions that required a fresh computation.
+    pub cache_misses: u64,
+    /// Submissions attached to an identical in-flight computation.
+    pub coalesced: u64,
+    /// Submissions rejected by per-tenant quota.
+    pub rejected_quota: u64,
+    /// Submissions rejected by queue backpressure.
+    pub rejected_queue: u64,
+    /// Schedules actually computed by workers. Equal to
+    /// `cache_misses` at quiescence: a fingerprint is never computed
+    /// twice, which is exactly what the concurrent-submission test pins.
+    pub schedules_computed: u64,
+}
+
+/// The immutable output of one computed fingerprint, shared by every job
+/// that mapped to it. JSON is rendered once, through the checked writer,
+/// so cache hits are a string clone and the daemon can never emit a
+/// non-finite float.
+pub(crate) struct JobOutput {
+    pub(crate) makespan: f64,
+    pub(crate) result_json: Arc<String>,
+    pub(crate) trace_json: Option<Arc<String>>,
+}
+
+struct Job {
+    tenant: String,
+    fingerprint: u64,
+    state: JobState,
+    cached: bool,
+    spec: Option<JobSpec>, // taken by the worker that computes it
+    output: Option<Arc<JobOutput>>,
+    error: Option<String>,
+}
+
+enum CacheEntry {
+    /// Being computed by a worker; later identical submissions wait here.
+    InFlight { waiters: Vec<u64> },
+    /// Finished successfully.
+    Done(Arc<JobOutput>),
+}
+
+#[derive(Default)]
+struct State {
+    next_id: u64,
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    cache: HashMap<u64, CacheEntry>,
+    tenant_load: HashMap<String, usize>,
+    active_jobs: usize,
+    draining: bool,
+    stats: Stats,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signals workers that the queue (or the draining flag) changed.
+    work_cv: Condvar,
+    /// Signals waiters that a job reached a terminal state.
+    done_cv: Condvar,
+}
+
+/// The resident scheduling service. Cloneable handle; the worker pool
+/// lives until [`Service::shutdown`].
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool. `workers: 0` is admission-only — jobs are
+    /// validated, fingerprinted and queued but never computed — which
+    /// gives tests a deterministic view of quota and queue state (the
+    /// daemon front end always runs with at least one worker).
+    pub fn start(cfg: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cfg.queue_cap),
+                ..State::default()
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("locmps-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// The admission path. Validates the spec, maps it to its canonical
+    /// fingerprint, and either answers from cache, coalesces onto an
+    /// identical in-flight computation, or enqueues a fresh one.
+    ///
+    /// `cfg` carries the quota and queue bounds (kept out of the state so
+    /// a future per-tenant override needs no lock-layout change).
+    ///
+    /// # Errors
+    /// [`SubmitError`] — invalid spec, quota, backpressure, or draining.
+    pub fn submit(&self, cfg: &ServeConfig, spec: JobSpec) -> Result<SubmitAck, SubmitError> {
+        // Validate everything a worker would need *before* taking the
+        // admission decision, so accepted jobs can only fail inside the
+        // scheduler itself.
+        if spec.procs == 0 {
+            return Err(SubmitError::Invalid("procs must be >= 1".into()));
+        }
+        if !spec.bandwidth.is_finite() || spec.bandwidth <= 0.0 {
+            return Err(SubmitError::Invalid(
+                "bandwidth must be finite and > 0".into(),
+            ));
+        }
+        scheduler_by_name(&spec.algo).map_err(SubmitError::Invalid)?;
+        if let Mode::Run(run) = &spec.mode {
+            run_config(run).map_err(SubmitError::Invalid)?;
+            policy_by_name(&run.policy).map_err(SubmitError::Invalid)?;
+            if recovery_by_name(&run.recovery).is_none() {
+                return Err(SubmitError::Invalid(format!(
+                    "unknown recovery {:?}",
+                    run.recovery
+                )));
+            }
+            FaultPlan::parse(&run.faults)
+                .map_err(|e| SubmitError::Invalid(format!("faults: {e}")))?;
+        }
+
+        let graph_fp = graph_fingerprint(&spec.graph);
+        let run_key = match &spec.mode {
+            Mode::Schedule => None,
+            Mode::Run(r) => Some((
+                r.seed,
+                r.exec_cv,
+                r.policy.as_str(),
+                r.recovery.as_str(),
+                r.faults.as_str(),
+            )),
+        };
+        let fp = job_fingerprint(graph_fp, spec.procs, spec.bandwidth, &spec.algo, run_key);
+
+        let mut st = self.inner.state.lock().expect("service lock");
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        let load = st.tenant_load.get(&spec.tenant).copied().unwrap_or(0);
+        if load >= cfg.tenant_quota {
+            st.stats.rejected_quota += 1;
+            return Err(SubmitError::QuotaExceeded {
+                tenant: spec.tenant.clone(),
+                limit: cfg.tenant_quota,
+            });
+        }
+
+        // Finished twin: answer immediately, no queue, no tenant load.
+        if let Some(CacheEntry::Done(out)) = st.cache.get(&fp) {
+            let out = Arc::clone(out);
+            let id = st.next_id;
+            st.next_id += 1;
+            st.jobs.insert(
+                id,
+                Job {
+                    tenant: spec.tenant,
+                    fingerprint: fp,
+                    state: JobState::Done,
+                    cached: true,
+                    spec: None,
+                    output: Some(out),
+                    error: None,
+                },
+            );
+            st.stats.submitted += 1;
+            st.stats.completed += 1;
+            st.stats.cache_hits += 1;
+            return Ok(SubmitAck {
+                job_id: id,
+                fingerprint: fp,
+                cached: true,
+                coalesced: false,
+            });
+        }
+
+        // In-flight twin: wait for its worker, never schedule twice.
+        if let Some(CacheEntry::InFlight { .. }) = st.cache.get(&fp) {
+            let id = st.next_id;
+            st.next_id += 1;
+            if let Some(CacheEntry::InFlight { waiters }) = st.cache.get_mut(&fp) {
+                waiters.push(id);
+            }
+            st.jobs.insert(
+                id,
+                Job {
+                    tenant: spec.tenant.clone(),
+                    fingerprint: fp,
+                    state: JobState::Queued,
+                    cached: true,
+                    spec: None,
+                    output: None,
+                    error: None,
+                },
+            );
+            *st.tenant_load.entry(spec.tenant).or_insert(0) += 1;
+            st.active_jobs += 1;
+            st.stats.submitted += 1;
+            st.stats.coalesced += 1;
+            st.stats.cache_hits += 1;
+            return Ok(SubmitAck {
+                job_id: id,
+                fingerprint: fp,
+                cached: false,
+                coalesced: true,
+            });
+        }
+
+        // Fresh fingerprint: bounded queue admission.
+        if st.queue.len() >= cfg.queue_cap {
+            st.stats.rejected_queue += 1;
+            return Err(SubmitError::QueueFull { cap: cfg.queue_cap });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let tenant = spec.tenant.clone();
+        st.cache
+            .insert(fp, CacheEntry::InFlight { waiters: vec![] });
+        st.jobs.insert(
+            id,
+            Job {
+                tenant: tenant.clone(),
+                fingerprint: fp,
+                state: JobState::Queued,
+                cached: false,
+                spec: Some(spec),
+                output: None,
+                error: None,
+            },
+        );
+        *st.tenant_load.entry(tenant).or_insert(0) += 1;
+        st.active_jobs += 1;
+        st.queue.push_back(id);
+        st.stats.submitted += 1;
+        st.stats.cache_misses += 1;
+        drop(st);
+        self.inner.work_cv.notify_one();
+        Ok(SubmitAck {
+            job_id: id,
+            fingerprint: fp,
+            cached: false,
+            coalesced: false,
+        })
+    }
+
+    /// A snapshot of one job.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let st = self.inner.state.lock().expect("service lock");
+        st.jobs.get(&id).map(|j| JobStatus {
+            id,
+            tenant: j.tenant.clone(),
+            fingerprint: j.fingerprint,
+            state: j.state,
+            cached: j.cached,
+            error: j.error.clone(),
+            makespan: j.output.as_ref().map(|o| o.makespan),
+        })
+    }
+
+    /// The rendered schedule result of a `Done` job.
+    pub fn result_json(&self, id: u64) -> Option<Arc<String>> {
+        let st = self.inner.state.lock().expect("service lock");
+        st.jobs
+            .get(&id)
+            .and_then(|j| j.output.as_ref())
+            .map(|o| Arc::clone(&o.result_json))
+    }
+
+    /// The rendered `ExecutionTrace` of a `Done` run-mode job.
+    pub fn trace_json(&self, id: u64) -> Option<Arc<String>> {
+        let st = self.inner.state.lock().expect("service lock");
+        st.jobs
+            .get(&id)
+            .and_then(|j| j.output.as_ref())
+            .and_then(|o| o.trace_json.as_ref().map(Arc::clone))
+    }
+
+    /// Blocks until `id` reaches a terminal state (or returns `None` for
+    /// an unknown id).
+    pub fn wait(&self, id: u64) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().expect("service lock");
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(j) if j.state.terminal() => break,
+                Some(_) => st = self.inner.done_cv.wait(st).expect("service lock"),
+            }
+        }
+        drop(st);
+        self.status(id)
+    }
+
+    /// A counters snapshot.
+    pub fn stats(&self) -> Stats {
+        self.inner.state.lock().expect("service lock").stats
+    }
+
+    /// Number of non-terminal jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.inner.state.lock().expect("service lock").active_jobs
+    }
+
+    /// Stops admission and blocks until every accepted job is terminal.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().expect("service lock");
+        st.draining = true;
+        self.inner.work_cv.notify_all();
+        while st.active_jobs > 0 {
+            st = self.inner.done_cv.wait(st).expect("service lock");
+        }
+    }
+
+    /// Drains and joins the worker pool.
+    pub fn shutdown(mut self) {
+        self.drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, spec) = {
+            let mut st = inner.state.lock().expect("service lock");
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    let spec = job.spec.take().expect("fresh job carries its spec");
+                    break (id, spec);
+                }
+                if st.draining {
+                    return;
+                }
+                st = inner.work_cv.wait(st).expect("service lock");
+            }
+        };
+
+        let result = compute(&spec);
+
+        let mut st = inner.state.lock().expect("service lock");
+        st.stats.schedules_computed += 1;
+        let fp = st.jobs.get(&id).expect("job exists").fingerprint;
+        let waiters = match st.cache.get_mut(&fp) {
+            Some(CacheEntry::InFlight { waiters }) => std::mem::take(waiters),
+            _ => Vec::new(),
+        };
+        match result {
+            Ok(output) => {
+                let output = Arc::new(output);
+                st.cache.insert(fp, CacheEntry::Done(Arc::clone(&output)));
+                for jid in std::iter::once(id).chain(waiters) {
+                    finish_job(&mut st, jid, Ok(Arc::clone(&output)));
+                }
+            }
+            Err(msg) => {
+                // Drop the entry so a corrected resubmission recomputes.
+                st.cache.remove(&fp);
+                for jid in std::iter::once(id).chain(waiters) {
+                    finish_job(&mut st, jid, Err(msg.clone()));
+                }
+            }
+        }
+        drop(st);
+        inner.done_cv.notify_all();
+    }
+}
+
+fn finish_job(st: &mut State, id: u64, result: Result<Arc<JobOutput>, String>) {
+    let job = st.jobs.get_mut(&id).expect("finished job exists");
+    match result {
+        Ok(out) => {
+            job.state = JobState::Done;
+            job.output = Some(out);
+            st.stats.completed += 1;
+        }
+        Err(msg) => {
+            job.state = JobState::Failed;
+            job.error = Some(msg);
+            st.stats.failed += 1;
+        }
+    }
+    let tenant = job.tenant.clone();
+    if let Some(load) = st.tenant_load.get_mut(&tenant) {
+        *load = load.saturating_sub(1);
+    }
+    st.active_jobs = st.active_jobs.saturating_sub(1);
+}
+
+fn policy_by_name(name: &str) -> Result<Box<dyn OnlinePolicy>, String> {
+    Ok(match name {
+        "plan" => Box::new(PlanFollower::locmps()),
+        "online" => Box::new(OnlineLocbs::default()),
+        "greedy" => Box::new(GreedyOneProc),
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn run_config(run: &RunParams) -> Result<OnlineConfig, String> {
+    let cfg = OnlineConfig {
+        seed: run.seed,
+        exec_cv: run.exec_cv,
+        ..OnlineConfig::default()
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+/// JSON payload of `GET /v1/jobs/<id>/schedule`.
+#[derive(Serialize)]
+struct ScheduleResultDto {
+    algo: String,
+    procs: usize,
+    bandwidth: f64,
+    n_tasks: usize,
+    makespan: f64,
+    allocation: Vec<u64>,
+    schedule: locmps_core::Schedule,
+}
+
+/// JSON payload of `GET /v1/jobs/<id>/trace`: the trace plus the LM3xx
+/// audit, mirroring `locmps run --json`.
+#[derive(Serialize)]
+struct TraceResultDto {
+    policy: String,
+    recovery: String,
+    n_tasks: usize,
+    completed: usize,
+    aborted: bool,
+    makespan: f64,
+    trace: locmps_runtime::ExecutionTrace,
+    report: locmps_analysis::Report,
+}
+
+/// The compute path (no locks held): schedule, optionally execute online,
+/// render both payloads through the checked JSON writer.
+fn compute(spec: &JobSpec) -> Result<JobOutput, String> {
+    let cluster = Cluster::new(spec.procs, spec.bandwidth);
+    let scheduler = scheduler_by_name(&spec.algo)?;
+    let out = scheduler
+        .schedule(&spec.graph, &cluster)
+        .map_err(|e| format!("{}: {e}", scheduler.name()))?;
+
+    let result = ScheduleResultDto {
+        algo: spec.algo.clone(),
+        procs: spec.procs,
+        bandwidth: spec.bandwidth,
+        n_tasks: spec.graph.n_tasks(),
+        makespan: out.makespan(),
+        allocation: out
+            .allocation
+            .as_slice()
+            .iter()
+            .map(|&n| n as u64)
+            .collect(),
+        schedule: out.schedule,
+    };
+    let result_json =
+        serde_json::to_string_checked(&result).map_err(|e| format!("render schedule: {e}"))?;
+
+    let trace_json = match &spec.mode {
+        Mode::Schedule => None,
+        Mode::Run(run) => {
+            let cfg = run_config(run)?;
+            let faults = FaultPlan::parse(&run.faults).map_err(|e| e.to_string())?;
+            let mut policy = policy_by_name(&run.policy)?;
+            let mut recovery = recovery_by_name(&run.recovery)
+                .ok_or_else(|| format!("unknown recovery {:?}", run.recovery))?;
+            let engine = RuntimeEngine::new(&spec.graph, &cluster, cfg);
+            let trace = engine.run_with_faults(policy.as_mut(), &faults, recovery.as_mut());
+            let report = analyze_trace(&trace, &spec.graph, &cluster);
+            let dto = TraceResultDto {
+                policy: policy.name().to_string(),
+                recovery: recovery.name().to_string(),
+                n_tasks: trace.n_tasks,
+                completed: trace.completed,
+                aborted: trace.aborted,
+                makespan: trace.makespan,
+                trace,
+                report,
+            };
+            Some(Arc::new(
+                serde_json::to_string_checked(&dto).map_err(|e| format!("render trace: {e}"))?,
+            ))
+        }
+    };
+
+    Ok(JobOutput {
+        makespan: result.makespan,
+        result_json: Arc::new(result_json),
+        trace_json,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    fn chain(n: usize, work: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_task(format!("t{i}"), ExecutionProfile::linear(work)))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 10.0).unwrap();
+        }
+        g
+    }
+
+    fn spec(tenant: &str, work: f64) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            graph: chain(4, work),
+            procs: 4,
+            bandwidth: 125.0,
+            algo: "locmps".into(),
+            mode: Mode::Schedule,
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_hit_the_cache() {
+        let cfg = ServeConfig::default();
+        let svc = Service::start(cfg);
+        let a = svc.submit(&cfg, spec("alice", 10.0)).unwrap();
+        assert!(!a.cached);
+        let done = svc.wait(a.job_id).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        let b = svc.submit(&cfg, spec("bob", 10.0)).unwrap();
+        assert!(b.cached, "identical DAG must be answered from cache");
+        assert_eq!(b.fingerprint, a.fingerprint);
+        assert_eq!(
+            svc.result_json(a.job_id).unwrap(),
+            svc.result_json(b.job_id).unwrap()
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.schedules_computed, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn quota_rejects_the_excess_submission() {
+        // Admission-only mode: nothing completes, so tenant load is
+        // exactly what was submitted and the quota check is deterministic.
+        let cfg = ServeConfig {
+            workers: 0,
+            queue_cap: 64,
+            tenant_quota: 2,
+        };
+        let svc = Service::start(cfg);
+        assert!(svc.submit(&cfg, spec("alice", 11.0)).is_ok());
+        assert!(svc.submit(&cfg, spec("alice", 12.0)).is_ok());
+        match svc.submit(&cfg, spec("alice", 13.0)) {
+            Err(SubmitError::QuotaExceeded { limit, .. }) => assert_eq!(limit, 2),
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // Another tenant is unaffected; the queue bound is independent.
+        assert!(svc.submit(&cfg, spec("bob", 14.0)).is_ok());
+        assert_eq!(svc.stats().rejected_quota, 1);
+    }
+
+    #[test]
+    fn full_queue_pushes_back() {
+        let cfg = ServeConfig {
+            workers: 0,
+            queue_cap: 2,
+            tenant_quota: 64,
+        };
+        let svc = Service::start(cfg);
+        assert!(svc.submit(&cfg, spec("alice", 11.0)).is_ok());
+        assert!(svc.submit(&cfg, spec("bob", 12.0)).is_ok());
+        match svc.submit(&cfg, spec("carol", 13.0)) {
+            Err(SubmitError::QueueFull { cap }) => assert_eq!(cap, 2),
+            other => panic!("expected queue backpressure, got {other:?}"),
+        }
+        // A duplicate of a queued graph coalesces instead of queueing, so
+        // backpressure never rejects work that needs no new computation.
+        let dup = svc.submit(&cfg, spec("carol", 11.0)).unwrap();
+        assert!(dup.coalesced);
+        assert_eq!(svc.stats().rejected_queue, 1);
+    }
+
+    #[test]
+    fn run_mode_produces_a_trace_and_clean_audit() {
+        let cfg = ServeConfig::default();
+        let svc = Service::start(cfg);
+        let mut s = spec("alice", 10.0);
+        s.mode = Mode::Run(RunParams::default());
+        let ack = svc.submit(&cfg, s).unwrap();
+        let done = svc.wait(ack.job_id).unwrap();
+        assert_eq!(done.state, JobState::Done, "{:?}", done.error);
+        let trace = svc.trace_json(ack.job_id).expect("run mode has a trace");
+        assert!(trace.contains("\"aborted\""));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_the_boundary() {
+        let cfg = ServeConfig::default();
+        let svc = Service::start(cfg);
+        let mut bad_algo = spec("alice", 10.0);
+        bad_algo.algo = "nope".into();
+        assert!(matches!(
+            svc.submit(&cfg, bad_algo),
+            Err(SubmitError::Invalid(_))
+        ));
+        let mut bad_cv = spec("alice", 10.0);
+        bad_cv.mode = Mode::Run(RunParams {
+            exec_cv: f64::NAN,
+            ..RunParams::default()
+        });
+        assert!(matches!(
+            svc.submit(&cfg, bad_cv),
+            Err(SubmitError::Invalid(_))
+        ));
+        let mut bad_procs = spec("alice", 10.0);
+        bad_procs.procs = 0;
+        assert!(matches!(
+            svc.submit(&cfg, bad_procs),
+            Err(SubmitError::Invalid(_))
+        ));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drain_finishes_everything_before_refusing() {
+        let cfg = ServeConfig::default();
+        let svc = Service::start(cfg);
+        let acks: Vec<_> = (0..6)
+            .map(|i| svc.submit(&cfg, spec("alice", 10.0 + i as f64)).unwrap())
+            .collect();
+        svc.drain();
+        for ack in &acks {
+            let st = svc.status(ack.job_id).unwrap();
+            assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        }
+        assert!(matches!(
+            svc.submit(&cfg, spec("alice", 99.0)),
+            Err(SubmitError::Draining)
+        ));
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,322 @@
+//! End-to-end daemon tests: a real listener on an OS-assigned port,
+//! driven over raw `TcpStream`s, plus a concurrent-submission stress of
+//! the service core proving the cache, quota, and drain invariants.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use locmps_serve::{JobSpec, Mode, RunParams, ServeConfig, Server, Service, SubmitError};
+use locmps_speedup::ExecutionProfile;
+use locmps_taskgraph::TaskGraph;
+
+fn diamond(work: f64, volume: f64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let ids: Vec<_> = (0..4)
+        .map(|i| g.add_task(format!("t{i}"), ExecutionProfile::linear(work)))
+        .collect();
+    g.add_edge(ids[0], ids[1], volume).unwrap();
+    g.add_edge(ids[0], ids[2], volume).unwrap();
+    g.add_edge(ids[1], ids[3], volume).unwrap();
+    g.add_edge(ids[2], ids[3], volume).unwrap();
+    g
+}
+
+/// One HTTP exchange against the daemon; returns (status, body).
+fn exchange(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn submit_body(graph: &TaskGraph, tenant: &str, wait: bool) -> String {
+    format!(
+        "{{\"tenant\":\"{tenant}\",\"procs\":4,\"bandwidth\":125.0,\"algo\":\"locmps\",\"wait\":{wait},\"graph\":{}}}",
+        graph.to_json()
+    )
+}
+
+#[test]
+fn daemon_serves_the_full_protocol() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let handle = server.spawn();
+
+    let (status, body) = exchange(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+
+    let (status, body) = exchange(addr, "GET", "/v1/schedulers", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"locmps\""), "{body}");
+
+    // Submit synchronously; the ack carries the terminal state.
+    let g = diamond(10.0, 100.0);
+    let (status, body) = exchange(addr, "POST", "/v1/jobs", &submit_body(&g, "alice", true));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"state\":\"done\""), "{body}");
+    assert!(body.contains("\"cached\":false"), "{body}");
+
+    // Status, schedule, and the trace 404 for a schedule-only job.
+    let (status, body) = exchange(addr, "GET", "/v1/jobs/0", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"state\":\"done\""), "{body}");
+    let (status, body) = exchange(addr, "GET", "/v1/jobs/0/schedule", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"makespan\""), "{body}");
+    let (status, _) = exchange(addr, "GET", "/v1/jobs/0/trace", "");
+    assert_eq!(status, 404);
+
+    // A relabelled duplicate of the same DAG is a cache hit.
+    let mut twin = diamond(10.0, 100.0);
+    twin = TaskGraph::from_json(&twin.to_json().replace("\"t0\"", "\"renamed\"")).unwrap();
+    let (status, body) = exchange(addr, "POST", "/v1/jobs", &submit_body(&twin, "bob", true));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"cached\":true"), "{body}");
+
+    // A run-mode job yields a trace and an LM3xx report.
+    let run_body = format!(
+        "{{\"procs\":4,\"bandwidth\":125.0,\"wait\":true,\"graph\":{},\
+         \"run\":{{\"seed\":7,\"exec_cv\":0.1,\"recovery\":\"retryshrink\",\"faults\":\"fail:1@5\"}}}}",
+        g.to_json()
+    );
+    let (status, body) = exchange(addr, "POST", "/v1/jobs", &run_body);
+    assert_eq!(status, 200, "{body}");
+    let ack: Vec<&str> = body.split("\"job_id\":").collect();
+    let id: u64 = ack[1]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let (status, body) = exchange(addr, "GET", &format!("/v1/jobs/{id}/trace"), "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"trace\"") && body.contains("\"report\""),
+        "{body}"
+    );
+
+    // Synchronous analyze: a clean graph produces a report without errors.
+    let analyze_body = format!(
+        "{{\"procs\":4,\"bandwidth\":125.0,\"graph\":{}}}",
+        g.to_json()
+    );
+    let (status, body) = exchange(addr, "POST", "/v1/analyze", &analyze_body);
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"severity\": \"Error\""), "{body}");
+
+    // Malformed and invalid requests map to 4xx, never a hang or a 500.
+    let (status, _) = exchange(addr, "POST", "/v1/jobs", "this is not json");
+    assert_eq!(status, 400);
+    let (status, _) = exchange(addr, "POST", "/v1/jobs", "{\"procs\":4}");
+    assert_eq!(status, 400);
+    let bad_algo = submit_body(&g, "alice", false).replace("\"locmps\"", "\"quantum\"");
+    let (status, body) = exchange(addr, "POST", "/v1/jobs", &bad_algo);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown scheduler"), "{body}");
+    let (status, _) = exchange(addr, "GET", "/v1/jobs/999999", "");
+    assert_eq!(status, 404);
+    let (status, _) = exchange(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = exchange(addr, "DELETE", "/v1/jobs/0", "");
+    assert_eq!(status, 405);
+
+    // Raw garbage on the socket gets a clean 400.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"garbage\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+
+    // Stats reflect the session: submissions, one cache hit, no failures.
+    let (status, body) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"cache_hits\":1"), "{body}");
+    assert!(body.contains("\"failed\":0"), "{body}");
+
+    // Graceful shutdown: the endpoint answers 200, then the daemon drains
+    // and exits; subsequent connections are refused.
+    let (status, body) = exchange(addr, "POST", "/v1/shutdown", "");
+    assert_eq!((status, body.as_str()), (200, "{\"draining\":true}"));
+    handle.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}
+
+/// The satellite invariant test: many tenants hammering the service
+/// concurrently with a small pool of distinct DAGs. Every acknowledged
+/// job must reach `Done` exactly once, every distinct fingerprint must be
+/// scheduled exactly once, and rejections must be accounted for — nothing
+/// lost, nothing double-scheduled.
+#[test]
+fn concurrent_submissions_preserve_every_invariant() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25;
+    const VARIANTS: usize = 10;
+
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 32,
+        tenant_quota: 6,
+    };
+    let svc = Arc::new(Service::start(cfg));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{}", t % 4);
+                let mut acks = Vec::new();
+                let mut rejected_quota = 0u64;
+                let mut rejected_queue = 0u64;
+                for i in 0..PER_THREAD {
+                    let variant = (t * PER_THREAD + i) % VARIANTS;
+                    let spec = JobSpec {
+                        tenant: tenant.clone(),
+                        graph: diamond(10.0 + variant as f64, 100.0),
+                        procs: 4,
+                        bandwidth: 125.0,
+                        algo: "locmps".into(),
+                        mode: Mode::Schedule,
+                    };
+                    match svc.submit(&cfg, spec) {
+                        Ok(ack) => acks.push(ack),
+                        Err(SubmitError::QuotaExceeded { .. }) => rejected_quota += 1,
+                        Err(SubmitError::QueueFull { .. }) => rejected_queue += 1,
+                        Err(e) => panic!("unexpected rejection: {e}"),
+                    }
+                }
+                (acks, rejected_quota, rejected_queue)
+            })
+        })
+        .collect();
+
+    let mut acks = Vec::new();
+    let mut rejected_quota = 0u64;
+    let mut rejected_queue = 0u64;
+    for h in handles {
+        let (a, q, f) = h.join().expect("submitter thread");
+        acks.extend(a);
+        rejected_quota += q;
+        rejected_queue += f;
+    }
+
+    // Clean drain: every accepted job reaches a terminal state.
+    svc.drain();
+
+    // Conservation: every submission is either acked or counted rejected.
+    let stats = svc.stats();
+    assert_eq!(
+        acks.len() as u64 + rejected_quota + rejected_queue,
+        (THREADS * PER_THREAD) as u64
+    );
+    assert_eq!(stats.submitted, acks.len() as u64);
+    assert_eq!(stats.rejected_quota, rejected_quota);
+    assert_eq!(stats.rejected_queue, rejected_queue);
+
+    // No lost jobs: ids are unique, and each one is Done with a result.
+    let ids: HashSet<u64> = acks.iter().map(|a| a.job_id).collect();
+    assert_eq!(ids.len(), acks.len(), "duplicate job ids handed out");
+    let mut by_fp: HashMap<u64, Vec<Arc<String>>> = HashMap::new();
+    for ack in &acks {
+        let status = svc.status(ack.job_id).expect("acked job exists");
+        assert_eq!(
+            status.state,
+            locmps_serve::JobState::Done,
+            "job {} not done after drain: {:?}",
+            ack.job_id,
+            status.error
+        );
+        let result = svc.result_json(ack.job_id).expect("done job has a result");
+        by_fp.entry(ack.fingerprint).or_default().push(result);
+    }
+    assert_eq!(stats.completed, acks.len() as u64);
+    assert_eq!(stats.failed, 0);
+
+    // No double-scheduling: each distinct fingerprint was computed once,
+    // and identical fingerprints share byte-identical results.
+    assert_eq!(by_fp.len(), VARIANTS, "10 distinct DAGs → 10 fingerprints");
+    assert_eq!(stats.schedules_computed, stats.cache_misses);
+    assert_eq!(stats.cache_misses, VARIANTS as u64);
+    assert_eq!(stats.cache_hits, stats.submitted - VARIANTS as u64);
+    assert!(stats.cache_hits > 0, "duplicates must hit the cache");
+    for results in by_fp.values() {
+        for r in results {
+            assert_eq!(r.as_str(), results[0].as_str());
+        }
+    }
+
+    // Drained services refuse new work.
+    assert!(matches!(
+        svc.submit(
+            &cfg,
+            JobSpec {
+                tenant: "late".into(),
+                graph: diamond(1.0, 1.0),
+                procs: 4,
+                bandwidth: 125.0,
+                algo: "locmps".into(),
+                mode: Mode::Schedule,
+            }
+        ),
+        Err(SubmitError::Draining)
+    ));
+    Arc::try_unwrap(svc)
+        .unwrap_or_else(|_| panic!("all submitters joined"))
+        .shutdown();
+}
+
+/// Run-mode jobs with identical parameters coalesce too, and distinct
+/// seeds do not share cache entries.
+#[test]
+fn run_mode_jobs_key_the_cache_on_engine_parameters() {
+    let cfg = ServeConfig::default();
+    let svc = Service::start(cfg);
+    let run = |seed: u64| JobSpec {
+        tenant: "alice".into(),
+        graph: diamond(10.0, 100.0),
+        procs: 4,
+        bandwidth: 125.0,
+        algo: "locmps".into(),
+        mode: Mode::Run(RunParams {
+            seed,
+            exec_cv: 0.05,
+            ..RunParams::default()
+        }),
+    };
+    let a = svc.submit(&cfg, run(1)).unwrap();
+    let b = svc.submit(&cfg, run(2)).unwrap();
+    assert_ne!(a.fingerprint, b.fingerprint, "seed is part of the key");
+    svc.wait(a.job_id);
+    let c = svc.submit(&cfg, run(1)).unwrap();
+    assert_eq!(c.fingerprint, a.fingerprint);
+    assert!(c.cached || c.coalesced);
+    svc.drain();
+    assert_eq!(
+        svc.trace_json(a.job_id)
+            .expect("run job has a trace")
+            .as_str(),
+        svc.trace_json(c.job_id)
+            .expect("cached twin shares it")
+            .as_str()
+    );
+    svc.shutdown();
+}

@@ -105,6 +105,33 @@ proptest! {
         }
     }
 
+    /// `to_spec → parse` must reproduce every admissible plan bit for bit,
+    /// including adversarial floats decoded straight from raw bit patterns
+    /// (subnormals, maximal mantissas, huge magnitudes).
+    #[test]
+    fn fault_plan_spec_round_trips_for_arbitrary_floats(
+        bits in any::<u64>(),
+        proc in 0u32..8,
+        attempts in 1u32..5,
+    ) {
+        let raw = f64::from_bits(bits);
+        // Fold non-finite draws onto a finite value instead of discarding
+        // the case (the vendored proptest has no prop_assume).
+        let at = if raw.is_finite() { raw.abs() } else { 1.0 + (bits % 1024) as f64 };
+        // Window arithmetic needs from + 1 to exceed from exactly.
+        let from = at % 1e15;
+        let frac = at.fract().clamp(f64::MIN_POSITIVE, 1.0 - 1e-12);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::ProcFail { proc, at }).unwrap();
+        plan.push(Fault::Slowdown { proc, from, until: from + 1.0, factor: 1.0 + at % 7.0 })
+            .unwrap();
+        plan.push(Fault::Crash { task: TaskId(proc), at_frac: frac, attempts }).unwrap();
+        let spec = plan.to_spec();
+        let back = FaultPlan::parse(&spec);
+        prop_assert!(back.is_ok(), "unparseable spec `{}`: {:?}", spec, back.err());
+        prop_assert_eq!(back.unwrap(), plan, "lossy round-trip through `{}`", spec);
+    }
+
     #[test]
     fn identical_seeds_give_bit_identical_traces(
         g in arb_graph(),

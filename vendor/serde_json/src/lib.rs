@@ -40,6 +40,99 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// A non-finite float (`NaN`, `+inf`, `-inf`) reached a JSON boundary.
+///
+/// JSON has no encoding for these values: the permissive writers map them
+/// to `null`, which silently destroys the number. Emitters that must never
+/// produce a lossy or unparseable document (benchmark reports, the serve
+/// daemon) use the `*_checked` entry points and surface this error instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteFloat {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonFiniteFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite float `{}` has no JSON encoding", self.value)
+    }
+}
+
+impl std::error::Error for NonFiniteFloat {}
+
+impl From<NonFiniteFloat> for Error {
+    fn from(e: NonFiniteFloat) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Formats one float as a JSON number token — shortest text that parses
+/// back to the identical bits (Rust's `Display`), with a `.0` suffix when
+/// the value would otherwise look integral.
+///
+/// This is the single guarded float→JSON helper every hand-rolled emitter
+/// in the workspace routes through.
+///
+/// # Errors
+/// [`NonFiniteFloat`] for `NaN`/`±inf` — the caller decides how to reject
+/// the document, nothing invalid is ever emitted.
+pub fn fmt_float(f: f64) -> Result<String, NonFiniteFloat> {
+    if !f.is_finite() {
+        return Err(NonFiniteFloat { value: f });
+    }
+    let mut out = String::new();
+    write_float(f, &mut out);
+    Ok(out)
+}
+
+/// Formats one float as a fixed-precision JSON number token (for reports
+/// whose layout should stay human-diffable), with the same non-finite
+/// guard as [`fmt_float`].
+///
+/// # Errors
+/// [`NonFiniteFloat`] for `NaN`/`±inf`.
+pub fn fmt_float_fixed(f: f64, precision: usize) -> Result<String, NonFiniteFloat> {
+    if !f.is_finite() {
+        return Err(NonFiniteFloat { value: f });
+    }
+    Ok(format!("{f:.precision$}"))
+}
+
+/// Serializes `value` as compact JSON, erroring on any non-finite float in
+/// the tree instead of encoding it as `null`.
+///
+/// # Errors
+/// [`Error`] wrapping [`NonFiniteFloat`] naming the offending value.
+pub fn to_string_checked<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    check_finite(&v)?;
+    let mut out = String::new();
+    write_value(&v, &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON with the same non-finite
+/// rejection as [`to_string_checked`].
+///
+/// # Errors
+/// [`Error`] wrapping [`NonFiniteFloat`] naming the offending value.
+pub fn to_string_pretty_checked<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    check_finite(&v)?;
+    let mut out = String::new();
+    write_value(&v, &mut out, Some(2), 0);
+    Ok(out)
+}
+
+fn check_finite(v: &Value) -> Result<(), NonFiniteFloat> {
+    match v {
+        Value::Float(f) if !f.is_finite() => Err(NonFiniteFloat { value: *f }),
+        Value::Array(items) => items.iter().try_for_each(check_finite),
+        Value::Object(entries) => entries.iter().try_for_each(|(_, v)| check_finite(v)),
+        _ => Ok(()),
+    }
+}
+
 /// Parses JSON text into a `T`.
 ///
 /// # Errors
@@ -394,6 +487,42 @@ mod tests {
         let s = to_string(&words).unwrap();
         let back: Vec<u64> = from_str(&s).unwrap();
         assert_eq!(back, words);
+    }
+
+    #[test]
+    fn guarded_float_helpers_reject_non_finite() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(fmt_float(bad).is_err(), "{bad}");
+            assert!(fmt_float_fixed(bad, 3).is_err(), "{bad}");
+        }
+        assert_eq!(fmt_float(2.0).unwrap(), "2.0");
+        assert_eq!(fmt_float(0.1).unwrap(), "0.1");
+        assert_eq!(fmt_float_fixed(1.0 / 3.0, 3).unwrap(), "0.333");
+        // Every accepted token must be a valid JSON number.
+        for good in [0.0, -2.5, 1e300, 5e-324, 12.0] {
+            let tok = fmt_float(good).unwrap();
+            let back: f64 = from_str(&tok).unwrap();
+            assert_eq!(back, good, "{tok}");
+        }
+    }
+
+    #[test]
+    fn checked_serialization_rejects_nested_non_finite() {
+        let poisoned = Value::Object(vec![(
+            "rows".into(),
+            Value::Array(vec![Value::Float(1.5), Value::Float(f64::INFINITY)]),
+        )]);
+        let err = to_string_checked(&poisoned).unwrap_err().to_string();
+        assert!(err.contains("non-finite"), "{err}");
+        assert!(to_string_pretty_checked(&poisoned).is_err());
+        // The permissive writer still nulls it (backwards compatible)...
+        assert!(to_string(&poisoned).unwrap().contains("null"));
+        // ...and clean trees pass the checked path unchanged.
+        let clean = Value::Array(vec![Value::Float(0.1), Value::UInt(7)]);
+        assert_eq!(
+            to_string_checked(&clean).unwrap(),
+            to_string(&clean).unwrap()
+        );
     }
 
     #[test]
