@@ -168,8 +168,11 @@ impl RedistributionMatrix {
     /// maximum of that bound over all nodes, which is what we return.
     pub fn single_port_time(&self, bandwidth: f64) -> f64 {
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        use std::collections::HashMap;
-        let mut busy: HashMap<ProcId, f64> = HashMap::new();
+        // BTreeMap, not HashMap: the fold below is order-insensitive
+        // today, but iteration on a schedule-producing path must stay
+        // deterministic by construction (LX010).
+        use std::collections::BTreeMap;
+        let mut busy: BTreeMap<ProcId, f64> = BTreeMap::new();
         for (i, &s) in self.src.iter().enumerate() {
             for (j, &d) in self.dst.iter().enumerate() {
                 if s != d {

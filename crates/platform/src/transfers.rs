@@ -61,9 +61,10 @@ impl TransferSchedule {
         // Largest first; ties by (src, dst) for determinism.
         pending.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
 
-        use std::collections::HashMap;
-        // Busy intervals per node, kept sorted.
-        let mut busy: HashMap<ProcId, Vec<(f64, f64)>> = HashMap::new();
+        use std::collections::BTreeMap;
+        // Busy intervals per node, kept sorted. Keyed access only, but a
+        // BTreeMap keeps any future iteration deterministic (LX010).
+        let mut busy: BTreeMap<ProcId, Vec<(f64, f64)>> = BTreeMap::new();
         let mut ops = Vec::with_capacity(pending.len());
         let mut duration = 0.0f64;
         for (s, d, v) in pending {

@@ -43,6 +43,7 @@ pub struct Server {
     cfg: ServeConfig,
     listener: TcpListener,
     addr: SocketAddr,
+    svc: Arc<Service>,
 }
 
 /// Handle to a spawned server: its address plus join/stop controls.
@@ -50,12 +51,20 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     thread: JoinHandle<()>,
+    svc: Arc<Service>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The service core behind this daemon — for embedders that want
+    /// in-process access (stats, drain) alongside the HTTP surface, and
+    /// for tests that inject faults into the live service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.svc
     }
 
     /// Requests shutdown (as `POST /v1/shutdown` would) and waits for the
@@ -76,10 +85,18 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // `workers: 0` is an admission-only test mode of the service
+        // core; a network-facing daemon always computes.
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            ..cfg
+        };
+        let svc = Arc::new(Service::start(cfg));
         Ok(Server {
             cfg,
             listener,
             addr,
+            svc,
         })
     }
 
@@ -91,13 +108,19 @@ impl Server {
     /// Serves on a background thread, returning a handle.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.addr;
+        let svc = Arc::clone(&self.svc);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("locmps-serve".into())
             .spawn(move || self.serve(&stop2))
             .expect("spawn server thread");
-        ServerHandle { addr, stop, thread }
+        ServerHandle {
+            addr,
+            stop,
+            thread,
+            svc,
+        }
     }
 
     /// Serves on the current thread until a shutdown request arrives.
@@ -107,16 +130,12 @@ impl Server {
     }
 
     fn serve(self, stop: &AtomicBool) {
-        // `workers: 0` is an admission-only test mode of the service
-        // core; a network-facing daemon always computes.
-        let cfg = ServeConfig {
-            workers: self.cfg.workers.max(1),
-            ..self.cfg
-        };
-        let svc = Arc::new(Service::start(cfg));
+        let Server {
+            cfg, listener, svc, ..
+        } = self;
         let stop_flag = Arc::new(AtomicBool::new(false));
         let mut conns: Vec<JoinHandle<()>> = Vec::new();
-        for conn in self.listener.incoming() {
+        for conn in listener.incoming() {
             if stop.load(Ordering::SeqCst) || stop_flag.load(Ordering::SeqCst) {
                 break;
             }
@@ -135,6 +154,9 @@ impl Server {
         }
         // Drain everything that was admitted before the stop, then join
         // the worker pool: a graceful shutdown loses no acknowledged job.
+        // When a `ServerHandle` still holds the service (the `spawn` path),
+        // unwrapping fails and drain alone suffices — draining makes the
+        // workers exit on their own, there is just nobody to join them.
         match Arc::try_unwrap(svc) {
             Ok(svc) => svc.shutdown(),
             Err(svc) => svc.drain(),

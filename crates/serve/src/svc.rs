@@ -18,10 +18,15 @@
 //!   loses nothing that was acknowledged.
 //!
 //! All waiting is done with a `Mutex` + `Condvar` pair; worker threads
-//! compute schedules outside the lock.
+//! compute schedules outside the lock. The state lock is accessed only
+//! through [`Inner::lock_state`], which recovers from poisoning: a
+//! panicking worker must not wedge the daemon (every critical section
+//! leaves the state structurally consistent — see the accessor docs),
+//! and the worker's own panic is caught and recorded as a `Failed` job
+//! so drain never waits on a job nobody will finish.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use locmps_analysis::analyze_trace;
@@ -265,13 +270,17 @@ enum CacheEntry {
     Done(Arc<JobOutput>),
 }
 
+// The job/cache/tenant tables are BTreeMaps although nothing iterates
+// them today: any future iteration (an admin endpoint listing jobs, a
+// cache eviction sweep) is then deterministic by construction instead of
+// depending on HashMap's per-process random order (LX010).
 #[derive(Default)]
 struct State {
     next_id: u64,
-    jobs: HashMap<u64, Job>,
+    jobs: BTreeMap<u64, Job>,
     queue: VecDeque<u64>,
-    cache: HashMap<u64, CacheEntry>,
-    tenant_load: HashMap<String, usize>,
+    cache: BTreeMap<u64, CacheEntry>,
+    tenant_load: BTreeMap<String, usize>,
     active_jobs: usize,
     draining: bool,
     stats: Stats,
@@ -283,6 +292,36 @@ struct Inner {
     work_cv: Condvar,
     /// Signals waiters that a job reached a terminal state.
     done_cv: Condvar,
+}
+
+impl Inner {
+    /// Locks the service state, recovering from poisoning.
+    ///
+    /// A panic on a thread holding the lock poisons the mutex; every
+    /// subsequent `lock().unwrap()` would then panic too, permanently
+    /// wedging the daemon (no `/healthz`, no drain). Recovery is sound
+    /// here because every critical section either only reads, or brings
+    /// the state to a consistent point before any operation that could
+    /// panic: the compute path runs outside the lock (and behind
+    /// `catch_unwind`), so a poisoned guard can only come from a panic
+    /// *between* state mutations, never half-way through one entry.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// `work_cv.wait` with the same poison recovery as [`Self::lock_state`].
+    fn wait_work<'a>(&self, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.work_cv
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// `done_cv.wait` with the same poison recovery as [`Self::lock_state`].
+    fn wait_done<'a>(&self, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.done_cv
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The resident scheduling service. Cloneable handle; the worker pool
@@ -366,7 +405,7 @@ impl Service {
         };
         let fp = job_fingerprint(graph_fp, spec.procs, spec.bandwidth, &spec.algo, run_key);
 
-        let mut st = self.inner.state.lock().expect("service lock");
+        let mut st = self.inner.lock_state();
         if st.draining {
             return Err(SubmitError::Draining);
         }
@@ -478,7 +517,7 @@ impl Service {
 
     /// A snapshot of one job.
     pub fn status(&self, id: u64) -> Option<JobStatus> {
-        let st = self.inner.state.lock().expect("service lock");
+        let st = self.inner.lock_state();
         st.jobs.get(&id).map(|j| JobStatus {
             id,
             tenant: j.tenant.clone(),
@@ -492,7 +531,7 @@ impl Service {
 
     /// The rendered schedule result of a `Done` job.
     pub fn result_json(&self, id: u64) -> Option<Arc<String>> {
-        let st = self.inner.state.lock().expect("service lock");
+        let st = self.inner.lock_state();
         st.jobs
             .get(&id)
             .and_then(|j| j.output.as_ref())
@@ -501,7 +540,7 @@ impl Service {
 
     /// The rendered `ExecutionTrace` of a `Done` run-mode job.
     pub fn trace_json(&self, id: u64) -> Option<Arc<String>> {
-        let st = self.inner.state.lock().expect("service lock");
+        let st = self.inner.lock_state();
         st.jobs
             .get(&id)
             .and_then(|j| j.output.as_ref())
@@ -511,12 +550,12 @@ impl Service {
     /// Blocks until `id` reaches a terminal state (or returns `None` for
     /// an unknown id).
     pub fn wait(&self, id: u64) -> Option<JobStatus> {
-        let mut st = self.inner.state.lock().expect("service lock");
+        let mut st = self.inner.lock_state();
         loop {
             match st.jobs.get(&id) {
                 None => return None,
                 Some(j) if j.state.terminal() => break,
-                Some(_) => st = self.inner.done_cv.wait(st).expect("service lock"),
+                Some(_) => st = self.inner.wait_done(st),
             }
         }
         drop(st);
@@ -525,21 +564,21 @@ impl Service {
 
     /// A counters snapshot.
     pub fn stats(&self) -> Stats {
-        self.inner.state.lock().expect("service lock").stats
+        self.inner.lock_state().stats
     }
 
     /// Number of non-terminal jobs.
     pub fn active_jobs(&self) -> usize {
-        self.inner.state.lock().expect("service lock").active_jobs
+        self.inner.lock_state().active_jobs
     }
 
     /// Stops admission and blocks until every accepted job is terminal.
     pub fn drain(&self) {
-        let mut st = self.inner.state.lock().expect("service lock");
+        let mut st = self.inner.lock_state();
         st.draining = true;
         self.inner.work_cv.notify_all();
         while st.active_jobs > 0 {
-            st = self.inner.done_cv.wait(st).expect("service lock");
+            st = self.inner.wait_done(st);
         }
     }
 
@@ -550,12 +589,29 @@ impl Service {
             let _ = h.join();
         }
     }
+
+    /// Deliberately poisons the state mutex (a helper thread panics while
+    /// holding it). Test-only: lets the poison-recovery tests exercise the
+    /// exact failure a panicking lock holder leaves behind.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self) {
+        let inner = Arc::clone(&self.inner);
+        let h = std::thread::spawn(move || {
+            let _guard = inner.lock_state();
+            panic!("deliberate poison (test-only)");
+        });
+        let _ = h.join();
+        assert!(
+            self.inner.state.is_poisoned(),
+            "the helper thread must have poisoned the state mutex"
+        );
+    }
 }
 
 fn worker_loop(inner: &Inner) {
     loop {
         let (id, spec) = {
-            let mut st = inner.state.lock().expect("service lock");
+            let mut st = inner.lock_state();
             loop {
                 if let Some(id) = st.queue.pop_front() {
                     let job = st.jobs.get_mut(&id).expect("queued job exists");
@@ -566,13 +622,17 @@ fn worker_loop(inner: &Inner) {
                 if st.draining {
                     return;
                 }
-                st = inner.work_cv.wait(st).expect("service lock");
+                st = inner.wait_work(st);
             }
         };
 
-        let result = compute(&spec);
+        // A panicking scheduler must not kill the worker with the job
+        // stuck in `Running` (drain would then wait forever): catch the
+        // panic and record it as an ordinary failure.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&spec)))
+            .unwrap_or_else(|payload| Err(format!("scheduler panicked: {}", panic_text(&payload))));
 
-        let mut st = inner.state.lock().expect("service lock");
+        let mut st = inner.lock_state();
         st.stats.schedules_computed += 1;
         let fp = st.jobs.get(&id).expect("job exists").fingerprint;
         let waiters = match st.cache.get_mut(&fp) {
@@ -597,6 +657,17 @@ fn worker_loop(inner: &Inner) {
         }
         drop(st);
         inner.done_cv.notify_all();
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -855,6 +926,29 @@ mod tests {
         assert!(matches!(
             svc.submit(&cfg, bad_procs),
             Err(SubmitError::Invalid(_))
+        ));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn a_poisoned_lock_does_not_wedge_the_service() {
+        let cfg = ServeConfig::default();
+        let svc = Service::start(cfg);
+        let a = svc.submit(&cfg, spec("alice", 10.0)).unwrap();
+        assert_eq!(svc.wait(a.job_id).unwrap().state, JobState::Done);
+
+        svc.poison_for_tests();
+
+        // Reads, admission, computation and drain all still work.
+        assert!(svc.stats().submitted >= 1);
+        assert_eq!(svc.active_jobs(), 0);
+        let b = svc.submit(&cfg, spec("bob", 20.0)).unwrap();
+        let done = svc.wait(b.job_id).unwrap();
+        assert_eq!(done.state, JobState::Done, "{:?}", done.error);
+        svc.drain();
+        assert!(matches!(
+            svc.submit(&cfg, spec("carol", 30.0)),
+            Err(SubmitError::Draining)
         ));
         svc.shutdown();
     }

@@ -161,6 +161,44 @@ fn daemon_serves_the_full_protocol() {
     );
 }
 
+/// A panicking lock holder must not wedge the daemon: after the state
+/// mutex is deliberately poisoned, `/healthz` and `/v1/stats` still
+/// answer over HTTP, fresh submissions compute to completion, and the
+/// shutdown path drains cleanly.
+#[test]
+fn a_poisoned_service_lock_still_serves_and_drains() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let handle = server.spawn();
+
+    let g = diamond(10.0, 100.0);
+    let (status, _) = exchange(addr, "POST", "/v1/jobs", &submit_body(&g, "alice", true));
+    assert_eq!(status, 200);
+
+    handle.service().poison_for_tests();
+
+    let (status, body) = exchange(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    let (status, body) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"submitted\":1"), "{body}");
+
+    // Admission and computation still work behind the poisoned mutex.
+    let g2 = diamond(11.0, 100.0);
+    let (status, body) = exchange(addr, "POST", "/v1/jobs", &submit_body(&g2, "bob", true));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"state\":\"done\""), "{body}");
+
+    // So does the graceful drain.
+    let (status, body) = exchange(addr, "POST", "/v1/shutdown", "");
+    assert_eq!((status, body.as_str()), (200, "{\"draining\":true}"));
+    handle.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}
+
 /// The satellite invariant test: many tenants hammering the service
 /// concurrently with a small pool of distinct DAGs. Every acknowledged
 /// job must reach `Done` exactly once, every distinct fingerprint must be

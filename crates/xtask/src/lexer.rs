@@ -1,0 +1,484 @@
+//! A small, lossless Rust lexer for the `LX` lint rules.
+//!
+//! The old scanner worked line-by-line with a quote-counting heuristic and
+//! could not see block comments, raw strings or token boundaries; every
+//! rule inherited its false positives. This lexer produces a token stream
+//! that covers the input byte-for-byte (the concatenation of all token
+//! texts is exactly the source — pinned by a proptest round-trip), so a
+//! rule that only looks at *significant* tokens is immune to anything
+//! inside comments, strings or char literals by construction.
+//!
+//! It is deliberately not a full lexer for the Rust grammar: it never
+//! rejects input (unterminated literals run to end-of-file), and it does
+//! not distinguish keyword idents — rules match on token text. What it
+//! does get right, because the rules depend on it:
+//!
+//! * line (`//`), doc (`///`, `//!`) and **nested** block comments;
+//! * regular/raw/byte/C strings (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+//!   `c"…"`) including multi-line raw strings with any `#` count;
+//! * char and byte-char literals vs lifetimes (`'a'` vs `'a`);
+//! * raw identifiers (`r#match`);
+//! * multi-character operators as single tokens (`==`, `!=`, `::`, …).
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting respected, possibly spanning lines.
+    BlockComment,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Identifier or keyword (including raw idents like `r#match`).
+    Ident,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+}
+
+/// One token: kind, exact source text, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The exact source slice (concatenating all slices rebuilds the file).
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Tok<'_> {
+    /// Whether a rule should look at this token at all (not whitespace or
+    /// any kind of comment).
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: [&str; 22] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src` losslessly. Never fails: malformed input degrades to
+/// best-effort tokens (e.g. an unterminated string runs to end-of-file),
+/// which is the right behavior for a linter that must not crash on the
+/// code it is criticizing.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        let mut toks = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            toks.push(Tok {
+                kind,
+                text: &self.src[start..self.pos],
+                line,
+            });
+        }
+        toks
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest().chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&f) {
+            self.bump();
+        }
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = self.peek().unwrap_or('\0');
+        if c.is_whitespace() {
+            self.eat_while(char::is_whitespace);
+            return TokKind::Whitespace;
+        }
+        if self.rest().starts_with("//") {
+            self.eat_while(|c| c != '\n');
+            return TokKind::LineComment;
+        }
+        if self.rest().starts_with("/*") {
+            self.block_comment();
+            return TokKind::BlockComment;
+        }
+        if c == '"' {
+            self.bump();
+            self.string_body();
+            return TokKind::Str;
+        }
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal();
+        }
+        if c.is_ascii_digit() {
+            self.number();
+            return TokKind::Num;
+        }
+        for op in MULTI_PUNCT {
+            if self.rest().starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                return TokKind::Punct;
+            }
+        }
+        self.bump();
+        TokKind::Punct
+    }
+
+    /// `/* … */` with nesting; an unterminated comment runs to EOF.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // the opening `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.rest().starts_with("/*") {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.rest().starts_with("*/") {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else if self.bump().is_none() {
+                return;
+            }
+        }
+    }
+
+    /// The body of a `"…"` string, opening quote already consumed.
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                None | Some('"') => return,
+                Some('\\') => {
+                    self.bump(); // the escaped char, e.g. `\"` or `\\`
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `r"…"` / `r#"…"#` with `hashes` leading `#`s, `r` and hashes and the
+    /// opening quote already consumed: scan to `"` followed by `hashes`
+    /// `#`s (or EOF).
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.bump() {
+                None => return,
+                Some('"') => {
+                    let tail = self.rest();
+                    if tail.len() >= hashes && tail.as_bytes()[..hashes].iter().all(|&b| b == b'#')
+                    {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // the `'`
+        match self.peek() {
+            // `'\n'`, `'\u{1F600}'` … — always a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char
+                             // `\u{…}` bodies: consume to the closing quote.
+                self.eat_while(|c| c != '\'' && c != '\n');
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            // `'x'` (any single char, multibyte included) iff the char
+            // after it is the closing quote; otherwise it is a lifetime.
+            Some(c) if self.peek2() == Some('\'') && c != '\'' => {
+                self.bump();
+                self.bump();
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                self.eat_while(is_ident_continue);
+                TokKind::Lifetime
+            }
+            _ => TokKind::Punct, // stray quote; keep going
+        }
+    }
+
+    /// An identifier — unless it is the prefix of a raw/byte/C string
+    /// (`r"`, `r#"`, `br"`, `b"`, `c"`, …), a byte-char (`b'x'`) or a raw
+    /// identifier (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        self.eat_while(is_ident_continue);
+        let ident = &self.src[start..self.pos];
+        match (ident, self.peek()) {
+            ("r" | "br" | "cr", Some('"')) => {
+                self.bump();
+                self.raw_string_body(0);
+                TokKind::Str
+            }
+            ("r" | "br" | "cr", Some('#')) => {
+                let hash_start = self.pos;
+                self.eat_while(|c| c == '#');
+                let hashes = self.pos - hash_start;
+                if self.peek() == Some('"') {
+                    self.bump();
+                    self.raw_string_body(hashes);
+                    TokKind::Str
+                } else if ident == "r" && hashes == 1 && self.peek().is_some_and(is_ident_start) {
+                    // Raw identifier `r#match`.
+                    self.eat_while(is_ident_continue);
+                    TokKind::Ident
+                } else {
+                    // `r##x` — not a literal; rewind the hashes to keep
+                    // them as separate punct tokens.
+                    self.pos = hash_start;
+                    TokKind::Ident
+                }
+            }
+            ("b" | "c", Some('"')) => {
+                self.bump();
+                self.string_body();
+                TokKind::Str
+            }
+            ("b", Some('\'')) => {
+                self.char_or_lifetime();
+                TokKind::Char
+            }
+            _ => TokKind::Ident,
+        }
+    }
+
+    /// A numeric literal: integer or float, `0x`/`0o`/`0b` bases, `_`
+    /// separators, exponents and type suffixes (`1_000u32`, `1e-12`,
+    /// `2.5f64`). `1..2` and `1.max(…)` keep the `1` as an integer.
+    fn number(&mut self) {
+        let radix_prefix = self.rest().starts_with("0x")
+            || self.rest().starts_with("0o")
+            || self.rest().starts_with("0b")
+            || self.rest().starts_with("0X")
+            || self.rest().starts_with("0O")
+            || self.rest().starts_with("0B");
+        if radix_prefix {
+            self.bump();
+            self.bump();
+            self.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            return;
+        }
+        self.eat_while(|c| c.is_ascii_digit() || c == '_');
+        // Fractional part: a `.` not followed by another `.` (range) or an
+        // ident start (method call like `1.max(2)`).
+        if self.peek() == Some('.') && !self.peek2().is_some_and(|c| c == '.' || is_ident_start(c))
+        {
+            self.bump();
+            self.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+        // Exponent.
+        if self.peek().is_some_and(|c| c == 'e' || c == 'E') {
+            let mark = self.pos;
+            self.bump();
+            if self.peek().is_some_and(|c| c == '+' || c == '-') {
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.eat_while(|c| c.is_ascii_digit() || c == '_');
+            } else {
+                self.pos = mark; // `1else` style: `e` was not an exponent
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        self.eat_while(is_ident_continue);
+    }
+}
+
+/// Whether a `Num` token is a *float* literal (for LX011): has a decimal
+/// point, a decimal exponent, or an `f32`/`f64` suffix — and is not a
+/// hex/octal/binary literal.
+pub fn is_float_literal(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {
+        return false;
+    }
+    lower.contains('.')
+        || lower.ends_with("f32")
+        || lower.ends_with("f64")
+        || lower.find('e').is_some_and(|i| {
+            lower
+                .as_bytes()
+                .get(i + 1)
+                .is_some_and(|&b| b.is_ascii_digit() || b == b'+' || b == b'-')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(Tok::is_significant)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let rebuilt: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src, "lexer must be lossless");
+    }
+
+    #[test]
+    fn basic_tokens_roundtrip() {
+        for src in [
+            "fn main() { let x = 1 + 2; }",
+            "let s = \"a // not a comment\";",
+            "let r = r#\"raw \" quote\"#;",
+            "let n = 1.5e-12f64; let m = 0xFF_u8; let r = 1..2;",
+            "let c = 'x'; let lt: &'static str = \"\"; let nl = '\\n';",
+            "/* nested /* block */ comment */ fn f() {}",
+            "// line\n/// doc\n//! inner\ncode();",
+            "let b = b\"bytes\"; let bc = b'x'; let cs = c\"c\";",
+            "let raw_id = r#match; let one = 1.max(2);",
+            "x == 0.5 && y != 1e3 || z <= 0x1E;",
+            "unterminated: \"oops",
+            "unterminated: /* oops",
+            "unterminated: r##\"oops",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_significant_code() {
+        let toks = kinds("/* x.unwrap() */ let s = \"y.unwrap()\"; // z.unwrap()");
+        assert!(
+            toks.iter()
+                .all(|(k, t)| *k == TokKind::Str || !t.contains("unwrap")),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_span_lines() {
+        let src = "let s = r##\"line1 \"# inner\nline2 .unwrap()\n\"##; done();";
+        roundtrip(src);
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("one string");
+        assert!(s.text.contains(".unwrap()"));
+        assert!(toks.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let a = 'x'; fn f<'a>(s: &'a str) {} let nl = '\\u{1F600}';");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && *t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && *t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t.contains("1F600")));
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let toks = kinds("a == b != c :: d .. e ..= f -> g => h");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "::", "..", "..=", "->", "=>"]);
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        for f in ["1.0", "0.5", "1e3", "1E-12", "2f64", "1_000.5", "3e+4f32"] {
+            assert!(is_float_literal(f), "{f} should be a float");
+        }
+        for i in ["1", "0xFF", "0x1E", "1_000", "42u32", "0b101", "0o17"] {
+            assert!(!is_float_literal(i), "{i} should not be a float");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks: Vec<_> = lex(src).into_iter().filter(Tok::is_significant).collect();
+        let a = toks.iter().find(|t| t.text == "a").expect("a");
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        let b = toks.iter().find(|t| t.text == "b").expect("b");
+        let e = toks.iter().find(|t| t.text == "e").expect("e");
+        assert_eq!((a.line, s.line, b.line, e.line), (1, 2, 4, 5));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the lint lexer: the lossless-tokenization
+//! guarantee every LX rule rests on, pinned over generated source.
+
+use proptest::prelude::*;
+
+use crate::lexer::{lex, Tok};
+
+/// Fragment table the generator draws from — deliberately adversarial:
+/// unbalanced delimiters, dangling prefixes, quotes and comment openers
+/// in every combination, so concatenations land in the lexer's corner
+/// cases (a `"` fragment right before a `// comment` fragment, a lone
+/// `r#` before a string, …).
+const FRAGMENTS: [&str; 32] = [
+    "fn f() { x.unwrap(); }",
+    "let a = 1.5e-3f64;",
+    "// line comment\n",
+    "/// doc .unwrap()\n",
+    "/* block /* nested */ */",
+    "/* unterminated",
+    "r#\"raw \" string\"#",
+    "r##\"multi\nline \"# inner\"##",
+    "\"plain \\\" string\"",
+    "\"unterminated",
+    "b\"bytes\"",
+    "b'x'",
+    "'c'",
+    "'\\n'",
+    "'lifetime",
+    "r#match",
+    "r#",
+    "#",
+    "\"",
+    "'",
+    "\n",
+    " ",
+    "==",
+    "!=",
+    "::",
+    "..=",
+    "0xFF_u8",
+    "1_000",
+    "1..2",
+    "1.max(2)",
+    "partial_cmp(&b).unwrap()",
+    "émoji_идент",
+];
+
+/// Builds one source string from fragment indices.
+fn build(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn lexing_is_lossless(indices in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24)) {
+        let src = build(&indices);
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(&rebuilt, &src, "token concatenation must rebuild the source");
+    }
+
+    #[test]
+    fn tokens_are_nonempty_and_lines_monotone(
+        indices in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24)
+    ) {
+        let src = build(&indices);
+        let toks = lex(&src);
+        let mut prev_line = 1usize;
+        for t in &toks {
+            prop_assert!(!t.text.is_empty(), "empty token");
+            prop_assert!(t.line >= prev_line, "line numbers must not go backwards");
+            prop_assert!(t.line <= src.lines().count().max(1));
+            prev_line = t.line;
+        }
+    }
+
+    #[test]
+    fn significant_tokens_never_start_inside_comments(
+        indices in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24)
+    ) {
+        let src = build(&indices);
+        for t in lex(&src).iter().filter(|t| Tok::is_significant(t)) {
+            prop_assert!(
+                !t.text.starts_with("//") && !t.text.starts_with("/*"),
+                "significant token looks like a comment: {:?}",
+                t.text
+            );
+        }
+    }
+}

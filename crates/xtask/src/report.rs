@@ -1,0 +1,301 @@
+//! Findings, the allowlist, and the text/JSON reports.
+//!
+//! Every finding carries a stable `LX0xx` code (mirroring the `LM`
+//! diagnostic convention of `locmps-analysis`: LM codes audit runtime
+//! artifacts, LX codes audit source). The allowlist format is unchanged
+//! from the regex-scanner era — one `code<TAB>path<TAB>trimmed line` per
+//! entry, stable across line-number churn — except that rule names became
+//! codes. `#` comment lines are encouraged: deliberate findings should say
+//! *why* they are safe right above their entry.
+
+use std::path::Path;
+
+use serde::Value;
+
+/// One lint finding: which rule, where, and the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule code (`LX001`, …). See `docs/LINTS.md`.
+    pub code: &'static str,
+    /// Short rule name, for humans.
+    pub rule: &'static str,
+    /// Path relative to the repo root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The trimmed source line (the allowlist key component).
+    pub content: String,
+}
+
+impl Violation {
+    /// The allowlist key: stable across line-number churn.
+    pub fn key(&self) -> String {
+        format!("{}\t{}\t{}", self.code, self.path, self.content)
+    }
+}
+
+/// The parsed allowlist: the set of suppressed finding keys.
+pub struct Allowlist {
+    keys: std::collections::BTreeSet<String>,
+}
+
+impl Allowlist {
+    /// Loads `path`; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Allowlist {
+        let keys = std::fs::read_to_string(path)
+            .unwrap_or_default()
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Allowlist { keys }
+    }
+
+    /// Whether `v` is suppressed.
+    pub fn contains(&self, v: &Violation) -> bool {
+        self.keys.contains(&v.key())
+    }
+
+    /// Entries that no finding matched (stale — worth pruning).
+    pub fn stale<'a>(&'a self, violations: &[Violation]) -> Vec<&'a str> {
+        let live: std::collections::BTreeSet<String> =
+            violations.iter().map(Violation::key).collect();
+        self.keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// One edge of the LX021 lock-acquisition graph, for the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock held when the second acquisition happened.
+    pub held: String,
+    /// Lock acquired while `held` was live.
+    pub acquired: String,
+    /// Where the inner acquisition is (`path:line`).
+    pub site: String,
+}
+
+/// Everything one `cargo xtask lint` run produced.
+pub struct Report {
+    /// All findings, allowlisted or not, in (path, line) order.
+    pub violations: Vec<Violation>,
+    /// Findings not covered by the allowlist (these fail the build).
+    pub active: Vec<usize>,
+    /// Allowlist entries matching no finding.
+    pub stale_allows: Vec<String>,
+    /// The extracted lock-acquisition edges (LX021).
+    pub lock_edges: Vec<LockEdge>,
+    /// A cycle through the lock graph, if any (each entry a lock name).
+    pub lock_cycle: Option<Vec<String>>,
+}
+
+impl Report {
+    /// Builds the report: matches findings against the allowlist and
+    /// sorts everything deterministically.
+    pub fn new(
+        mut violations: Vec<Violation>,
+        allow: &Allowlist,
+        lock_edges: Vec<LockEdge>,
+        lock_cycle: Option<Vec<String>>,
+    ) -> Report {
+        violations.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code))
+        });
+        let active = violations
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !allow.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        let stale_allows = allow
+            .stale(&violations)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        Report {
+            violations,
+            active,
+            stale_allows,
+            lock_edges,
+            lock_cycle,
+        }
+    }
+
+    /// Whether the run should fail the build.
+    pub fn failed(&self) -> bool {
+        !self.active.is_empty() || self.lock_cycle.is_some()
+    }
+
+    /// Human-readable report on stderr; returns the text for tests.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &i in &self.active {
+            let v = &self.violations[i];
+            let _ = writeln!(
+                out,
+                "{}[{}]: {}:{}: {}",
+                v.code, v.rule, v.path, v.line, v.content
+            );
+        }
+        if let Some(cycle) = &self.lock_cycle {
+            let _ = writeln!(
+                out,
+                "LX021[lock-cycle]: potential deadlock: {}",
+                cycle.join(" -> ")
+            );
+        }
+        if self.active.is_empty() && self.lock_cycle.is_none() {
+            let _ = writeln!(
+                out,
+                "xtask lint: clean ({} allowlisted finding(s), {} lock edge(s), acyclic)",
+                self.violations.len() - self.active.len(),
+                self.lock_edges.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "\nxtask lint: {} violation(s). Fix them, or record deliberate ones in \
+                 crates/xtask/lint-allow.txt (cargo xtask lint --write-allowlist) with a \
+                 comment explaining why they are safe. See docs/LINTS.md.",
+                self.active.len() + usize::from(self.lock_cycle.is_some())
+            );
+        }
+        for k in &self.stale_allows {
+            let _ = writeln!(out, "note: stale allowlist entry (no such finding): {k}");
+        }
+        out
+    }
+
+    /// Machine-readable report (`--json`): every finding with its
+    /// allowlist status, plus the lock graph. Strings only contain source
+    /// text, so the plain writer is safe (no floats anywhere).
+    pub fn render_json(&self) -> String {
+        let active: std::collections::BTreeSet<usize> = self.active.iter().copied().collect();
+        let findings = Value::Array(
+            self.violations
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Value::Object(vec![
+                        ("code".into(), Value::Str(v.code.into())),
+                        ("rule".into(), Value::Str(v.rule.into())),
+                        ("path".into(), Value::Str(v.path.clone())),
+                        ("line".into(), Value::UInt(v.line as u64)),
+                        ("content".into(), Value::Str(v.content.clone())),
+                        ("allowlisted".into(), Value::Bool(!active.contains(&i))),
+                    ])
+                })
+                .collect(),
+        );
+        let edges = Value::Array(
+            self.lock_edges
+                .iter()
+                .map(|e| {
+                    Value::Object(vec![
+                        ("held".into(), Value::Str(e.held.clone())),
+                        ("acquired".into(), Value::Str(e.acquired.clone())),
+                        ("site".into(), Value::Str(e.site.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let cycle = match &self.lock_cycle {
+            None => Value::Null,
+            Some(c) => Value::Array(c.iter().map(|n| Value::Str(n.clone())).collect()),
+        };
+        let root = Value::Object(vec![
+            ("tool".into(), Value::Str("cargo-xtask-lint".into())),
+            ("findings".into(), findings),
+            ("active".into(), Value::UInt(self.active.len() as u64)),
+            (
+                "allowlisted".into(),
+                Value::UInt((self.violations.len() - self.active.len()) as u64),
+            ),
+            (
+                "stale_allowlist_entries".into(),
+                Value::Array(
+                    self.stale_allows
+                        .iter()
+                        .map(|k| Value::Str(k.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "lock_graph".into(),
+                Value::Object(vec![
+                    ("edges".into(), edges),
+                    ("acyclic".into(), Value::Bool(self.lock_cycle.is_none())),
+                    ("cycle".into(), cycle),
+                ]),
+            ),
+            ("ok".into(), Value::Bool(!self.failed())),
+        ]);
+        serde_json::to_string_pretty(&root).expect("lint report has no floats")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(code: &'static str, path: &str, content: &str) -> Violation {
+        Violation {
+            code,
+            rule: "r",
+            path: path.into(),
+            line: 3,
+            content: content.into(),
+        }
+    }
+
+    #[test]
+    fn allowlist_suppresses_exact_keys_and_reports_stale() {
+        let dir = std::env::temp_dir().join("xtask-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("allow.txt");
+        std::fs::write(
+            &path,
+            "# why: deliberate\nLX001\ta.rs\tx.unwrap();\nLX001\tgone.rs\tstale();\n",
+        )
+        .unwrap();
+        let allow = Allowlist::load(&path);
+        let vs = vec![
+            v("LX001", "a.rs", "x.unwrap();"),
+            v("LX001", "b.rs", "y.unwrap();"),
+        ];
+        let report = Report::new(vs, &allow, vec![], None);
+        assert_eq!(report.active.len(), 1);
+        assert_eq!(report.violations[report.active[0]].path, "b.rs");
+        assert_eq!(report.stale_allows, vec!["LX001\tgone.rs\tstale();"]);
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_flags_cycles() {
+        let report = Report::new(
+            vec![],
+            &Allowlist {
+                keys: Default::default(),
+            },
+            vec![LockEdge {
+                held: "a".into(),
+                acquired: "b".into(),
+                site: "x.rs:1".into(),
+            }],
+            Some(vec!["a".into(), "b".into(), "a".into()]),
+        );
+        let json = report.render_json();
+        let value: Value = serde_json::from_str(&json).expect("valid json");
+        let obj = value.as_object().expect("object");
+        let ok = obj.iter().find(|(k, _)| k == "ok").map(|(_, v)| v);
+        assert!(matches!(ok, Some(Value::Bool(false))));
+        assert!(json.contains("\"acyclic\": false"));
+        assert!(report.failed());
+        assert!(report.render_text().contains("LX021"));
+    }
+}

@@ -1,0 +1,62 @@
+//! LX012 — narrowing `as` casts in non-test library code.
+//!
+//! `as` to a narrower integer (or `f32`) silently truncates or wraps:
+//! `(4_294_967_296usize) as u32 == 0`, and a wrapped task id or processor
+//! index corrupts a schedule without any error. The rule flags every
+//! `as u8|u16|u32|i8|i16|i32|f32` outside test code. Fix with
+//! `try_from` + typed error where the value is externally controlled;
+//! allowlist with the *bound argument* (e.g. "task counts are checked
+//! `< u32::MAX` at graph construction") where the invariant is real.
+//! Widening/platform casts (`as u64`, `as usize`, `as f64`, `as i64`)
+//! are not flagged.
+
+use super::FileCtx;
+use crate::report::Violation;
+
+/// Cast targets that can lose information from the repo's common sources
+/// (`usize`, `u64`, `f64`).
+const NARROW: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// LX012 — see the module docs.
+pub fn lx012_narrowing_cast(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for k in 0..ctx.len() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        if ctx.text(k) == "as" && NARROW.contains(&ctx.text(k + 1)) {
+            out.push(ctx.violation("LX012", "narrowing-cast", k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileCtx::new(path, src, false);
+        let mut out = Vec::new();
+        lx012_narrowing_cast(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_narrowing_targets_only() {
+        let src = "fn f(n: usize, x: f64) {\n    let a = n as u32;\n    let b = x as f32;\n    let c = n as u64;\n    let d = n as f64;\n    let e = a as usize;\n    let _ = (a, b, c, d, e);\n}\n";
+        let v = findings("crates/taskgraph/src/a.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.code == "LX012"));
+    }
+
+    #[test]
+    fn use_renames_and_test_code_are_exempt() {
+        let src = "use foo::bar as baz;\n#[cfg(test)]\nmod tests {\n    fn t(n: usize) { let _ = n as u8; }\n}\n";
+        assert!(findings("crates/taskgraph/src/a.rs", src).is_empty());
+        assert!(findings(
+            "crates/x/src/bin/report.rs",
+            "fn f(n: usize) -> u32 { n as u32 }\n"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! LX011 — exact float comparison (`==` / `!=` against a float literal)
+//! in non-test library code.
+//!
+//! Exact float equality is almost always a latent bug: a value that is
+//! "the same number" after a different operation order fails the
+//! comparison, and on scheduler paths that silently flips a decision the
+//! golden fingerprints pin. Compare against a tolerance, restructure so
+//! the sentinel is not a float, or allowlist with a written argument for
+//! why the bit pattern is exact (e.g. a value set from the same literal
+//! and never recomputed). Test code is exempt: tests *deliberately*
+//! exact-compare pinned outputs.
+
+use super::FileCtx;
+use crate::lexer::{is_float_literal, TokKind};
+use crate::report::Violation;
+
+/// LX011 — see the module docs.
+pub fn lx011_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for k in 0..ctx.len() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        let t = ctx.text(k);
+        if t != "==" && t != "!=" {
+            continue;
+        }
+        let prev_float = ctx.kind(k.wrapping_sub(1)) == Some(TokKind::Num)
+            && is_float_literal(ctx.text(k.wrapping_sub(1)));
+        // `== 0.5` and `== -0.5` both count.
+        let mut j = k + 1;
+        if ctx.text(j) == "-" {
+            j += 1;
+        }
+        let next_float = ctx.kind(j) == Some(TokKind::Num) && is_float_literal(ctx.text(j));
+        if prev_float || next_float {
+            out.push(ctx.violation("LX011", "float-eq", k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileCtx::new(path, src, false);
+        let mut out = Vec::new();
+        lx011_float_eq(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_eq_and_ne_against_float_literals() {
+        let src = "fn f(x: f64) -> bool {\n    x == 1.0 || x != 0.5 || 2e3 == x || x == -0.5\n}\n";
+        let v = findings("crates/runtime/src/a.rs", src);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|x| x.code == "LX011"));
+    }
+
+    #[test]
+    fn integer_comparisons_and_orderings_are_fine() {
+        let src =
+            "fn f(x: f64, n: u32) -> bool {\n    n == 1 || x < 1.0 || x <= 0.5 || n != 0x1E\n}\n";
+        assert!(findings("crates/runtime/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_and_comments_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: f64) { assert!(x == 0.0); }\n}\n// x == 1.0 in prose\nfn g() {}\n";
+        assert!(findings("crates/runtime/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! LX020 — `MutexGuard` held across a blocking call in `crates/serve`
+//! and `crates/core`.
+//!
+//! The serve daemon's liveness rests on its one state mutex being held
+//! only for short, CPU-bound critical sections: a guard held across a
+//! sleep, a join, a channel receive, or socket/file I/O stalls every
+//! other request (and the drain path) for the duration. The rule reuses
+//! the LX021 guard-scope extraction and flags any call to a known
+//! blocking method or function while a guard is live. `Condvar::wait`
+//! is deliberately *not* blocking here: it releases the mutex while
+//! parked — holding the guard is exactly how it is used.
+
+use super::FileCtx;
+use crate::lockgraph::lock_sites;
+use crate::report::Violation;
+
+/// Crates with long-lived mutexes worth auditing.
+const LOCK_AUDITED: [&str; 2] = ["serve", "core"];
+
+/// Method/function names that block the calling thread. Token-level, so
+/// a same-named cheap method would also match — none exists in the
+/// audited crates today, and a false positive here is an allowlist
+/// entry, not a defect.
+const BLOCKING: [&str; 15] = [
+    "sleep",
+    "join",
+    "recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "read_line",
+    "write_all",
+    "flush",
+    "schedule",
+    "run_with_faults",
+    "park",
+];
+
+/// LX020 — see the module docs.
+pub fn lx020_guard_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !LOCK_AUDITED.contains(&ctx.crate_name()) {
+        return;
+    }
+    let sites = lock_sites(ctx);
+    if sites.is_empty() {
+        return;
+    }
+    for k in 0..ctx.len() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        let t = ctx.text(k);
+        if !BLOCKING.contains(&t) || ctx.text(k + 1) != "(" {
+            continue;
+        }
+        if sites.iter().any(|s| k > s.at && k < s.scope_end) {
+            out.push(ctx.violation("LX020", "guard-across-blocking", k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileCtx::new(path, src, false);
+        let mut out = Vec::new();
+        lx020_guard_across_blocking(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_sleep_under_a_live_guard() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) {\n    let g = m.lock().unwrap();\n    std::thread::sleep(std::time::Duration::from_millis(5));\n    let _ = *g;\n}\n";
+        let v = findings("crates/serve/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "LX020");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_fine() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) {\n    let g = m.lock().unwrap();\n    let v = *g;\n    drop(g);\n    std::thread::sleep(std::time::Duration::from_millis(v as u64));\n}\n";
+        assert!(findings("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_then_blocking_call_is_fine() {
+        let src = "fn f(m: &std::sync::Mutex<u32>, h: std::thread::JoinHandle<()>) {\n    { let g = m.lock().unwrap(); let _ = *g; }\n    h.join().ok();\n}\n";
+        assert!(findings("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking_for_this_rule() {
+        let src = "fn f(m: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {\n    let mut g = m.lock().unwrap();\n    while !*g { g = cv.wait(g).unwrap(); }\n}\n";
+        assert!(findings("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_exempt() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) {\n    let g = m.lock().unwrap();\n    std::thread::sleep(std::time::Duration::from_millis(5));\n    let _ = *g;\n}\n";
+        assert!(findings("crates/runtime/src/a.rs", src).is_empty());
+    }
+}

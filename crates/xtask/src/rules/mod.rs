@@ -1,0 +1,311 @@
+//! The rule engine: per-file context shared by every `LX` rule.
+//!
+//! Each rule is a function from a [`FileCtx`] to findings. The context
+//! pre-computes what rules keep needing: the significant-token stream
+//! (comments and whitespace dropped — the token-accuracy upgrade over the
+//! old line scanner), per-token test-scope flags, brace-matching, and the
+//! raw source lines for allowlist-stable finding content.
+
+pub mod casts;
+pub mod floatcmp;
+pub mod locks;
+pub mod order;
+pub mod panics;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Violation;
+
+/// Everything the rules know about one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path, `/`-separated.
+    pub path: &'a str,
+    /// All tokens, losslessly covering the file.
+    pub toks: Vec<Tok<'a>>,
+    /// Indices into `toks` of significant (non-comment, non-ws) tokens.
+    pub sig: Vec<usize>,
+    /// Per *significant* token: inside a `#[cfg(test)] mod … { … }` block.
+    pub in_test: Vec<bool>,
+    /// Brace depth per significant token (depth *before* the token).
+    pub depth: Vec<usize>,
+    /// Whole file is test code (tests/, benches/, src/bin/, or a file
+    /// module declared under `#[cfg(test)]`).
+    pub test_file: bool,
+    /// Source lines, for finding content.
+    lines: Vec<&'a str>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Lexes `src` and computes the shared per-token facts.
+    pub fn new(path: &'a str, src: &'a str, declared_test_module: bool) -> FileCtx<'a> {
+        let toks = lex(src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_significant())
+            .map(|(i, _)| i)
+            .collect();
+        let test_file = declared_test_module || is_test_path(path);
+        let (in_test, depth) = test_scopes(&toks, &sig);
+        FileCtx {
+            path,
+            toks,
+            sig,
+            in_test,
+            depth,
+            test_file,
+            lines: src.lines().collect(),
+        }
+    }
+
+    /// Number of significant tokens.
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Whether the file has no significant tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    /// Text of the `k`-th significant token ("" past the end, so rules
+    /// can look ahead without bounds checks).
+    pub fn text(&self, k: usize) -> &str {
+        self.sig.get(k).map_or("", |&i| self.toks[i].text)
+    }
+
+    /// Kind of the `k`-th significant token.
+    pub fn kind(&self, k: usize) -> Option<TokKind> {
+        self.sig.get(k).map(|&i| self.toks[i].kind)
+    }
+
+    /// Line of the `k`-th significant token.
+    pub fn line(&self, k: usize) -> usize {
+        self.sig.get(k).map_or(0, |&i| self.toks[i].line)
+    }
+
+    /// Whether the `k`-th significant token sits in test code.
+    pub fn is_test(&self, k: usize) -> bool {
+        self.test_file || self.in_test.get(k).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source line at 1-based `line` (the allowlist key part).
+    pub fn line_content(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map_or(String::new(), |l| l.trim().to_string())
+    }
+
+    /// A finding at the `k`-th significant token.
+    pub fn violation(&self, code: &'static str, rule: &'static str, k: usize) -> Violation {
+        let line = self.line(k);
+        Violation {
+            code,
+            rule,
+            path: self.path.to_string(),
+            line,
+            content: self.line_content(line),
+        }
+    }
+
+    /// The crate this file belongs to (`crates/<name>/…` → `name`);
+    /// the facade `src/` maps to `"locmps"`.
+    pub fn crate_name(&self) -> &str {
+        if let Some(rest) = self.path.strip_prefix("crates/") {
+            rest.split('/').next().unwrap_or("")
+        } else if self.path.starts_with("src/") || self.path.starts_with("tests/") {
+            "locmps"
+        } else {
+            ""
+        }
+    }
+}
+
+/// Whether `path` counts as test code wholesale: integration tests,
+/// benches, anything under a `tests/` directory, and `src/bin/` report
+/// generators (their error handling *is* panicking).
+pub fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/src/bin/")
+}
+
+/// Marks every significant token inside `#[cfg(test)] mod … { … }` blocks
+/// and computes brace depth. Attributes between the `cfg(test)` and the
+/// `mod` keyword are skipped, as the old scanner did — but over tokens,
+/// so comments and strings can no longer confuse the tracking.
+fn test_scopes(toks: &[Tok<'_>], sig: &[usize]) -> (Vec<bool>, Vec<usize>) {
+    let text = |k: usize| sig.get(k).map_or("", |&i| toks[i].text);
+    let n = sig.len();
+    let mut in_test = vec![false; n];
+    let mut depth = vec![0usize; n];
+    let mut d = 0usize;
+    // test_until: while `d >= close_at`, we are inside a test mod.
+    let mut close_stack: Vec<usize> = Vec::new();
+    let mut k = 0;
+    while k < n {
+        depth[k] = d;
+        in_test[k] = !close_stack.is_empty();
+        match text(k) {
+            "{" => d += 1,
+            "}" => {
+                d = d.saturating_sub(1);
+                while close_stack.last().is_some_and(|&c| d < c) {
+                    close_stack.pop();
+                }
+            }
+            "#" if text(k + 1) == "[" && is_cfg_test_attr(toks, sig, k) => {
+                // Skip to the end of this attribute, then over any further
+                // attributes, and check for `mod … {`.
+                let mut j = skip_attr(toks, sig, k);
+                while text(j) == "#" && text(j + 1) == "[" {
+                    j = skip_attr(toks, sig, j);
+                }
+                if text(j) == "mod" {
+                    // `mod name { … }` — find the `{` and record its depth.
+                    let mut b = j + 1;
+                    while b < n && text(b) != "{" && text(b) != ";" {
+                        b += 1;
+                    }
+                    if text(b) == "{" {
+                        // Tokens from the attr to `{` belong to the test
+                        // mod header; mark them too.
+                        for t in in_test.iter_mut().take(b.min(n)).skip(k) {
+                            *t = true;
+                        }
+                        close_stack.push(d + 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (in_test, depth)
+}
+
+/// Whether the attribute starting at significant index `k` (`#`) is
+/// `#[cfg(test)]` (or mentions `test` inside a `cfg(…)`, catching
+/// `#[cfg(all(test, …))]`).
+fn is_cfg_test_attr(toks: &[Tok<'_>], sig: &[usize], k: usize) -> bool {
+    let text = |k: usize| sig.get(k).map_or("", |&i| toks[i].text);
+    if text(k + 2) != "cfg" {
+        return false;
+    }
+    let mut j = k + 3;
+    let mut depth = 0i32;
+    loop {
+        match text(j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return false;
+                }
+            }
+            "test" => return true,
+            "" => return false,
+            "]" if depth == 0 => return false,
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// Significant index just past the attribute starting at `k` (`#` `[` … `]`).
+fn skip_attr(toks: &[Tok<'_>], sig: &[usize], k: usize) -> usize {
+    let text = |k: usize| sig.get(k).map_or("", |&i| toks[i].text);
+    let mut j = k + 2;
+    let mut depth = 1i32;
+    while depth > 0 {
+        match text(j) {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            "" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Names of file modules declared under `#[cfg(test)]`
+/// (`#[cfg(test)] mod name;` — e.g. `src/proptests.rs`): those files are
+/// whole-file test modules, exempt like inline test blocks.
+pub fn declared_test_modules(ctx: &FileCtx<'_>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < ctx.len() {
+        if ctx.text(k) == "#" && ctx.text(k + 1) == "[" && is_cfg_test_attr(&ctx.toks, &ctx.sig, k)
+        {
+            let mut j = skip_attr(&ctx.toks, &ctx.sig, k);
+            while ctx.text(j) == "#" && ctx.text(j + 1) == "[" {
+                j = skip_attr(&ctx.toks, &ctx.sig, j);
+            }
+            if ctx.text(j) == "mod"
+                && ctx.kind(j + 1) == Some(TokKind::Ident)
+                && ctx.text(j + 2) == ";"
+            {
+                out.push(ctx.text(j + 1).to_string());
+            }
+            k = j.max(k + 1);
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Runs every per-file rule.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    panics::lx001_no_unwrap(ctx, &mut out);
+    panics::lx002_float_partial_cmp(ctx, &mut out);
+    order::lx010_order_sensitive_iteration(ctx, &mut out);
+    floatcmp::lx011_float_eq(ctx, &mut out);
+    casts::lx012_narrowing_cast(ctx, &mut out);
+    locks::lx020_guard_across_blocking(ctx, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scope_tracking_over_tokens() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn g() {}\n";
+        let ctx = FileCtx::new("crates/x/src/a.rs", src, false);
+        let idx_of = |needle: &str| {
+            (0..ctx.len())
+                .find(|&k| ctx.text(k) == needle)
+                .unwrap_or_else(|| panic!("{needle} not found"))
+        };
+        assert!(!ctx.is_test(idx_of("f")));
+        assert!(ctx.is_test(idx_of("t")));
+        assert!(ctx.is_test(idx_of("x")));
+        assert!(!ctx.is_test(idx_of("g")));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_strings_cannot_confuse_it() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn u() { a(); } }\nlet s = \"#[cfg(test)] mod fake {\"; fn real() { b(); }\n";
+        let ctx = FileCtx::new("crates/x/src/a.rs", src, false);
+        let idx_of = |needle: &str| {
+            (0..ctx.len())
+                .find(|&k| ctx.text(k) == needle)
+                .expect(needle)
+        };
+        assert!(ctx.is_test(idx_of("a")));
+        assert!(!ctx.is_test(idx_of("b")));
+    }
+
+    #[test]
+    fn crate_name_extraction() {
+        assert_eq!(
+            FileCtx::new("crates/serve/src/svc.rs", "", false).crate_name(),
+            "serve"
+        );
+        assert_eq!(FileCtx::new("src/lib.rs", "", false).crate_name(), "locmps");
+    }
+}

@@ -1,0 +1,169 @@
+//! LX010 — order-sensitive iteration over `HashMap`/`HashSet` in
+//! schedule-producing crates.
+//!
+//! The repo's core guarantee is bit-identical schedules (48 offline + 12
+//! online golden fingerprints) and a serve cache keyed by canonical graph
+//! fingerprints. `std::collections::HashMap`/`HashSet` iteration order is
+//! randomized per process, so *any* iteration over them on a
+//! schedule-producing path is a latent nondeterminism bug — even when the
+//! current consumer happens to be order-insensitive (a `max` fold today
+//! becomes a `first wins` tomorrow). The rule fires on iteration only:
+//! keyed access (`get`/`insert`/`entry`/`contains`) is order-free and
+//! allowed. Fix by switching to `BTreeMap`/`BTreeSet` or an explicitly
+//! sorted `Vec`; allowlist only with a written order-insensitivity
+//! argument next to the entry.
+
+use super::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Violation;
+
+/// Crates whose outputs feed schedules or cache fingerprints.
+const SCHEDULE_PRODUCING: [&str; 6] = [
+    "core",
+    "baselines",
+    "platform",
+    "speedup",
+    "serve",
+    "locmps",
+];
+
+/// Iterator-producing methods on hash collections.
+const ITERATING: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// LX010 — see the module docs.
+pub fn lx010_order_sensitive_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !SCHEDULE_PRODUCING.contains(&ctx.crate_name()) {
+        return;
+    }
+    let names = hash_bound_names(ctx);
+    if names.is_empty() {
+        return;
+    }
+    for k in 0..ctx.len() {
+        if ctx.is_test(k) || ctx.kind(k) != Some(TokKind::Ident) {
+            continue;
+        }
+        let t = ctx.text(k);
+        if !names.contains(t) {
+            continue;
+        }
+        // `name.iter()`, `self.name.values()`, … — method-style iteration.
+        if ctx.text(k + 1) == "." && ITERATING.contains(&ctx.text(k + 2)) && ctx.text(k + 3) == "("
+        {
+            out.push(ctx.violation("LX010", "order-sensitive-iteration", k));
+            continue;
+        }
+        // `for x in [&[mut]] path.to.name {` — implicit IntoIterator.
+        if is_for_in_target(ctx, k) {
+            out.push(ctx.violation("LX010", "order-sensitive-iteration", k));
+        }
+    }
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` anywhere in the file: let
+/// bindings (with or without a type annotation) and struct fields. A
+/// token-level approximation of type inference that is exact for the
+/// bindings this repo writes.
+fn hash_bound_names<'a>(ctx: &'a FileCtx<'_>) -> std::collections::BTreeSet<&'a str> {
+    let mut names = std::collections::BTreeSet::new();
+    for k in 0..ctx.len() {
+        let t = ctx.text(k);
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        // Walk back over a path qualifier (`std :: collections ::`).
+        let mut j = k.wrapping_sub(1);
+        while ctx.text(j) == "::" {
+            j = j.wrapping_sub(2);
+        }
+        // `name : [qualifier] HashMap<…>` (let annotation or struct field)
+        // or `name = [qualifier] HashMap::new()` (inferred binding).
+        if (ctx.text(j) == ":" || ctx.text(j) == "=")
+            && ctx.kind(j.wrapping_sub(1)) == Some(TokKind::Ident)
+        {
+            names.insert(ctx.text(j.wrapping_sub(1)));
+        }
+    }
+    names
+}
+
+/// Whether the significant token at `k` is the final identifier of a
+/// `for … in <expr> {` target whose expression is a plain (possibly
+/// borrowed) path — `for v in &self.cache {`.
+fn is_for_in_target(ctx: &FileCtx<'_>, k: usize) -> bool {
+    // The token after the path must open the loop body.
+    if ctx.text(k + 1) != "{" {
+        return false;
+    }
+    // Walk back over the path (`a.b.c`) and optional `&`/`&mut`.
+    let mut j = k;
+    while ctx.text(j.wrapping_sub(1)) == "." && ctx.kind(j.wrapping_sub(2)) == Some(TokKind::Ident)
+    {
+        j = j.wrapping_sub(2);
+    }
+    while matches!(ctx.text(j.wrapping_sub(1)), "&" | "mut") {
+        j = j.wrapping_sub(1);
+    }
+    ctx.text(j.wrapping_sub(1)) == "in"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileCtx::new(path, src, false);
+        let mut out = Vec::new();
+        lx010_order_sensitive_iteration(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_values_iteration_on_an_annotated_binding() {
+        let src = "fn f() -> f64 {\n    let mut busy: std::collections::HashMap<u32, f64> = Default::default();\n    busy.values().fold(0.0f64, |a, &b| a.max(b))\n}\n";
+        let v = findings("crates/platform/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "LX010");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn flags_for_loops_and_struct_field_iteration() {
+        let src = "use std::collections::HashMap;\nstruct S { jobs: HashMap<u64, u64> }\nimpl S {\n    fn g(&self) { for j in &self.jobs { let _ = j; } }\n    fn h(&mut self) { self.jobs.retain(|_, v| *v > 0); }\n}\n";
+        let v = findings("crates/serve/src/a.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn keyed_access_is_order_free_and_allowed() {
+        let src = "use std::collections::HashMap;\nfn f(m: &mut HashMap<u32, u32>) {\n    m.insert(1, 2);\n    let _ = m.get(&1);\n    *m.entry(3).or_insert(0) += 1;\n    m.remove(&1);\n    let _ = m.contains_key(&1);\n}\n";
+        assert!(findings("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_and_test_code_are_exempt() {
+        let src = "fn f() {\n    let mut m = std::collections::HashMap::new();\n    m.insert(1, 2);\n    for x in &m { let _ = x; }\n}\n";
+        assert!(findings("crates/runtime/src/a.rs", src).is_empty());
+        assert!(findings("crates/core/tests/t.rs", src).is_empty());
+        assert_eq!(findings("crates/core/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn inferred_hashset_binding_is_tracked() {
+        let src = "fn f() {\n    let mut seen = std::collections::HashSet::new();\n    seen.insert(3u32);\n    for s in &seen { let _ = s; }\n    let v: Vec<u32> = seen.drain().collect();\n}\n";
+        let v = findings("crates/baselines/src/a.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! LX001 (no-unwrap) and LX002 (float-partial-cmp): the two rules ported
+//! from the regex-scanner era, now token-accurate — `unwrap()` inside a
+//! block comment, a raw string or a doc example can no longer fire, and
+//! `partial_cmp(…).unwrap()` is matched across the *actual* call
+//! parentheses instead of "both substrings happen to share a line".
+
+use super::FileCtx;
+use crate::report::Violation;
+
+/// Method names that panic on `None`/`Err`.
+const PANICKY_METHODS: [&str; 2] = ["unwrap", "expect"];
+/// Macros that abort the process in library code.
+const PANICKY_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// LX001 — no `.unwrap()` / `.expect(…)` / `panic!(…)` /
+/// `unreachable!(…)` / `todo!(…)` / `unimplemented!(…)` in non-test
+/// library code. Deliberate uses (infallible serialization,
+/// checked-invariant indexing) go in the allowlist *with a reason*.
+pub fn lx001_no_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for k in 0..ctx.len() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        let t = ctx.text(k);
+        // `.unwrap()` / `.expect(` — method position only, so idents like
+        // `unwrap_or_else` (different token) or a field named `expect`
+        // (no call parens) cannot match.
+        if PANICKY_METHODS.contains(&t)
+            && ctx.text(k.wrapping_sub(1)) == "."
+            && ctx.text(k + 1) == "("
+        {
+            // `unwrap()` must be nullary; `expect(` takes its message.
+            if t == "expect" || ctx.text(k + 2) == ")" {
+                out.push(ctx.violation("LX001", "no-unwrap", k));
+            }
+        }
+        // `panic!(…)` — macro position: bare ident, `!`, delimiter.
+        if PANICKY_MACROS.contains(&t)
+            && ctx.text(k + 1) == "!"
+            && matches!(ctx.text(k + 2), "(" | "[" | "{")
+            && ctx.text(k.wrapping_sub(1)) != "."
+        {
+            out.push(ctx.violation("LX001", "no-unwrap", k));
+        }
+    }
+}
+
+/// LX002 — no `.partial_cmp(…).unwrap()` / `.expect(…)`: on floats these
+/// panic on NaN, and the repo-wide convention is `f64::total_cmp` so sort
+/// orders (and therefore golden schedule fingerprints) cannot depend on
+/// NaN handling. Applies to test code too: a NaN-panicking comparator in
+/// a test is as order-fragile as one in the library.
+pub fn lx002_float_partial_cmp(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for k in 0..ctx.len() {
+        if ctx.text(k) != "partial_cmp"
+            || ctx.text(k.wrapping_sub(1)) != "."
+            || ctx.text(k + 1) != "("
+        {
+            continue;
+        }
+        // Walk over the balanced argument list.
+        let mut j = k + 1;
+        let mut depth = 0i32;
+        loop {
+            match ctx.text(j) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "" => return, // unbalanced (mid-edit file): bail quietly
+                _ => {}
+            }
+            j += 1;
+        }
+        if ctx.text(j + 1) == "." && PANICKY_METHODS.contains(&ctx.text(j + 2)) {
+            out.push(ctx.violation("LX002", "float-partial-cmp", k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileCtx::new(path, src, false);
+        let mut out = Vec::new();
+        lx001_no_unwrap(&ctx, &mut out);
+        lx002_float_partial_cmp(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_library_code() {
+        let src = "fn f(y: Option<u8>) {\n    y.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n}\n";
+        let v = findings("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|x| x.code == "LX001"));
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_matches_across_real_parens() {
+        // The old line scanner needed both substrings on one line; the
+        // token rule follows the actual call even with nested parens.
+        let src = "fn f(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.partial_cmp(&(b + 1.0)).unwrap());\n}\n";
+        let v = findings("crates/x/src/a.rs", src);
+        assert!(v.iter().any(|x| x.code == "LX002"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_and_field_access_do_not_match() {
+        let src = "fn f(y: Option<u8>) -> u8 {\n    let g = y.unwrap_or_else(|| 3);\n    let h = y.unwrap_or(4);\n    g + h\n}\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn regression_no_findings_inside_block_comments() {
+        // strip_line_comment-era false positive: `/* … */` was invisible
+        // to the line scanner.
+        let src =
+            "fn f() {\n    /* old code:\n       y.unwrap();\n       panic!(\"x\");\n    */\n}\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn regression_no_findings_inside_raw_strings() {
+        let src =
+            "fn f() -> &'static str {\n    r#\"example: y.unwrap() and panic!(\"no\")\"#\n}\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn regression_no_findings_inside_multiline_raw_strings() {
+        let src = "const SNIPPET: &str = r##\"\nfn bad() {\n    x.unwrap();\n    x.partial_cmp(&y).unwrap();\n}\n\"##;\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn regression_code_after_a_raw_string_is_still_checked() {
+        // False *negative* direction: the line scanner's quote counting
+        // could swallow real code that follows a raw string.
+        let src = "fn f(y: Option<u8>) {\n    let s = r#\"quote \" inside\"#; y.unwrap();\n}\n";
+        let v = findings("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "LX001");
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_lx001_but_not_lx002() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(xs: &mut [f64], y: Option<u8>) {\n        y.unwrap();\n        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    }\n}\n";
+        let v = findings("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "LX002");
+        let v = findings(
+            "crates/x/tests/t.rs",
+            "fn f(y: Option<u8>) { y.unwrap(); }\n",
+        );
+        assert!(v.is_empty());
+    }
+}
