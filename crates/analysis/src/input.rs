@@ -240,6 +240,29 @@ mod tests {
     }
 
     #[test]
+    fn table_profile_past_profiled_range_stays_clean() {
+        // Cross-check of the SpeedupModel clamp: a table profiled only up
+        // to 4 processors, linted against an 8-processor cluster, must
+        // evaluate flat (clamped) past its last sample — finite times
+        // (no LM010), monotone (no LM012) and never superlinear (no
+        // LM013). Extrapolation past the table would trip LM013 here.
+        let t = locmps_speedup::ProfiledSpeedup::new(vec![1.0, 1.8, 2.4, 2.9]).unwrap();
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "profiled",
+            ExecutionProfile::new(10.0, locmps_speedup::SpeedupModel::Table(t)).unwrap(),
+        );
+        let r = lint_input(&g, &cluster());
+        assert!(!r.has_errors(), "{}", r.render_text());
+        assert!(!r.has_code(codes::NON_MONOTONE_TIME), "{}", r.render_text());
+        assert!(
+            !r.has_code(codes::SUPERLINEAR_SPEEDUP),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
     fn empty_graph_is_lm001() {
         let r = lint_input(&TaskGraph::new(), &cluster());
         assert!(r.has_code(codes::EMPTY_GRAPH));

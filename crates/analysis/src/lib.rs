@@ -40,11 +40,13 @@
 
 pub mod diag;
 pub mod input;
+pub mod model;
 pub mod sched;
 pub mod trace;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use input::lint_input;
+pub use model::analyze_model;
 pub use sched::{analyze_schedule, search_effort_diagnostic};
 pub use trace::analyze_trace;
 
@@ -138,4 +140,16 @@ pub mod codes {
     /// `LM322` (Info): wall-clock time tasks spent parked in retry
     /// backoff before relaunching.
     pub const BACKOFF_WAITS: &str = "LM322";
+    /// `LM330` (Info): a task's observed runtimes diverge from its
+    /// profile beyond the reporting threshold — the model the scheduler
+    /// molds with no longer matches reality.
+    pub const MODEL_DIVERGENCE: &str = "LM330";
+    /// `LM331` (Error): the performance-model store names a task that is
+    /// absent from the graph being scheduled (a stale store applied to
+    /// the wrong workload).
+    pub const STALE_MODEL: &str = "LM331";
+    /// `LM332` (Error): the performance-model store violates its own
+    /// invariants (unsorted/empty ratio sets, unsaturated or non-finite
+    /// ratios, width 0) — corrections from it cannot be trusted.
+    pub const INCONSISTENT_MODEL: &str = "LM332";
 }

@@ -1,0 +1,129 @@
+//! LM33x — auditing the adaptive performance-model store.
+//!
+//! The adaptive loop (`locmps run --adapt`, the `remold` recovery, the
+//! serve daemon's cross-job learning) molds against profiles corrected by
+//! a [`PerfModelStore`]. These lints keep that loop honest:
+//!
+//! * **LM330** (Info) reports tasks whose observed runtimes have drifted
+//!   from their profiles beyond [`DIVERGENCE_THRESHOLD`] — the signal
+//!   that static molding is working from fiction;
+//! * **LM331** (Error) fires when the store names tasks that do not exist
+//!   in the graph — a stale store from a different workload, whose
+//!   corrections would silently not apply (or worse, apply to an
+//!   unrelated task that happens to share a name);
+//! * **LM332** (Error) fires when the store's own invariants are broken
+//!   (possible only for externally loaded JSON — `observe()` cannot
+//!   produce such a store).
+
+use std::collections::HashSet;
+
+use locmps_runtime::PerfModelStore;
+use locmps_taskgraph::TaskGraph;
+
+use crate::codes;
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// Median observed/predicted ratios further than this from 1.0 are
+/// reported as model divergence (LM330).
+pub const DIVERGENCE_THRESHOLD: f64 = 0.25;
+
+/// Audits `store` against the graph it is about to correct.
+pub fn analyze_model(store: &PerfModelStore, g: &TaskGraph) -> Report {
+    let mut report = Report::new();
+
+    for violation in store.validate() {
+        report.push(Diagnostic::new(
+            codes::INCONSISTENT_MODEL,
+            Severity::Error,
+            "model-store",
+            violation,
+        ));
+    }
+
+    let known: HashSet<&str> = g.tasks().map(|(_, t)| t.name.as_str()).collect();
+    for (name, widths) in store.tasks() {
+        if !known.contains(name) {
+            report.push(
+                Diagnostic::new(
+                    codes::STALE_MODEL,
+                    Severity::Error,
+                    name,
+                    "model store names a task absent from this graph",
+                )
+                .with("observed_widths", widths.len()),
+            );
+            continue;
+        }
+        if let Some(div) = store.divergence(name) {
+            if div > DIVERGENCE_THRESHOLD {
+                let n_obs: usize = widths.iter().map(|w| w.ratios().len()).sum();
+                report.push(
+                    Diagnostic::new(
+                        codes::MODEL_DIVERGENCE,
+                        Severity::Info,
+                        name,
+                        format!(
+                            "observed runtimes diverge from the profile by up to {:.0}%",
+                            div * 100.0
+                        ),
+                    )
+                    .with("max_divergence", format!("{div:.3}"))
+                    .with("observations", n_obs),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_speedup::ExecutionProfile;
+
+    fn graph_ab() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        g.add_task("a", ExecutionProfile::linear(10.0));
+        g.add_task("b", ExecutionProfile::linear(5.0));
+        g
+    }
+
+    #[test]
+    fn clean_store_is_silent() {
+        let mut store = PerfModelStore::new();
+        store.observe("a", 2, 10.0, 10.5).unwrap(); // 5% off: below threshold
+        let report = analyze_model(&store, &graph_ab());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn divergence_reports_lm330() {
+        let mut store = PerfModelStore::new();
+        store.observe("a", 2, 10.0, 20.0).unwrap(); // 2x slow
+        let report = analyze_model(&store, &graph_ab());
+        assert!(report.has_code(codes::MODEL_DIVERGENCE));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn stale_store_is_an_error() {
+        let mut store = PerfModelStore::new();
+        store.observe("ghost", 1, 1.0, 2.0).unwrap();
+        let report = analyze_model(&store, &graph_ab());
+        assert!(report.has_code(codes::STALE_MODEL));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn corrupt_store_is_an_error() {
+        // Only deserialization can produce invariant violations.
+        let bad = r#"{"tasks":[{"name":"a","widths":[{"width":0,"ratios":[1.0]}]}]}"#;
+        assert!(PerfModelStore::from_json(bad).is_err());
+        // Force one through serde directly to exercise the lint.
+        let store: PerfModelStore = serde_json::from_str(bad).unwrap();
+        let report = analyze_model(&store, &graph_ab());
+        assert!(report.has_code(codes::INCONSISTENT_MODEL));
+        assert!(report.has_errors());
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`Cpa`] — **CPA** (Radulescu & van Gemund, ICPP 2001): a two-phase
 //!   scheme — a cheap allocation loop balancing critical-path length
 //!   against average processor area, followed by list scheduling;
+//! * [`OnlineMoldable`] — **PS-ONLINE** (Perotin & Sun, 2023): an online
+//!   moldable allocator — capped local molding plus greedy earliest-start
+//!   placement — with proven constant competitive ratios against the
+//!   zero-communication lower bound;
 //! * the **iCASLB** baseline (the authors' own prior work) is LoC-MPS with
 //!   the communication model disabled and lives in `locmps-core`
 //!   ([`locmps_core::LocMpsConfig::icaslb`]).
@@ -25,12 +29,14 @@
 pub mod cpa;
 pub mod cpr;
 pub mod listsched;
+pub mod online;
 pub mod taskdata;
 pub mod tsas;
 
 pub use cpa::Cpa;
 pub use cpr::Cpr;
 pub use listsched::PlainListScheduler;
+pub use online::OnlineMoldable;
 pub use taskdata::{DataParallel, TaskParallel};
 pub use tsas::Tsas;
 

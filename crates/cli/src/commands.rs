@@ -21,7 +21,7 @@ commands:
   stats    <graph.json>           print structural statistics
   dot      <graph.json>           render Graphviz DOT on stdout
   svg      <graph.json> --out F    render a layered SVG drawing to F
-  schedule <graph.json> --procs P [--algo locmps|icaslb|nobackfill|cpr|cpa|tsas|task|data]
+  schedule <graph.json> --procs P [--algo locmps|icaslb|nobackfill|cpr|cpa|tsas|psonline|task|data]
            [--bandwidth MB/s] [--no-overlap] [--gantt] [--svg F]
                                   schedule and report makespans
   compare  <graph.json> --procs P [--bandwidth MB/s] [--no-overlap]
@@ -32,8 +32,9 @@ commands:
                                   schedule, reporting LMxxx diagnostics;
                                   exits nonzero on any error diagnostic
   run      <graph.json> --procs P [--policy plan|online|greedy]
-           [--recovery failstop|retryshrink|replan|hedged-NAME]
+           [--recovery failstop|retryshrink|replan|remold|hedged-NAME]
            [--faults SPEC] [--seed S] [--cv X] [--hedge]
+           [--adapt] [--model-store F]
            [--straggler-threshold X] [--max-speculative N]
            [--max-attempts N] [--backoff X] [--bandwidth MB/s]
            [--no-overlap] [--json] [--deny-warnings]
@@ -44,7 +45,12 @@ commands:
                                   nonzero if the run aborts or any error
                                   diagnostic fires. --hedge (or a
                                   hedged-NAME recovery) answers straggler
-                                  alarms with speculative duplicates
+                                  alarms with speculative duplicates.
+                                  --adapt defaults the recovery to remold
+                                  (observation-driven re-molding), ingests
+                                  the trace into a performance-model store
+                                  audited by the LM33x lints, and persists
+                                  it across runs via --model-store F
   chaos    [--procs P] [--seeds N] [--recovery NAME,NAME,...]
            [--max-faults N] [--quick] [--inject] [--bandwidth MB/s]
            [--json]
@@ -364,14 +370,32 @@ struct RunSummary {
 }
 
 fn run_online(args: &Args) -> Result<(), String> {
-    use locmps_analysis::analyze_trace;
+    use locmps_analysis::{analyze_model, analyze_trace};
+    use locmps_core::LocMpsConfig;
     use locmps_runtime::{
         recovery_by_name, FaultPlan, GreedyOneProc, Hedged, OnlineConfig, OnlineLocbs,
-        OnlinePolicy, PlanFollower, RecoveryPolicy, RuntimeEngine,
+        OnlinePolicy, PerfModelStore, PlanFollower, RecoveryPolicy, Remold, RuntimeEngine,
     };
 
     let g = load_graph(args)?;
     let cluster = cluster_from(args)?;
+
+    // --adapt closes the observation loop: run under the re-molding
+    // recovery (unless --recovery overrides it), then feed the trace's
+    // winning attempts back into a performance-model store that
+    // --model-store persists across invocations.
+    let adapt = args.has("adapt");
+    let store_path = args.option("model-store");
+    if store_path.is_some() && !adapt {
+        return Err("--model-store requires --adapt".into());
+    }
+    let mut store = match store_path {
+        Some(p) if std::path::Path::new(p).exists() => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            PerfModelStore::from_json(&text).map_err(|e| format!("{p}: {e}"))?
+        }
+        _ => PerfModelStore::new(),
+    };
 
     let faults = match args.option("faults") {
         Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
@@ -398,16 +422,47 @@ fn run_online(args: &Args) -> Result<(), String> {
         "greedy" => Box::new(GreedyOneProc),
         other => return Err(format!("unknown policy {other:?}")),
     };
-    let rec_name = args.option("recovery").unwrap_or("failstop");
-    let mut recovery: Box<dyn RecoveryPolicy> =
-        recovery_by_name(rec_name).ok_or_else(|| format!("unknown recovery {rec_name:?}"))?;
+    let rec_name = args
+        .option("recovery")
+        .unwrap_or(if adapt { "remold" } else { "failstop" });
+    let mut recovery: Box<dyn RecoveryPolicy> = if adapt && rec_name == "remold" {
+        // Seed the re-molder with the loaded store so corrections learned
+        // in earlier invocations steer this run's re-molds.
+        Box::new(Remold::with_store(LocMpsConfig::default(), store.clone()))
+    } else {
+        recovery_by_name(rec_name).ok_or_else(|| format!("unknown recovery {rec_name:?}"))?
+    };
     if hedge && !recovery.name().starts_with("hedged-") {
         recovery = Box::new(Hedged::new(recovery));
     }
 
     let engine = RuntimeEngine::new(&g, &cluster, cfg);
     let trace = engine.run_with_faults(policy.as_mut(), &faults, recovery.as_mut());
-    let report = analyze_trace(&trace, &g, &cluster);
+    let mut report = analyze_trace(&trace, &g, &cluster);
+
+    if adapt {
+        // Post-run ingestion uses the fault plan to deflate slowdown
+        // windows out of the observations — the authoritative numbers,
+        // unlike the raw in-run lower bounds the re-molder steers by.
+        let ingest = store
+            .ingest_trace(&trace, &g, &faults)
+            .map_err(|e| format!("ingesting trace: {e}"))?;
+        report.merge(analyze_model(&store, &g));
+        if let Some(p) = store_path {
+            let json = store
+                .to_json()
+                .map_err(|e| format!("serializing store: {e}"))?;
+            std::fs::write(p, json).map_err(|e| format!("writing {p}: {e}"))?;
+        }
+        if !args.has("json") {
+            println!(
+                "adapt     : {} observation(s) ingested ({} skipped), store now holds {}",
+                ingest.ingested,
+                ingest.skipped_unfinished + ingest.skipped_degenerate,
+                store.n_observations()
+            );
+        }
+    }
 
     if args.has("json") {
         let summary = RunSummary {
@@ -486,7 +541,13 @@ fn check_run_outcome(
 
 /// Recovery policies a chaos battery exercises when `--recovery` is not
 /// given: every plain policy plus a hedged variant.
-const CHAOS_RECOVERIES: [&str; 4] = ["failstop", "retryshrink", "replan", "hedged-retryshrink"];
+const CHAOS_RECOVERIES: [&str; 5] = [
+    "failstop",
+    "retryshrink",
+    "replan",
+    "remold",
+    "hedged-retryshrink",
+];
 
 fn chaos(args: &Args) -> Result<(), String> {
     use locmps_analysis::{analyze_trace, Severity};
@@ -628,7 +689,9 @@ fn compare(args: &Args) -> Result<(), String> {
         "scheme", "planned (s)", "executed (s)", "sched (s)", "rel"
     );
     let mut reference: Option<f64> = None;
-    for name in ["locmps", "icaslb", "cpr", "cpa", "tsas", "task", "data"] {
+    for name in [
+        "locmps", "icaslb", "cpr", "cpa", "tsas", "psonline", "task", "data",
+    ] {
         let s = scheduler_by_name(name)?;
         let t0 = std::time::Instant::now();
         let out = s.schedule(&g, &cluster).map_err(|e| e.to_string())?;

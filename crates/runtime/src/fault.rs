@@ -344,6 +344,39 @@ impl FaultPlan {
         t + left * self.slowdown_factor(procs, t)
     }
 
+    /// The nominal compute seconds absorbed by `procs` over the wall-clock
+    /// interval `[from, until)` — the exact inverse of
+    /// [`FaultPlan::finish_after`]: for any positive `work`,
+    /// `nominal_work_between(procs, from, finish_after(procs, from, work))`
+    /// recovers `work` (up to float rounding).
+    ///
+    /// This is the slowdown-window correction used when feeding *observed*
+    /// attempt durations back into a performance model: an attempt
+    /// stretched by a scripted slowdown did not reveal anything about the
+    /// task's profile, only about the window, so the observation must be
+    /// deflated segment by segment before it is ingested.
+    pub fn nominal_work_between(&self, procs: &ProcSet, from: f64, until: f64) -> f64 {
+        if until <= from {
+            return 0.0;
+        }
+        let cuts = self.slow_cuts(procs, from);
+        if cuts.is_empty() && self.slowdown_factor(procs, from) == 1.0 {
+            // Bit-identical to the fault-free reading, mirroring
+            // `finish_after`'s fast path.
+            return until - from;
+        }
+        let mut t = from;
+        let mut work = 0.0;
+        for &c in &cuts {
+            if c >= until {
+                break;
+            }
+            work += (c - t) / self.slowdown_factor(procs, t);
+            t = c;
+        }
+        work + (until - t) / self.slowdown_factor(procs, t)
+    }
+
     /// Sorted, deduplicated times after `from` at which the compound
     /// slowdown factor of `procs` can change (window edges).
     fn slow_cuts(&self, procs: &ProcSet, from: f64) -> Vec<f64> {
@@ -777,6 +810,236 @@ impl RecoveryPolicy for Replan {
     }
 }
 
+/// Observation-driven re-molding: like [`Replan`], but the residual DAG is
+/// re-scheduled against profiles *corrected* by a
+/// [`PerfModelStore`](crate::PerfModelStore), and straggler alarms both
+/// teach the store (elapsed wall-clock, slowdown-window corrected, as a
+/// lower bound on the attempt's true runtime) and trigger a re-mold —
+/// processor counts change, not just placement.
+///
+/// Processors hosting suspected-straggler attempts are additionally
+/// quarantined: subsequent re-molds schedule the pending work onto the
+/// alive-and-unsuspected processors only (falling back to all survivors
+/// when everything is suspect), so systematically degraded processors stop
+/// receiving new tasks. Launch widths therefore never exceed the survivor
+/// capacity by construction.
+pub struct Remold {
+    scheduler: LocMps,
+    store: crate::perfmodel::PerfModelStore,
+    active: bool,
+    dirty: bool,
+    plan: Vec<Option<(f64, ProcSet)>>,
+    scratch: LocbsScratch,
+    dag_buf: TaskGraph,
+    suspect: ProcSet,
+}
+
+impl Remold {
+    /// Re-molds with the given LoC-MPS configuration and an empty store.
+    pub fn new(config: LocMpsConfig) -> Self {
+        Self::with_store(config, crate::perfmodel::PerfModelStore::new())
+    }
+
+    /// Re-molds with the default LoC-MPS configuration and an empty store.
+    pub fn locmps() -> Self {
+        Self::new(LocMpsConfig::default())
+    }
+
+    /// Re-molds against a pre-seeded performance-model store (e.g. one
+    /// persisted from earlier runs), enabling cross-run learning.
+    pub fn with_store(config: LocMpsConfig, store: crate::perfmodel::PerfModelStore) -> Self {
+        Self {
+            scheduler: LocMps::new(config),
+            store,
+            active: false,
+            dirty: false,
+            plan: Vec::new(),
+            scratch: LocbsScratch::new(),
+            dag_buf: TaskGraph::new(),
+            suspect: ProcSet::new(),
+        }
+    }
+
+    /// Read access to the store (e.g. to inspect learned corrections).
+    pub fn store(&self) -> &crate::perfmodel::PerfModelStore {
+        &self.store
+    }
+
+    /// Consumes the policy, returning the store with everything learned
+    /// during the run — the caller persists it or seeds the next run.
+    pub fn into_store(self) -> crate::perfmodel::PerfModelStore {
+        self.store
+    }
+
+    fn remold(&mut self, ctx: &RecoveryCtx<'_>, log: &mut Vec<TraceEvent>) {
+        for slot in &mut self.plan {
+            *slot = None;
+        }
+        // Quarantine suspects; if every survivor is suspect the run must
+        // still make progress, so fall back to the full alive set.
+        let healthy = ctx.alive.difference(&self.suspect);
+        let pool = if healthy.is_empty() {
+            ctx.alive.clone()
+        } else {
+            healthy
+        };
+        let n_pool = pool.len();
+        if n_pool == 0 {
+            return;
+        }
+        let corrected = self.store.corrected_graph(ctx.g, n_pool);
+        let Some(res) = ResidualDag::extract(&corrected, |t| {
+            !ctx.done[t.index()] && !ctx.running[t.index()]
+        }) else {
+            return;
+        };
+        let dense = Cluster {
+            n_procs: n_pool,
+            ..ctx.cluster.clone()
+        };
+        let pool_ids = pool.to_vec();
+        let Ok(out) = self.scheduler.schedule_with_scratch(
+            &res.graph,
+            &dense,
+            &mut self.dag_buf,
+            &mut self.scratch,
+        ) else {
+            // Leave the plan empty; the engine's stall handling aborts.
+            return;
+        };
+        for (ri, &parent) in res.to_parent.iter().enumerate() {
+            let entry = out
+                .schedule
+                .get(TaskId(ri as u32))
+                .expect("residual plan covers the residual graph");
+            let mut procs = ProcSet::new();
+            for p in entry.procs.iter() {
+                procs.insert(pool_ids[p as usize]);
+            }
+            self.plan[parent.index()] = Some((entry.start, procs));
+        }
+        log.push(TraceEvent {
+            time: ctx.now,
+            kind: TraceEventKind::Replan {
+                pending: res.graph.n_tasks(),
+                procs: n_pool,
+            },
+        });
+    }
+}
+
+impl Default for Remold {
+    fn default() -> Self {
+        Self::locmps()
+    }
+}
+
+impl RecoveryPolicy for Remold {
+    fn name(&self) -> &str {
+        "remold"
+    }
+
+    fn prepare(&mut self, g: &TaskGraph, _cluster: &Cluster) {
+        self.plan = vec![None; g.n_tasks()];
+    }
+
+    fn on_proc_failure(&mut self, _ctx: &RecoveryCtx<'_>, _proc: ProcId) {
+        self.active = true;
+        self.dirty = true;
+    }
+
+    fn on_task_failure(&mut self, _ctx: &RecoveryCtx<'_>, _task: TaskId) -> RecoveryAction {
+        self.active = true;
+        self.dirty = true;
+        RecoveryAction::Retry
+    }
+
+    fn on_straggler(
+        &mut self,
+        ctx: &RecoveryCtx<'_>,
+        task: TaskId,
+        _attempt: u32,
+    ) -> StragglerAction {
+        // Learn from the alarm: the attempt has already consumed
+        // `now - compute_start` wall-clock seconds, a *lower bound* on
+        // the task's runtime at this width (the FaultPlan is not visible
+        // here, so no slowdown deflation — the post-run
+        // `PerfModelStore::ingest_trace` supplies the corrected number;
+        // this in-run observation only has to push the re-mold away from
+        // the slow pool, and the store's saturating ratio ingestion keeps
+        // it bounded). Degenerate observations (zero-length windows) are
+        // rejected by the store, never a panic.
+        if let Some(entry) = ctx.placed[task.index()].as_ref() {
+            let np = entry.procs.len();
+            let observed = ctx.now - entry.compute_start;
+            let predicted = ctx.g.task(task).profile.time(np);
+            let _ = self
+                .store
+                .observe(&ctx.g.task(task).name, np, predicted, observed);
+            self.suspect = self.suspect.union(&entry.procs);
+        }
+        self.active = true;
+        self.dirty = true;
+        StragglerAction::Ignore
+    }
+
+    fn overrides_dispatch(&self) -> bool {
+        self.active
+    }
+
+    fn dispatch_recovery(
+        &mut self,
+        ctx: &RecoveryCtx<'_>,
+        ready: &[TaskId],
+        free: &ProcSet,
+        stall: bool,
+        log: &mut Vec<TraceEvent>,
+    ) -> Vec<(TaskId, ProcSet)> {
+        if !self.active {
+            return Vec::new();
+        }
+        if self.dirty {
+            self.remold(ctx, log);
+            self.dirty = false;
+        }
+        let mut order: Vec<TaskId> = ready.to_vec();
+        order.sort_by(|&a, &b| {
+            let sa = self.plan[a.index()].as_ref().map_or(f64::INFINITY, |p| p.0);
+            let sb = self.plan[b.index()].as_ref().map_or(f64::INFINITY, |p| p.0);
+            sa.total_cmp(&sb).then(a.cmp(&b))
+        });
+        let mut remaining = free.clone();
+        let mut launches = Vec::new();
+        for t in order {
+            if let Some((_, procs)) = &self.plan[t.index()] {
+                if !procs.is_empty() && procs.is_subset(&remaining) {
+                    remaining = remaining.difference(procs);
+                    launches.push((t, procs.clone()));
+                }
+            }
+        }
+        if launches.is_empty() && stall && !remaining.is_empty() {
+            // Safety net for plans invalidated between re-molds: mold the
+            // first ready task onto the free survivors so the run keeps
+            // making progress instead of aborting.
+            if let Some(&t) = ready.first() {
+                let np = ctx
+                    .g
+                    .task(t)
+                    .profile
+                    .pbest(ctx.cluster.n_procs)
+                    .min(remaining.len())
+                    .max(1);
+                let scores = vec![0.0; ctx.cluster.n_procs];
+                if let Some(procs) = locality::select_max_locality(&remaining, np, &scores) {
+                    launches.push((t, procs));
+                }
+            }
+        }
+        launches
+    }
+}
+
 /// Adds speculative re-execution to any inner recovery policy.
 ///
 /// Every hook delegates to the wrapped policy; only
@@ -839,9 +1102,9 @@ impl RecoveryPolicy for Hedged {
 }
 
 /// Builds a recovery policy from its report name: `failstop`/`fail-stop`,
-/// `retryshrink`/`retry-shrink`, `replan`, or any of those behind a
-/// `hedged-` prefix (e.g. `hedged-replan`). Returns `None` for unknown
-/// names.
+/// `retryshrink`/`retry-shrink`, `replan`, `remold`, or any of those
+/// behind a `hedged-` prefix (e.g. `hedged-replan`). Returns `None` for
+/// unknown names.
 pub fn recovery_by_name(name: &str) -> Option<Box<dyn RecoveryPolicy>> {
     if let Some(inner) = name.strip_prefix("hedged-") {
         return recovery_by_name(inner)
@@ -851,6 +1114,7 @@ pub fn recovery_by_name(name: &str) -> Option<Box<dyn RecoveryPolicy>> {
         "failstop" | "fail-stop" => Some(Box::new(FailStop)),
         "retryshrink" | "retry-shrink" => Some(Box::new(RetryShrink::new())),
         "replan" => Some(Box::new(Replan::locmps())),
+        "remold" => Some(Box::new(Remold::locmps())),
         _ => None,
     }
 }

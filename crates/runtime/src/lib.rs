@@ -49,6 +49,7 @@
 pub mod chaos;
 pub mod engine;
 pub mod fault;
+pub mod perfmodel;
 pub mod policy;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
@@ -58,6 +59,7 @@ pub use engine::{
 };
 pub use fault::{
     recovery_by_name, FailStop, Fault, FaultError, FaultPlan, Hedged, RecoveryAction, RecoveryCtx,
-    RecoveryPolicy, Replan, RetryShrink, StragglerAction,
+    RecoveryPolicy, Remold, Replan, RetryShrink, StragglerAction,
 };
+pub use perfmodel::{IngestError, IngestReport, PerfModelStore, WidthObs};
 pub use policy::{GreedyOneProc, OnlineLocbs, OnlinePolicy, PlanFollower};

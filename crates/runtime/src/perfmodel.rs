@@ -1,0 +1,683 @@
+//! [`PerfModelStore`]: observed per-task performance fed back into
+//! molding decisions.
+//!
+//! The offline schedulers trust each task's [`ExecutionProfile`]; at run
+//! time the realized durations disagree — noise, mis-profiled speedup
+//! curves, degraded hardware. This module closes the loop (the adaptive
+//! resource-molding idea of ARMS, Abduljabbar et al.): every finished
+//! *winning* attempt contributes one observation `observed / predicted`
+//! at its width, slowdown-window-corrected through
+//! [`FaultPlan::nominal_work_between`] so scripted adversity is not
+//! mistaken for a bad profile, and the accumulated ratios correct the
+//! profiles the [`Remold`](crate::fault::Remold) policy re-molds against.
+//!
+//! Determinism contract:
+//!
+//! * updates are **order-independent** — observations land in per-width
+//!   multisets kept sorted by `total_cmp`, so any permutation of the same
+//!   observations yields a bit-identical store (and bit-identical
+//!   serialized JSON);
+//! * corrections are the **median** ratio, looked up at the nearest
+//!   observed width at-or-below the query and **clamped** at both ends —
+//!   never extrapolated past the last observed width;
+//! * an **empty store corrects nothing**: [`PerfModelStore::corrected_graph`]
+//!   returns a clone whose profiles are bit-identical to the input, which
+//!   is what makes the adaptive path reproduce the golden fingerprints
+//!   byte-for-byte when there is nothing to adapt to.
+//!
+//! The store serializes to JSON ([`PerfModelStore::to_json`]) so
+//! `locmps serve` and repeated `locmps run --adapt` invocations can learn
+//! across jobs.
+
+use locmps_speedup::{ExecutionProfile, ProfiledSpeedup, SpeedupModel};
+use locmps_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{ExecutionTrace, TraceEventKind};
+use crate::fault::FaultPlan;
+
+/// Observed-over-predicted ratios are saturated into this closed range
+/// before they enter the store: a near-zero or enormous observation says
+/// "something is off", not "update the model by six orders of magnitude".
+pub const RATIO_FLOOR: f64 = 1e-3;
+/// Upper saturation bound of ingested ratios (see [`RATIO_FLOOR`]).
+pub const RATIO_CEIL: f64 = 1e3;
+
+/// A typed ingestion error. Malformed observations are reported, never
+/// panicked on — the adaptive loop runs inside daemons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The observation or prediction is NaN or infinite.
+    NonFinite {
+        /// Task name of the offending observation.
+        task: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The observed runtime is zero, negative or denormal — attempts
+    /// killed mid-slowdown-window can deflate to ~0 nominal seconds and
+    /// must not reach a division.
+    DegenerateRuntime {
+        /// Task name of the offending observation.
+        task: String,
+        /// The degenerate observed runtime.
+        observed: f64,
+    },
+    /// The predicted runtime is zero, negative or denormal (a corrupt
+    /// profile); dividing by it would manufacture a huge ratio.
+    DegeneratePrediction {
+        /// Task name of the offending observation.
+        task: String,
+        /// The degenerate predicted runtime.
+        predicted: f64,
+    },
+    /// The observation names a width of zero processors.
+    ZeroWidth {
+        /// Task name of the offending observation.
+        task: String,
+    },
+    /// A trace entry references a task id outside the graph.
+    UnknownTask {
+        /// The out-of-range task index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NonFinite { task, value } => {
+                write!(f, "non-finite observation for task {task:?}: {value}")
+            }
+            IngestError::DegenerateRuntime { task, observed } => {
+                write!(
+                    f,
+                    "degenerate observed runtime for task {task:?}: {observed}"
+                )
+            }
+            IngestError::DegeneratePrediction { task, predicted } => {
+                write!(
+                    f,
+                    "degenerate predicted runtime for task {task:?}: {predicted}"
+                )
+            }
+            IngestError::ZeroWidth { task } => {
+                write!(f, "observation for task {task:?} at width 0")
+            }
+            IngestError::UnknownTask { index } => {
+                write!(f, "trace entry references unknown task index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Per-entry bookkeeping of one [`PerfModelStore::ingest_trace`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Observations that entered the store.
+    pub ingested: usize,
+    /// Schedule entries skipped because the task never logged a
+    /// `TaskFinish` (e.g. the winning attempt of an aborted run's
+    /// in-flight drain) — their windows are not trustworthy observations.
+    pub skipped_unfinished: usize,
+    /// Entries skipped because their corrected window was degenerate
+    /// (zero/denormal nominal seconds, e.g. killed mid-slowdown-window).
+    pub skipped_degenerate: usize,
+}
+
+/// The sorted ratio multiset observed for one task at one width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidthObs {
+    width: usize,
+    ratios: Vec<f64>,
+}
+
+impl WidthObs {
+    /// The processor count these ratios were observed at.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The observed `observed / predicted` ratios, sorted ascending.
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    fn median(&self) -> f64 {
+        let n = self.ratios.len();
+        if n == 0 {
+            return 1.0;
+        }
+        if n % 2 == 1 {
+            self.ratios[n / 2]
+        } else {
+            0.5 * (self.ratios[n / 2 - 1] + self.ratios[n / 2])
+        }
+    }
+}
+
+/// The per-width observations for one task name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskObs {
+    name: String,
+    widths: Vec<WidthObs>,
+}
+
+/// Accumulated performance observations, keyed by task *name* (stable
+/// across residual extractions and re-generated graphs) and width.
+/// Tasks are kept sorted by name, widths by processor count.
+///
+/// See the module docs for the determinism contract.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfModelStore {
+    tasks: Vec<TaskObs>,
+}
+
+impl PerfModelStore {
+    /// The empty store (corrects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the store holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total number of ingested observations across all tasks and widths.
+    pub fn n_observations(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.widths.iter())
+            .map(|w| w.ratios.len())
+            .sum()
+    }
+
+    /// Iterator over `(task name, per-width observations)` in name order.
+    pub fn tasks(&self) -> impl Iterator<Item = (&str, &[WidthObs])> {
+        self.tasks
+            .iter()
+            .map(|t| (t.name.as_str(), t.widths.as_slice()))
+    }
+
+    fn widths_for(&self, task: &str) -> Option<&[WidthObs]> {
+        self.tasks
+            .binary_search_by(|t| t.name.as_str().cmp(task))
+            .ok()
+            .map(|i| self.tasks[i].widths.as_slice())
+    }
+
+    /// Records one observation: `task` ran for `observed` (nominal,
+    /// slowdown-corrected) seconds at `width` where the profile predicted
+    /// `predicted` seconds. The stored ratio saturates into
+    /// `[RATIO_FLOOR, RATIO_CEIL]`.
+    ///
+    /// # Errors
+    /// [`IngestError`] for zero widths and non-finite, zero, negative or
+    /// denormal runtimes — the division is never executed on a ~0
+    /// denominator.
+    pub fn observe(
+        &mut self,
+        task: &str,
+        width: usize,
+        predicted: f64,
+        observed: f64,
+    ) -> Result<(), IngestError> {
+        if width == 0 {
+            return Err(IngestError::ZeroWidth { task: task.into() });
+        }
+        for value in [predicted, observed] {
+            if !value.is_finite() {
+                return Err(IngestError::NonFinite {
+                    task: task.into(),
+                    value,
+                });
+            }
+        }
+        if observed < f64::MIN_POSITIVE {
+            return Err(IngestError::DegenerateRuntime {
+                task: task.into(),
+                observed,
+            });
+        }
+        if predicted < f64::MIN_POSITIVE {
+            return Err(IngestError::DegeneratePrediction {
+                task: task.into(),
+                predicted,
+            });
+        }
+        let ratio = (observed / predicted).clamp(RATIO_FLOOR, RATIO_CEIL);
+        let at = match self.tasks.binary_search_by(|t| t.name.as_str().cmp(task)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.tasks.insert(
+                    i,
+                    TaskObs {
+                        name: task.into(),
+                        widths: Vec::new(),
+                    },
+                );
+                i
+            }
+        };
+        let widths = &mut self.tasks[at].widths;
+        let slot = match widths.binary_search_by(|w| w.width.cmp(&width)) {
+            Ok(i) => &mut widths[i],
+            Err(i) => {
+                widths.insert(
+                    i,
+                    WidthObs {
+                        width,
+                        ratios: Vec::new(),
+                    },
+                );
+                &mut widths[i]
+            }
+        };
+        // Sorted insertion keeps the multiset canonical, so any
+        // permutation of the same observations produces the same bytes.
+        let pos = slot.ratios.partition_point(|r| r.total_cmp(&ratio).is_le());
+        slot.ratios.insert(pos, ratio);
+        Ok(())
+    }
+
+    /// Ingests every *winning* attempt of an execution trace.
+    ///
+    /// Only tasks with a logged `TaskFinish` contribute (the schedule
+    /// holds exactly the winning attempts; losers were crashed or killed
+    /// and never land there). Each window `[compute_start, finish)` is
+    /// deflated through `faults` ([`FaultPlan::nominal_work_between`])
+    /// before the ratio is taken, so scripted slowdowns do not masquerade
+    /// as profile error. Degenerate windows are counted and skipped, not
+    /// errors — chaos campaigns legitimately produce them.
+    ///
+    /// # Errors
+    /// [`IngestError::UnknownTask`] when a schedule entry references a
+    /// task outside `g` (a trace/graph mismatch — nothing is ingested
+    /// from such a pair).
+    pub fn ingest_trace(
+        &mut self,
+        trace: &ExecutionTrace,
+        g: &TaskGraph,
+        faults: &FaultPlan,
+    ) -> Result<IngestReport, IngestError> {
+        let mut finished = vec![false; g.n_tasks()];
+        for ev in &trace.events {
+            if let TraceEventKind::TaskFinish { task, .. } = ev.kind {
+                if task.index() >= g.n_tasks() {
+                    return Err(IngestError::UnknownTask {
+                        index: task.index(),
+                    });
+                }
+                finished[task.index()] = true;
+            }
+        }
+        let mut report = IngestReport::default();
+        for entry in trace.schedule.entries() {
+            let idx = entry.task.index();
+            if idx >= g.n_tasks() {
+                return Err(IngestError::UnknownTask { index: idx });
+            }
+            if !finished[idx] {
+                report.skipped_unfinished += 1;
+                continue;
+            }
+            let np = entry.procs.len();
+            let nominal =
+                faults.nominal_work_between(&entry.procs, entry.compute_start, entry.finish);
+            let predicted = g.task(entry.task).profile.time(np);
+            match self.observe(&g.task(entry.task).name, np, predicted, nominal) {
+                Ok(()) => report.ingested += 1,
+                Err(
+                    IngestError::DegenerateRuntime { .. }
+                    | IngestError::DegeneratePrediction { .. }
+                    | IngestError::NonFinite { .. }
+                    | IngestError::ZeroWidth { .. },
+                ) => report.skipped_degenerate += 1,
+                Err(e @ IngestError::UnknownTask { .. }) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// The correction factor for `task` at `width`: the median observed
+    /// ratio at the nearest observed width **at or below** `width`, or at
+    /// the smallest observed width when none is below — clamped at both
+    /// ends, never extrapolated. `None` when the task has no observations.
+    pub fn correction(&self, task: &str, width: usize) -> Option<f64> {
+        let widths = self.widths_for(task)?;
+        if widths.is_empty() {
+            return None;
+        }
+        let at = match widths.binary_search_by(|w| w.width.cmp(&width)) {
+            Ok(i) => i,
+            // Insertion point i: widths[i-1] is the nearest below; when
+            // the query is below every observation, clamp to the first.
+            Err(i) => i.saturating_sub(1),
+        };
+        Some(widths[at].median())
+    }
+
+    /// The largest absolute deviation of any median correction from 1.0
+    /// for `task` — the model-divergence measure reported by the LM330
+    /// diagnostic. `None` without observations.
+    pub fn divergence(&self, task: &str) -> Option<f64> {
+        let widths = self.widths_for(task)?;
+        widths
+            .iter()
+            .map(|w| (w.median() - 1.0).abs())
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a| a.max(d)))
+            })
+    }
+
+    /// A copy of `g` whose profiles are corrected by the store's
+    /// observations over widths `1..=max_p`.
+    ///
+    /// Tasks without observations keep a **bit-identical clone** of their
+    /// profile (an empty store therefore reproduces `g` exactly, which is
+    /// what keeps the adaptive path on the golden fingerprints). Observed
+    /// tasks get a profiled-table rebuild of `time(p) × correction(p)`,
+    /// post-processed so the corrected curve stays lint-clean:
+    ///
+    /// * execution time never increases with `p` (no LM012), and
+    /// * processor-time area `p·et(p)` never shrinks with `p` (no LM013 —
+    ///   corrections can not manufacture superlinear speedup; in
+    ///   particular `S(p) ≤ p` always holds).
+    pub fn corrected_graph(&self, g: &TaskGraph, max_p: usize) -> TaskGraph {
+        let max_p = max_p.max(1);
+        let mut out = TaskGraph::new();
+        for (_, task) in g.tasks() {
+            let profile = if self.widths_for(&task.name).is_some() {
+                corrected_profile(
+                    &task.profile,
+                    |p| self.correction(&task.name, p).unwrap_or(1.0),
+                    max_p,
+                )
+                .unwrap_or_else(|| task.profile.clone())
+            } else {
+                task.profile.clone()
+            };
+            out.add_task(task.name.clone(), profile);
+        }
+        for (_, e) in g.edges() {
+            // Source graphs carry only data edges (pseudo-edges live in
+            // scheduler-internal copies); a failed re-add can only mean a
+            // duplicate, which `g` cannot contain.
+            let _ = out.add_edge(e.src, e.dst, e.volume);
+        }
+        out
+    }
+
+    /// Serializes the store to JSON (deterministic: name-ordered map,
+    /// sorted ratio multisets, shortest-round-trip floats).
+    ///
+    /// # Errors
+    /// A rendering error message (non-finite values cannot occur in a
+    /// store built through [`PerfModelStore::observe`]).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty_checked(self).map_err(|e| e.to_string())
+    }
+
+    /// Deserializes a store from JSON, re-validating the invariants that
+    /// serde bypasses.
+    ///
+    /// # Errors
+    /// The parse error, or the first invariant violation (see
+    /// [`PerfModelStore::validate`]).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let store: Self = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let violations = store.validate();
+        if let Some(first) = violations.first() {
+            return Err(format!("inconsistent model store: {first}"));
+        }
+        Ok(store)
+    }
+
+    /// Checks the store invariants (finite saturated ratios, sorted
+    /// non-empty multisets, positive widths), returning one message per
+    /// violation. Deserialization fills fields without going through
+    /// [`PerfModelStore::observe`], so externally loaded stores must be
+    /// checked before their corrections are trusted; the LM332 diagnostic
+    /// reports these.
+    pub fn validate(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut prev_name: Option<&str> = None;
+        for t in &self.tasks {
+            let (name, widths) = (&t.name, &t.widths);
+            if let Some(p) = prev_name {
+                if name.as_str() <= p {
+                    out.push(format!("task names not strictly sorted at {name:?}"));
+                }
+            }
+            prev_name = Some(name.as_str());
+            let mut prev_width = 0usize;
+            for w in widths {
+                if w.width == 0 {
+                    out.push(format!("task {name:?}: observation at width 0"));
+                }
+                if w.width <= prev_width && prev_width != 0 {
+                    out.push(format!(
+                        "task {name:?}: widths not strictly increasing at {}",
+                        w.width
+                    ));
+                }
+                prev_width = w.width;
+                if w.ratios.is_empty() {
+                    out.push(format!(
+                        "task {name:?}: empty ratio set at width {}",
+                        w.width
+                    ));
+                }
+                let mut prev = f64::NEG_INFINITY;
+                for &r in &w.ratios {
+                    if !r.is_finite() || !(RATIO_FLOOR..=RATIO_CEIL).contains(&r) {
+                        out.push(format!(
+                            "task {name:?}: ratio {r} at width {} outside [{RATIO_FLOOR}, {RATIO_CEIL}]",
+                            w.width
+                        ));
+                    }
+                    if r.total_cmp(&prev).is_lt() {
+                        out.push(format!(
+                            "task {name:?}: ratios not sorted at width {}",
+                            w.width
+                        ));
+                    }
+                    prev = r;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rebuilds one profile with per-width corrections, clamped so the
+/// corrected curve stays monotone in time and non-shrinking in area.
+/// Returns `None` when the rebuild is impossible (non-finite corrected
+/// times) — the caller falls back to the uncorrected profile.
+fn corrected_profile(
+    profile: &ExecutionProfile,
+    correction: impl Fn(usize) -> f64,
+    max_p: usize,
+) -> Option<ExecutionProfile> {
+    let mut times = Vec::with_capacity(max_p);
+    for p in 1..=max_p {
+        let raw = profile.time(p) * correction(p);
+        if !raw.is_finite() || raw <= 0.0 {
+            return None;
+        }
+        times.push(raw);
+    }
+    // Lint-clean clamp: t(p) may neither exceed t(p-1) (LM012) nor fall
+    // below area(p-1)/p (LM013). The interval is never empty because
+    // (p-1)/p · t(p-1) ≤ t(p-1); it also forces t(p) ≥ t(1)/p, i.e.
+    // corrected speedups are capped at linear — clamped, never
+    // extrapolated superlinearly past what was observed.
+    for p in 2..=max_p {
+        let prev = times[p - 2];
+        let floor = prev * (p as f64 - 1.0) / p as f64;
+        times[p - 1] = times[p - 1].clamp(floor, prev);
+    }
+    let table = ProfiledSpeedup::from_times(&times).ok()?;
+    ExecutionProfile::new(times[0], SpeedupModel::Table(table)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locmps_platform::ProcSet;
+
+    #[test]
+    fn observations_are_order_independent_and_serializable() {
+        let obs = [
+            ("a", 2, 10.0, 12.0),
+            ("a", 2, 10.0, 9.0),
+            ("b", 1, 5.0, 20.0),
+            ("a", 4, 6.0, 6.0),
+            ("a", 2, 10.0, 30.0),
+        ];
+        let mut fwd = PerfModelStore::new();
+        for (t, w, p, o) in obs {
+            fwd.observe(t, w, p, o).unwrap();
+        }
+        let mut rev = PerfModelStore::new();
+        for (t, w, p, o) in obs.iter().rev() {
+            rev.observe(t, *w, *p, *o).unwrap();
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_json().unwrap(), rev.to_json().unwrap());
+        let back = PerfModelStore::from_json(&fwd.to_json().unwrap()).unwrap();
+        assert_eq!(back, fwd);
+        assert_eq!(fwd.n_observations(), 5);
+    }
+
+    #[test]
+    fn degenerate_observations_are_typed_errors_not_panics() {
+        let mut store = PerfModelStore::new();
+        assert!(matches!(
+            store.observe("t", 0, 1.0, 1.0),
+            Err(IngestError::ZeroWidth { .. })
+        ));
+        assert!(matches!(
+            store.observe("t", 1, 1.0, 0.0),
+            Err(IngestError::DegenerateRuntime { .. })
+        ));
+        // Denormals saturate to an error too: f64::MIN_POSITIVE / 4 is
+        // subnormal and dividing by it would overflow the ratio.
+        assert!(matches!(
+            store.observe("t", 1, f64::MIN_POSITIVE / 4.0, 1.0),
+            Err(IngestError::DegeneratePrediction { .. })
+        ));
+        assert!(matches!(
+            store.observe("t", 1, 1.0, f64::NAN),
+            Err(IngestError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            store.observe("t", 1, 1.0, f64::INFINITY),
+            Err(IngestError::NonFinite { .. })
+        ));
+        assert!(store.is_empty(), "failed observations must not ingest");
+        // Extreme-but-valid observations saturate instead of exploding.
+        store.observe("t", 1, 1.0, 1e12).unwrap();
+        assert_eq!(store.correction("t", 1), Some(RATIO_CEIL));
+    }
+
+    #[test]
+    fn correction_clamps_between_and_past_observed_widths() {
+        let mut store = PerfModelStore::new();
+        store.observe("t", 2, 10.0, 20.0).unwrap(); // ratio 2 at width 2
+        store.observe("t", 4, 10.0, 5.0).unwrap(); // ratio 0.5 at width 4
+        assert_eq!(store.correction("t", 1), Some(2.0), "clamp below");
+        assert_eq!(store.correction("t", 2), Some(2.0));
+        assert_eq!(store.correction("t", 3), Some(2.0), "nearest below");
+        assert_eq!(store.correction("t", 4), Some(0.5));
+        assert_eq!(store.correction("t", 64), Some(0.5), "clamp above");
+        assert_eq!(store.correction("unknown", 2), None);
+    }
+
+    #[test]
+    fn empty_store_clones_profiles_bit_identically() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", ExecutionProfile::linear(10.0));
+        let b = g.add_task("b", ExecutionProfile::linear(4.0));
+        g.add_edge(a, b, 25.0).unwrap();
+        let store = PerfModelStore::new();
+        let corrected = store.corrected_graph(&g, 8);
+        assert_eq!(
+            format!("{g:?}"),
+            format!("{corrected:?}"),
+            "empty store must reproduce the graph bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn nominal_work_inverts_finish_after() {
+        let plan = FaultPlan::parse("slow:0@10-20x4,slow:0@15-30x2").unwrap();
+        let p0 = ProcSet::single(0);
+        for (from, work) in [(0.0, 5.0), (0.0, 25.0), (12.0, 4.0), (9.9, 0.3)] {
+            let until = plan.finish_after(&p0, from, work);
+            let back = plan.nominal_work_between(&p0, from, until);
+            assert!(
+                (back - work).abs() < 1e-9,
+                "from={from} work={work}: got {back}"
+            );
+        }
+        // Fault-free fast path is exact.
+        let empty = FaultPlan::new();
+        assert_eq!(empty.nominal_work_between(&p0, 3.0, 7.5), 4.5);
+        assert_eq!(plan.nominal_work_between(&p0, 5.0, 5.0), 0.0);
+        assert_eq!(plan.nominal_work_between(&p0, 5.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn ingest_corrects_for_slowdown_windows() {
+        use crate::engine::{OnlineConfig, RuntimeEngine};
+        use crate::policy::GreedyOneProc;
+
+        let mut g = TaskGraph::new();
+        g.add_task("only", ExecutionProfile::linear(10.0));
+        let cluster = locmps_platform::Cluster::new(1, 25.0);
+        let faults = FaultPlan::parse("slow:0@0-1000x4").unwrap();
+        let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+            &mut GreedyOneProc,
+            &faults,
+            &mut crate::fault::FailStop,
+        );
+        assert!(trace.is_complete());
+        assert!((trace.makespan - 40.0).abs() < 1e-9, "4x stretch");
+        let mut store = PerfModelStore::new();
+        let report = store.ingest_trace(&trace, &g, &faults).unwrap();
+        assert_eq!(report.ingested, 1);
+        // The 40 observed seconds deflate back to 10 nominal: the profile
+        // was right, the processor was slow — correction stays 1.
+        let corr = store.correction("only", 1).unwrap();
+        assert!((corr - 1.0).abs() < 1e-9, "got {corr}");
+    }
+
+    #[test]
+    fn corrected_profiles_stay_clamped_and_sublinear() {
+        // A task observed 3x slow at width 1: every corrected width picks
+        // up the clamped correction, and the rebuilt curve never turns
+        // superlinear even though the correction is applied at width 1
+        // only (clamping propagates, it does not extrapolate).
+        let profile = ExecutionProfile::linear(10.0);
+        let mut store = PerfModelStore::new();
+        store.observe("t", 1, 10.0, 30.0).unwrap();
+        let mut g = TaskGraph::new();
+        g.add_task("t", profile);
+        let corrected = store.corrected_graph(&g, 8);
+        let p = &corrected.task(locmps_taskgraph::TaskId(0)).profile;
+        assert!((p.time(1) - 30.0).abs() < 1e-9);
+        for np in 2..=8usize {
+            let s = p.speedup(np);
+            assert!(s <= np as f64 + 1e-9, "S({np}) = {s} must stay sublinear");
+            assert!(p.time(np) <= p.time(np - 1) + 1e-9, "monotone time");
+            assert!(
+                np as f64 * p.time(np) >= (np - 1) as f64 * p.time(np - 1) - 1e-9,
+                "non-shrinking area"
+            );
+        }
+    }
+}

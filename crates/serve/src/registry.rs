@@ -2,17 +2,18 @@
 //! front end (CLI subcommands, the serve daemon, future WASM bindings),
 //! so the set of schedulable algorithms cannot drift between them.
 
-use locmps_baselines::{Cpa, Cpr, DataParallel, TaskParallel, Tsas};
+use locmps_baselines::{Cpa, Cpr, DataParallel, OnlineMoldable, TaskParallel, Tsas};
 use locmps_core::{LocMps, LocMpsConfig, Scheduler};
 
 /// The names [`scheduler_by_name`] accepts, in display order.
-pub const SCHEDULER_NAMES: [&str; 8] = [
+pub const SCHEDULER_NAMES: [&str; 9] = [
     "locmps",
     "icaslb",
     "nobackfill",
     "cpr",
     "cpa",
     "tsas",
+    "psonline",
     "task",
     "data",
 ];
@@ -38,16 +39,17 @@ pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler + Send + Sync>,
         "cpr" => Box::new(Cpr),
         "cpa" => Box::new(Cpa),
         "tsas" => Box::new(Tsas::default()),
+        "psonline" => Box::new(OnlineMoldable::default()),
         "task" => Box::new(TaskParallel),
         "data" => Box::new(DataParallel),
         other => return Err(format!("unknown scheduler {other:?}")),
     })
 }
 
-/// CPR and CPA come from locality-oblivious runtimes; everything else
-/// reuses resident block-cyclic data (see `locmps-sim`).
+/// CPR, CPA, TSAS and PS-ONLINE come from locality-oblivious runtimes;
+/// everything else reuses resident block-cyclic data (see `locmps-sim`).
 pub fn locality_aware(name: &str) -> bool {
-    !matches!(name, "cpr" | "cpa" | "tsas")
+    !matches!(name, "cpr" | "cpa" | "tsas" | "psonline")
 }
 
 #[cfg(test)]

@@ -395,12 +395,16 @@ fn parse_submit(req: &Request) -> Result<(JobSpec, bool), String> {
         None | Some(Value::Null) => Mode::Schedule,
         Some(run_value) => {
             let run = run_value.as_object().ok_or("\"run\" must be an object")?;
+            let adapt = get_bool_or(run, "adapt", false)?;
             Mode::Run(RunParams {
                 seed: get_u64_or(run, "seed", 0)?,
                 exec_cv: get_f64_or(run, "exec_cv", 0.0)?,
                 policy: get_str_or(run, "policy", "plan")?,
-                recovery: get_str_or(run, "recovery", "failstop")?,
+                // Adaptive runs default to the observation-driven
+                // re-molder, mirroring `locmps run --adapt`.
+                recovery: get_str_or(run, "recovery", if adapt { "remold" } else { "failstop" })?,
                 faults: get_str_or(run, "faults", "")?,
+                adapt,
             })
         }
     };

@@ -29,11 +29,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use locmps_analysis::analyze_trace;
+use locmps_analysis::{analyze_model, analyze_trace};
+use locmps_core::LocMpsConfig;
 use locmps_platform::Cluster;
 use locmps_runtime::{
     recovery_by_name, FaultPlan, GreedyOneProc, OnlineConfig, OnlineLocbs, OnlinePolicy,
-    PlanFollower, RuntimeEngine,
+    PerfModelStore, PlanFollower, Remold, RuntimeEngine,
 };
 use locmps_taskgraph::TaskGraph;
 use serde::Serialize;
@@ -76,6 +77,10 @@ pub struct RunParams {
     pub recovery: String,
     /// Fault script in the `--faults` grammar (empty for none).
     pub faults: String,
+    /// Close the observation loop: seed a `remold` recovery with the
+    /// daemon's shared performance-model store and ingest the trace back
+    /// into it afterwards, so the daemon learns across jobs.
+    pub adapt: bool,
 }
 
 impl Default for RunParams {
@@ -86,6 +91,7 @@ impl Default for RunParams {
             policy: "plan".into(),
             recovery: "failstop".into(),
             faults: String::new(),
+            adapt: false,
         }
     }
 }
@@ -292,6 +298,10 @@ struct Inner {
     work_cv: Condvar,
     /// Signals waiters that a job reached a terminal state.
     done_cv: Condvar,
+    /// The daemon-wide performance-model store adaptive runs learn into.
+    /// A separate lock from `state`: workers snapshot it before computing
+    /// and ingest after, never holding it across the compute itself.
+    model_store: Mutex<PerfModelStore>,
 }
 
 impl Inner {
@@ -344,6 +354,7 @@ impl Service {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            model_store: Mutex::new(PerfModelStore::new()),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -393,15 +404,34 @@ impl Service {
         }
 
         let graph_fp = graph_fingerprint(&spec.graph);
+        // Adaptive runs depend on the model store's contents, which grow
+        // as jobs complete: folding the store's observation count into
+        // the key keeps the cache honest — a job submitted after the
+        // store learned something is a different computation.
+        let adapt_key: String;
         let run_key = match &spec.mode {
             Mode::Schedule => None,
-            Mode::Run(r) => Some((
-                r.seed,
-                r.exec_cv,
-                r.policy.as_str(),
-                r.recovery.as_str(),
-                r.faults.as_str(),
-            )),
+            Mode::Run(r) => {
+                let recovery_key = if r.adapt {
+                    let epoch = self
+                        .inner
+                        .model_store
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .n_observations();
+                    adapt_key = format!("{}+adapt#{epoch}", r.recovery);
+                    adapt_key.as_str()
+                } else {
+                    r.recovery.as_str()
+                };
+                Some((
+                    r.seed,
+                    r.exec_cv,
+                    r.policy.as_str(),
+                    recovery_key,
+                    r.faults.as_str(),
+                ))
+            }
         };
         let fp = job_fingerprint(graph_fp, spec.procs, spec.bandwidth, &spec.algo, run_key);
 
@@ -629,8 +659,11 @@ fn worker_loop(inner: &Inner) {
         // A panicking scheduler must not kill the worker with the job
         // stuck in `Running` (drain would then wait forever): catch the
         // panic and record it as an ordinary failure.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&spec)))
-            .unwrap_or_else(|payload| Err(format!("scheduler panicked: {}", panic_text(&payload))));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&spec, inner)))
+                .unwrap_or_else(|payload| {
+                    Err(format!("scheduler panicked: {}", panic_text(&payload)))
+                });
 
         let mut st = inner.lock_state();
         st.stats.schedules_computed += 1;
@@ -737,9 +770,11 @@ struct TraceResultDto {
     report: locmps_analysis::Report,
 }
 
-/// The compute path (no locks held): schedule, optionally execute online,
-/// render both payloads through the checked JSON writer.
-fn compute(spec: &JobSpec) -> Result<JobOutput, String> {
+/// The compute path (state lock not held; adaptive runs take the
+/// model-store lock briefly before and after the execution, never across
+/// it): schedule, optionally execute online, render both payloads through
+/// the checked JSON writer.
+fn compute(spec: &JobSpec, inner: &Inner) -> Result<JobOutput, String> {
     let cluster = Cluster::new(spec.procs, spec.bandwidth);
     let scheduler = scheduler_by_name(&spec.algo)?;
     let out = scheduler
@@ -769,11 +804,33 @@ fn compute(spec: &JobSpec) -> Result<JobOutput, String> {
             let cfg = run_config(run)?;
             let faults = FaultPlan::parse(&run.faults).map_err(|e| e.to_string())?;
             let mut policy = policy_by_name(&run.policy)?;
-            let mut recovery = recovery_by_name(&run.recovery)
-                .ok_or_else(|| format!("unknown recovery {:?}", run.recovery))?;
+            let mut recovery = if run.adapt && run.recovery == "remold" {
+                // Seed the re-molder with a snapshot of everything the
+                // daemon has learned so far.
+                let snapshot = inner
+                    .model_store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                Box::new(Remold::with_store(LocMpsConfig::default(), snapshot))
+                    as Box<dyn locmps_runtime::RecoveryPolicy>
+            } else {
+                recovery_by_name(&run.recovery)
+                    .ok_or_else(|| format!("unknown recovery {:?}", run.recovery))?
+            };
             let engine = RuntimeEngine::new(&spec.graph, &cluster, cfg);
             let trace = engine.run_with_faults(policy.as_mut(), &faults, recovery.as_mut());
-            let report = analyze_trace(&trace, &spec.graph, &cluster);
+            let mut report = analyze_trace(&trace, &spec.graph, &cluster);
+            if run.adapt {
+                let mut store = inner
+                    .model_store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                store
+                    .ingest_trace(&trace, &spec.graph, &faults)
+                    .map_err(|e| format!("ingesting trace: {e}"))?;
+                report.merge(analyze_model(&store, &spec.graph));
+            }
             let dto = TraceResultDto {
                 policy: policy.name().to_string(),
                 recovery: recovery.name().to_string(),
@@ -950,6 +1007,42 @@ mod tests {
             svc.submit(&cfg, spec("carol", 30.0)),
             Err(SubmitError::Draining)
         ));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn adaptive_runs_learn_across_jobs_and_bypass_stale_cache() {
+        let cfg = ServeConfig::default();
+        let svc = Service::start(cfg);
+        let adaptive = |work: f64| JobSpec {
+            mode: Mode::Run(RunParams {
+                adapt: true,
+                recovery: "remold".into(),
+                ..RunParams::default()
+            }),
+            ..spec("alice", work)
+        };
+        let a = svc.submit(&cfg, adaptive(10.0)).unwrap();
+        let done = svc.wait(a.job_id).unwrap();
+        assert_eq!(done.state, JobState::Done, "{:?}", done.error);
+        let trace = svc.trace_json(a.job_id).unwrap();
+        assert!(trace.contains("\"remold\""), "adaptive runs re-mold");
+        // The first job's trace was ingested, so the store epoch moved:
+        // an identical resubmission is a *different* computation and must
+        // not be answered from the stale cache entry.
+        assert!(
+            svc.inner
+                .model_store
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .n_observations()
+                > 0,
+            "the daemon store must have learned from the completed run"
+        );
+        let b = svc.submit(&cfg, adaptive(10.0)).unwrap();
+        assert!(!b.cached, "store epoch changed → cache must miss");
+        assert_ne!(b.fingerprint, a.fingerprint);
+        assert_eq!(svc.wait(b.job_id).unwrap().state, JobState::Done);
         svc.shutdown();
     }
 

@@ -200,6 +200,12 @@ impl SpeedupModel {
             }
             SpeedupModel::PowerLaw { alpha } => x.powf(*alpha),
             SpeedupModel::Table(t) => {
+                // Clamp to the profiled range before interpolating: past
+                // the last sample the table has no information, so the
+                // curve goes flat (clamped, not extrapolated) — and the
+                // unclamped `x.floor() as usize` saturates to usize::MAX
+                // for huge x, overflowing `lo + 1`.
+                let x = x.min(t.profiled_procs() as f64);
                 let lo = x.floor() as usize;
                 let hi = lo + 1;
                 let frac = x - lo as f64;
@@ -297,6 +303,28 @@ mod tests {
         for m in &models {
             assert!((m.speedup(1) - 1.0).abs() < 1e-12, "{m:?}");
         }
+    }
+
+    #[test]
+    fn table_cont_clamps_past_profiled_range() {
+        // Regression: the Table arm used to compute `x.floor() as usize`
+        // unclamped — for huge x the cast saturates to usize::MAX and
+        // `lo + 1` overflows (a panic under overflow checks), and even
+        // in-range queries past the last sample must clamp flat rather
+        // than extrapolate the last segment's slope.
+        let t = ProfiledSpeedup::new(vec![1.0, 1.8, 2.4, 2.9]).unwrap();
+        let last = 2.9;
+        let m = SpeedupModel::Table(t);
+        assert!((m.speedup_cont(4.0) - last).abs() < 1e-12);
+        assert!(
+            (m.speedup_cont(4.5) - last).abs() < 1e-12,
+            "clamp, not slope"
+        );
+        assert!((m.speedup_cont(1e300) - last).abs() < 1e-12, "no overflow");
+        assert!((m.speedup_cont(f64::MAX) - last).abs() < 1e-12);
+        // Interior interpolation is untouched by the clamp.
+        assert!((m.speedup_cont(1.5) - 1.4).abs() < 1e-12);
+        assert!((m.speedup_cont(3.25) - (0.75 * 2.4 + 0.25 * 2.9)).abs() < 1e-12);
     }
 
     #[test]

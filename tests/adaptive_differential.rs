@@ -1,0 +1,273 @@
+//! The adaptive path's differential oracle: with **zero noise, no faults
+//! and an empty model store**, observation-driven allocation must be a
+//! perfect no-op — every offline schedule computed through
+//! `PerfModelStore::corrected_graph` and every online execution run under
+//! the `Remold` recovery has to reproduce the pinned golden fingerprints
+//! of `tests/golden_zoo.rs` **byte-identically** (48 offline cases: 36
+//! LoC-MPS variants + 12 direct-LoCBS placements; 12 online traces).
+//!
+//! This is what licenses shipping the adaptive loop inside the default
+//! binaries: when there is nothing to adapt to, it is bitwise invisible.
+//! An empty store must clone profiles bit-for-bit (no float churn from a
+//! multiply-by-1.0), and an idle `Remold` (no watchdog alarms, no faults)
+//! must never perturb engine event ordering.
+//!
+//! The tables below are verbatim copies of the golden_zoo constants; if a
+//! legitimate semantic change regenerates those, regenerate here too
+//! (`cargo test --release --test golden_zoo -- --nocapture dump_fingerprints --ignored`).
+
+use locmps::core::{Allocation, CommModel, Locbs, LocbsOptions};
+use locmps::prelude::*;
+use locmps::runtime::{
+    FaultPlan, OnlineConfig, OnlineLocbs, PerfModelStore, Remold, RuntimeEngine,
+};
+use locmps::workloads::strassen::{strassen_graph, StrassenConfig};
+use locmps::workloads::synthetic::{synthetic_graph, SyntheticConfig};
+use locmps::workloads::tce::{ccsd_t1_graph, TceConfig};
+use locmps::workloads::toys::{chain, fork_join, independent};
+
+fn workloads() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("chain", chain(6, 10.0, 20.0)),
+        ("fork_join", fork_join(5, 8.0, 15.0)),
+        ("independent", independent(6, 12.0, 0.2)),
+        (
+            "synthetic",
+            synthetic_graph(&SyntheticConfig {
+                n_tasks: 18,
+                ccr: 0.5,
+                seed: 77,
+                ..Default::default()
+            }),
+        ),
+        (
+            "strassen",
+            strassen_graph(&StrassenConfig {
+                n: 512,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ccsd_t1",
+            ccsd_t1_graph(&TceConfig {
+                n_occ: 16,
+                n_virt: 64,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+fn fnv(text: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fingerprint(s: &locmps::core::Schedule) -> u64 {
+    fnv(&serde_json::to_string(s).expect("schedules serialize"))
+}
+
+fn mixed_alloc(g: &TaskGraph, p: usize) -> Allocation {
+    let half = (p / 2).max(1);
+    Allocation::from_vec(g.task_ids().map(|t| 1 + (t.index() * 7) % half).collect())
+}
+
+fn clusters() -> [(&'static str, Cluster); 2] {
+    [
+        ("ovl", Cluster::new(7, 50.0)),
+        ("noovl", Cluster::new(7, 50.0).without_overlap()),
+    ]
+}
+
+/// The adaptive offline path: every scheduler input passes through an
+/// *empty* store's `corrected_graph` first — exactly what `--adapt` does
+/// before any observation has been ingested.
+fn adaptive_locmps_cases() -> Vec<(String, u64)> {
+    let store = PerfModelStore::new();
+    let mut out = Vec::new();
+    for (wname, g) in workloads() {
+        for (cname, cluster) in clusters() {
+            let corrected = store.corrected_graph(&g, cluster.n_procs);
+            for sched in [
+                LocMps::default(),
+                LocMps::new(LocMpsConfig::icaslb()),
+                LocMps::new(LocMpsConfig::no_backfill()),
+            ] {
+                let outp = sched.schedule(&corrected, &cluster).expect("zoo schedules");
+                out.push((
+                    format!("{wname}/{cname}/{}", sched.name()),
+                    fingerprint(&outp.schedule),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn adaptive_locbs_cases() -> Vec<(String, u64)> {
+    let store = PerfModelStore::new();
+    let mut out = Vec::new();
+    for (wname, g) in workloads() {
+        for (cname, cluster) in clusters() {
+            let corrected = store.corrected_graph(&g, cluster.n_procs);
+            let model = CommModel::new(&cluster);
+            let locbs = Locbs::new(model, LocbsOptions::default());
+            let res = locbs
+                .run(&corrected, &mixed_alloc(&corrected, cluster.n_procs))
+                .expect("zoo places");
+            out.push((
+                format!("{wname}/{cname}/locbs-direct"),
+                fingerprint(&res.schedule),
+            ));
+        }
+    }
+    out
+}
+
+/// The adaptive online path: same engine, same policy, but executing under
+/// the `Remold` recovery with no faults, no noise and the default watchdog
+/// (off). The recovery must stay dormant and the whole trace — events,
+/// schedule, makespan bits — must match the pinned fault-free runs.
+fn adaptive_online_cases() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (wname, g) in workloads() {
+        for (cname, cluster) in clusters() {
+            let mut remold = Remold::locmps();
+            let trace = RuntimeEngine::new(&g, &cluster, OnlineConfig::default()).run_with_faults(
+                &mut OnlineLocbs::default(),
+                &FaultPlan::new(),
+                &mut remold,
+            );
+            assert!(trace.is_complete(), "{wname}/{cname}: fault-free zoo run");
+            assert!(
+                remold.store().is_empty(),
+                "{wname}/{cname}: an idle remold must not have learned anything"
+            );
+            let text = serde_json::to_string(&trace).expect("traces serialize");
+            out.push((format!("{wname}/{cname}/online-locbs"), fnv(&text)));
+        }
+    }
+    out
+}
+
+// Verbatim copies of the golden_zoo tables (36 + 12 offline, 12 online).
+const LOCMPS_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/LoC-MPS", 0x51b023f5229c1847),
+    ("chain/ovl/iCASLB", 0x51b023f5229c1847),
+    ("chain/ovl/LoC-MPS/no-backfill", 0x51b023f5229c1847),
+    ("chain/noovl/LoC-MPS", 0x51b023f5229c1847),
+    ("chain/noovl/iCASLB", 0x51b023f5229c1847),
+    ("chain/noovl/LoC-MPS/no-backfill", 0x51b023f5229c1847),
+    ("fork_join/ovl/LoC-MPS", 0xcad58329ff4f976a),
+    ("fork_join/ovl/iCASLB", 0xcad58329ff4f976a),
+    ("fork_join/ovl/LoC-MPS/no-backfill", 0xcad58329ff4f976a),
+    ("fork_join/noovl/LoC-MPS", 0xcad58329ff4f976a),
+    ("fork_join/noovl/iCASLB", 0xcad58329ff4f976a),
+    ("fork_join/noovl/LoC-MPS/no-backfill", 0xcad58329ff4f976a),
+    ("independent/ovl/LoC-MPS", 0x9e268f4e2b7a1e2d),
+    ("independent/ovl/iCASLB", 0x9e268f4e2b7a1e2d),
+    ("independent/ovl/LoC-MPS/no-backfill", 0x9e268f4e2b7a1e2d),
+    ("independent/noovl/LoC-MPS", 0x9e268f4e2b7a1e2d),
+    ("independent/noovl/iCASLB", 0x9e268f4e2b7a1e2d),
+    ("independent/noovl/LoC-MPS/no-backfill", 0x9e268f4e2b7a1e2d),
+    ("synthetic/ovl/LoC-MPS", 0x22479f276656b763),
+    ("synthetic/ovl/iCASLB", 0x9001c635e80db80a),
+    ("synthetic/ovl/LoC-MPS/no-backfill", 0x22479f276656b763),
+    ("synthetic/noovl/LoC-MPS", 0x22479f276656b763),
+    ("synthetic/noovl/iCASLB", 0x9001c635e80db80a),
+    ("synthetic/noovl/LoC-MPS/no-backfill", 0x22479f276656b763),
+    ("strassen/ovl/LoC-MPS", 0x5f633311a6ba48c7),
+    ("strassen/ovl/iCASLB", 0xbfb85327f1fe267b),
+    ("strassen/ovl/LoC-MPS/no-backfill", 0x5f633311a6ba48c7),
+    ("strassen/noovl/LoC-MPS", 0x5f633311a6ba48c7),
+    ("strassen/noovl/iCASLB", 0xbfb85327f1fe267b),
+    ("strassen/noovl/LoC-MPS/no-backfill", 0x5f633311a6ba48c7),
+    ("ccsd_t1/ovl/LoC-MPS", 0xfa7989cfa100eb68),
+    ("ccsd_t1/ovl/iCASLB", 0x64efa7fc02c38a58),
+    ("ccsd_t1/ovl/LoC-MPS/no-backfill", 0x201a9b306083fbc2),
+    ("ccsd_t1/noovl/LoC-MPS", 0x12a4482b6f9fe7dc),
+    ("ccsd_t1/noovl/iCASLB", 0x64efa7fc02c38a58),
+    ("ccsd_t1/noovl/LoC-MPS/no-backfill", 0x7699ebfaac22fa29),
+];
+const LOCBS_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/locbs-direct", 0xd3076428d01f69ef),
+    ("chain/noovl/locbs-direct", 0x9e47840b54671825),
+    ("fork_join/ovl/locbs-direct", 0xf1cb617eb7c3088d),
+    ("fork_join/noovl/locbs-direct", 0xaf6bbb7952b0ba64),
+    ("independent/ovl/locbs-direct", 0x9588bddb0d89f255),
+    ("independent/noovl/locbs-direct", 0x9588bddb0d89f255),
+    ("synthetic/ovl/locbs-direct", 0xe96b39a1b4874a63),
+    ("synthetic/noovl/locbs-direct", 0x1bf08da4a0f6065c),
+    ("strassen/ovl/locbs-direct", 0x7e027bda24fea542),
+    ("strassen/noovl/locbs-direct", 0xb4dd641179a8d888),
+    ("ccsd_t1/ovl/locbs-direct", 0xede3d0914594410a),
+    ("ccsd_t1/noovl/locbs-direct", 0x783909ac63a4a579),
+];
+const ONLINE_GOLDEN: &[(&str, u64)] = &[
+    ("chain/ovl/online-locbs", 0x2f27a9a230875a07),
+    ("chain/noovl/online-locbs", 0x2f27a9a230875a07),
+    ("fork_join/ovl/online-locbs", 0xa07ab444da17e82c),
+    ("fork_join/noovl/online-locbs", 0xbc8a92bc7a1dd01d),
+    ("independent/ovl/online-locbs", 0x88777aa2c347230f),
+    ("independent/noovl/online-locbs", 0x88777aa2c347230f),
+    ("synthetic/ovl/online-locbs", 0x2050c643bb33c7ca),
+    ("synthetic/noovl/online-locbs", 0x012bd9e409ae32ab),
+    ("strassen/ovl/online-locbs", 0xc3692116786fa996),
+    ("strassen/noovl/online-locbs", 0xeed236db07ee3ba4),
+    ("ccsd_t1/ovl/online-locbs", 0x99c14045cdd17f7b),
+    ("ccsd_t1/noovl/online-locbs", 0x78983ddd702114c7),
+];
+
+fn check(actual: Vec<(String, u64)>, golden: &[(&str, u64)]) {
+    assert_eq!(
+        actual.len(),
+        golden.len(),
+        "case count drifted — regenerate the table"
+    );
+    for ((name, fp), (gname, gfp)) in actual.iter().zip(golden) {
+        assert_eq!(name, gname, "case order drifted — regenerate the table");
+        assert_eq!(
+            *fp, *gfp,
+            "{name}: adaptive path drifted from the golden fingerprint"
+        );
+    }
+}
+
+#[test]
+fn empty_store_locmps_schedules_match_golden_fingerprints() {
+    check(adaptive_locmps_cases(), LOCMPS_GOLDEN);
+}
+
+#[test]
+fn empty_store_locbs_placements_match_golden_fingerprints() {
+    check(adaptive_locbs_cases(), LOCBS_GOLDEN);
+}
+
+#[test]
+fn dormant_remold_traces_match_golden_fingerprints() {
+    check(adaptive_online_cases(), ONLINE_GOLDEN);
+}
+
+/// The no-op guarantee breaks the moment the store is *not* empty: one
+/// observation on one task must change that task's corrected profile and
+/// leave every other profile bit-identical — corrections are surgical.
+#[test]
+fn a_single_observation_only_touches_its_task() {
+    let g = chain(6, 10.0, 20.0);
+    let mut store = PerfModelStore::new();
+    let name = g.tasks().next().map(|(_, t)| t.name.clone()).unwrap();
+    store.observe(&name, 1, 10.0, 30.0).unwrap();
+    let corrected = store.corrected_graph(&g, 7);
+    for (t, task) in g.tasks() {
+        let same = format!("{:?}", task.profile) == format!("{:?}", corrected.task(t).profile);
+        if task.name == name {
+            assert!(!same, "observed task must be corrected");
+        } else {
+            assert!(same, "unobserved task {:?} must be untouched", task.name);
+        }
+    }
+}

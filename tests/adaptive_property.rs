@@ -1,0 +1,327 @@
+//! Property battery for the observation-driven allocation loop: the
+//! [`PerfModelStore`] ingestion algebra, the `remold` recovery's capacity
+//! discipline, and chaos campaigns with adaptation switched on.
+//!
+//! The invariants:
+//! * store updates are **permutation-invariant** — any interleaving of
+//!   the same observation multiset serializes to bit-identical JSON;
+//! * a re-molded run never launches an attempt on a failed processor and
+//!   never allots more processors than survive at launch time;
+//! * random fault campaigns with adaptation on (`remold` and
+//!   `hedged-remold`) stay LM3xx-clean end to end;
+//! * minimized chaos reproducers found under `remold` still re-fire the
+//!   same failure key.
+
+use locmps::analysis::analyze_trace;
+use locmps::prelude::*;
+use locmps::runtime::chaos::{run_chaos, ChaosConfig};
+use locmps::runtime::{
+    recovery_by_name, Fault, FaultPlan, OnlineConfig, OnlineLocbs, PerfModelStore, PlanFollower,
+    Remold, RuntimeEngine, TraceEventKind,
+};
+use locmps::speedup::DowneyParams;
+use locmps::taskgraph::TaskId;
+use locmps::workloads::toys::fork_join;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// (a) the store is a commutative monoid over observations
+// ---------------------------------------------------------------------
+
+/// One raw observation: (task index, width, predicted, observed).
+type Obs = (usize, usize, f64, f64);
+
+fn arb_observations() -> impl Strategy<Value = Vec<Obs>> {
+    proptest::collection::vec((0usize..5, 1usize..9, 0.5..200.0f64, 0.5..200.0f64), 1..40)
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so the shuffle itself is
+/// reproducible from the proptest seed.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((state >> 33) as usize) % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+fn ingest(observations: &[Obs]) -> PerfModelStore {
+    let mut store = PerfModelStore::new();
+    for &(task, width, predicted, observed) in observations {
+        store
+            .observe(&format!("task{task}"), width, predicted, observed)
+            .expect("strategy only draws positive finite runtimes");
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn store_updates_are_permutation_invariant(
+        observations in arb_observations(),
+        seed in any::<u64>(),
+    ) {
+        let in_order = ingest(&observations);
+        let reordered = ingest(&shuffled(&observations, seed));
+        prop_assert_eq!(in_order.n_observations(), observations.len());
+        prop_assert_eq!(&in_order, &reordered);
+        // Bit-identical persistence, not just logical equality: the
+        // daemon's serialized store must not depend on arrival order.
+        let a = in_order.to_json().expect("store serializes");
+        let b = reordered.to_json().expect("store serializes");
+        prop_assert_eq!(a.clone(), b);
+        // And the round-trip through JSON is lossless.
+        let back = PerfModelStore::from_json(&a).expect("round-trips");
+        prop_assert_eq!(back, in_order);
+    }
+
+    #[test]
+    fn degenerate_observations_error_and_leave_the_store_untouched(
+        observations in arb_observations(),
+        bad_predicted in prop_oneof![
+            Just(0.0f64),
+            Just(-3.0f64),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::MIN_POSITIVE / 2.0),
+        ],
+    ) {
+        let mut store = ingest(&observations);
+        let before = store.to_json().expect("store serializes");
+        prop_assert!(store.observe("task0", 2, bad_predicted, 10.0).is_err());
+        prop_assert!(store.observe("task0", 2, 10.0, bad_predicted).is_err());
+        prop_assert!(store.observe("task0", 0, 10.0, 10.0).is_err());
+        prop_assert_eq!(store.to_json().expect("store serializes"), before);
+    }
+}
+
+// ---------------------------------------------------------------------
+// (b) remold never exceeds survivor capacity
+// ---------------------------------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..12, any::<u64>(), 0.1..0.45f64).prop_map(|(n, seed, density)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let work = 2.0 + 30.0 * next();
+            let a = 1.0 + 40.0 * next();
+            let sigma = 2.5 * next();
+            let model = SpeedupModel::Downey(DowneyParams::new(a, sigma).unwrap());
+            g.add_task(format!("t{i}"), ExecutionProfile::new(work, model).unwrap());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    g.add_edge(TaskId(i as u32), TaskId(j as u32), 200.0 * next())
+                        .unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+/// Mixed adversity: permanent processor failures early in the run plus a
+/// slow pool that trips the watchdog — the signals `remold` answers.
+fn adversity_plan(p: usize, seed: u64, kills: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for i in 0..kills {
+        plan.push(Fault::ProcFail {
+            proc: (((seed as usize).wrapping_add(i * 5)) % p) as u32,
+            at: 1.0 + 3.0 * i as f64,
+        })
+        .expect("in-range failure");
+    }
+    for i in 0..(p / 4).max(1) {
+        plan.push(Fault::Slowdown {
+            proc: (((seed as usize).wrapping_add(i * 3 + 1)) % p) as u32,
+            from: 0.0,
+            until: 1e9,
+            factor: 5.0,
+        })
+        .expect("slowdown fault is valid");
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn remold_never_exceeds_survivor_capacity(
+        g in arb_graph(),
+        p in 3usize..8,
+        seed in any::<u64>(),
+        kills in 0usize..2,
+    ) {
+        let cluster = Cluster::new(p, 25.0);
+        let cfg = OnlineConfig {
+            seed,
+            exec_cv: 0.2,
+            straggler_threshold: 1.5,
+            ..OnlineConfig::default()
+        };
+        let faults = adversity_plan(p, seed, kills);
+        let mut remold = Remold::locmps();
+        let trace = RuntimeEngine::new(&g, &cluster, cfg)
+            .run_with_faults(&mut PlanFollower::locmps(), &faults, &mut remold);
+
+        // Replay the log, tracking the alive set: every launch must fit
+        // inside the survivors of its moment.
+        let mut alive = ProcSet::all(p);
+        for ev in &trace.events {
+            match &ev.kind {
+                TraceEventKind::ProcDown { proc } => {
+                    alive.remove(*proc);
+                }
+                TraceEventKind::TaskStart { task, procs, .. }
+                | TraceEventKind::SpeculativeLaunch { task, procs, .. } => {
+                    prop_assert!(
+                        procs.is_subset(&alive),
+                        "launch of {task} on {procs} reaches outside the \
+                         alive set {alive}"
+                    );
+                    prop_assert!(
+                        procs.len() <= alive.len(),
+                        "launch of {task} allots {} > {} survivors",
+                        procs.len(),
+                        alive.len()
+                    );
+                }
+                _ => {}
+            }
+        }
+        // The learned store only ever holds tasks of this graph, at
+        // widths the machine can serve.
+        for (name, widths) in remold.store().tasks() {
+            prop_assert!(
+                (0..g.n_tasks()).any(|i| g.task(TaskId(i as u32)).name == name),
+                "store learned unknown task {:?}", name
+            );
+            for w in widths {
+                prop_assert!(w.width() >= 1 && w.width() <= p);
+            }
+        }
+        // And the adaptive trace still passes the full LM3xx audit.
+        let report = analyze_trace(&trace, &g, &cluster);
+        prop_assert!(!report.has_errors(), "remold: {}", report.render_text());
+    }
+
+    // -----------------------------------------------------------------
+    // (c) chaos with adaptation on stays LM3xx-clean
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn chaos_campaigns_with_adaptation_stay_clean(campaign_seed in 0u64..24) {
+        let workloads = vec![("fork_join".to_string(), fork_join(4, 8.0, 18.0))];
+        let cluster = Cluster::new(4, 25.0);
+        let cfg = ChaosConfig {
+            engine: OnlineConfig {
+                seed: campaign_seed,
+                ..ChaosConfig::default().engine
+            },
+            ..ChaosConfig::default()
+        };
+        let recoveries = vec!["remold".to_string(), "hedged-remold".to_string()];
+        let report = run_chaos(
+            &workloads,
+            &cluster,
+            &recoveries,
+            2,
+            &cfg,
+            |trace, g, cluster| {
+                let audit = analyze_trace(trace, g, cluster);
+                audit.has_errors().then(|| {
+                    format!(
+                        "LM3XX: adaptive trace failed the audit: {}",
+                        audit.render_text().lines().next().unwrap_or("")
+                    )
+                })
+            },
+        );
+        prop_assert_eq!(report.cases, 4, "2 seeds x 2 adaptive recoveries");
+        prop_assert!(
+            report.ok(),
+            "adaptive chaos produced audit failures: {:?}",
+            report.failures
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // (d) minimized reproducers under remold re-fire the same key
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn minimized_remold_reproducers_still_reproduce(campaign_seed in 0u64..32) {
+        let g = fork_join(4, 8.0, 18.0);
+        let cluster = Cluster::new(3, 25.0);
+        let cfg = ChaosConfig {
+            inject: true,
+            engine: OnlineConfig {
+                seed: campaign_seed,
+                ..ChaosConfig::default().engine
+            },
+            ..ChaosConfig::default()
+        };
+        // Tripwire oracle (guaranteed by inject): shrinking must preserve
+        // the failure key even when the recovery under test re-molds.
+        let oracle = |trace: &locmps::runtime::ExecutionTrace,
+                      _: &TaskGraph,
+                      _: &Cluster|
+         -> Option<String> {
+            trace
+                .events
+                .iter()
+                .any(|e| {
+                    matches!(
+                        e.kind,
+                        TraceEventKind::TaskCrash { task: TaskId(0), .. }
+                    )
+                })
+                .then(|| "INJECTED: task 0 crash observed".to_string())
+        };
+        let workloads = vec![("fork_join".to_string(), g.clone())];
+        let report = run_chaos(
+            &workloads,
+            &cluster,
+            &["remold".to_string()],
+            1,
+            &cfg,
+            oracle,
+        );
+        prop_assert_eq!(report.failures.len(), 1, "the spike trips every campaign");
+        for f in &report.failures {
+            let minimized = FaultPlan::parse(&f.minimized_spec).expect("specs round-trip");
+            let mut recovery = recovery_by_name(&f.recovery).expect("known recovery");
+            let trace = RuntimeEngine::new(&g, &cluster, cfg.engine)
+                .run_with_faults(&mut OnlineLocbs::default(), &minimized, recovery.as_mut());
+            let error = oracle(&trace, &g, &cluster);
+            prop_assert!(
+                error.is_some(),
+                "minimized spec {:?} no longer reproduces {:?}",
+                &f.minimized_spec,
+                &f.error
+            );
+            let key = |s: &str| s.split(':').next().unwrap_or("").to_string();
+            prop_assert_eq!(
+                key(&error.unwrap()),
+                key(&f.error),
+                "failure key drifted under shrinking"
+            );
+        }
+    }
+}
