@@ -42,12 +42,14 @@ pub mod diag;
 pub mod input;
 pub mod model;
 pub mod sched;
+pub mod service;
 pub mod trace;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use input::lint_input;
 pub use model::analyze_model;
 pub use sched::{analyze_schedule, search_effort_diagnostic};
+pub use service::{analyze_service, ServiceSnapshot};
 pub use trace::analyze_trace;
 
 /// The stable diagnostic codes, one constant per `LMxxx` code.
@@ -152,4 +154,19 @@ pub mod codes {
     /// invariants (unsorted/empty ratio sets, unsaturated or non-finite
     /// ratios, width 0) — corrections from it cannot be trusted.
     pub const INCONSISTENT_MODEL: &str = "LM332";
+    /// `LM340` (Info/Warn): the serve daemon's health-machine state and
+    /// the pressure behind it (queue depth, p95 schedule latency). Warn
+    /// when the daemon is not in `full` health.
+    pub const SERVICE_HEALTH: &str = "LM340";
+    /// `LM341` (Warn): the last journal replay discarded a torn tail —
+    /// the process died mid-append. Acknowledged work was preserved, but
+    /// the crash itself may deserve investigation.
+    pub const JOURNAL_TRUNCATED: &str = "LM341";
+    /// `LM342` (Info): share of work admitted degraded or shed since
+    /// boot — how much quality the daemon traded for liveness.
+    pub const DEGRADED_SHARE: &str = "LM342";
+    /// `LM343` (Error): job conservation violated — acknowledged jobs no
+    /// longer equal completed + failed + active, i.e. the daemon lost or
+    /// fabricated a job.
+    pub const JOB_CONSERVATION: &str = "LM343";
 }

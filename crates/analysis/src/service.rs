@@ -1,0 +1,164 @@
+//! `LM34x`: audits over a live serve-daemon snapshot — job conservation,
+//! journal integrity, overload posture. The daemon exposes the result at
+//! `GET /v1/diagnostics`; the snapshot struct is plain data so the audit
+//! is unit-testable without a running service.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// A point-in-time view of the serve daemon's counters and health, the
+/// input to [`analyze_service`]. Built by the daemon under its state lock;
+/// every field is a copy, so the audit itself runs lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSnapshot {
+    /// Jobs accepted (acked with a job id) since boot, including replays.
+    pub submitted: u64,
+    /// Jobs that reached `Done`.
+    pub completed: u64,
+    /// Jobs that reached `Failed`.
+    pub failed: u64,
+    /// Jobs currently non-terminal.
+    pub active_jobs: u64,
+    /// Outstanding computations: queued plus currently on a worker.
+    pub queue_depth: u64,
+    /// Submissions refused because the daemon was shedding load.
+    pub shed: u64,
+    /// Jobs admitted on the degraded fallback scheduler.
+    pub degraded_jobs: u64,
+    /// Non-terminal jobs re-admitted from the journal at the last boot.
+    pub recovered_jobs: u64,
+    /// p95 schedule latency over the recent window, ms.
+    pub p95_ms: f64,
+    /// Health-machine state: `"full"`, `"degraded"` or `"shedding"`.
+    pub health: String,
+    /// Whether the last journal replay discarded a torn tail.
+    pub journal_truncated: bool,
+}
+
+/// Audits a service snapshot, reporting `LM34x` diagnostics.
+///
+/// `LM343` (job conservation) is the only Error: every acknowledged job
+/// must be exactly one of completed, failed or active — a violation means
+/// the daemon lost or fabricated a job, the precise defect the durable
+/// journal exists to rule out.
+pub fn analyze_service(s: &ServiceSnapshot) -> Report {
+    let mut report = Report::new();
+
+    let severity = if s.health == "full" {
+        Severity::Info
+    } else {
+        Severity::Warn
+    };
+    report.push(
+        Diagnostic::new(
+            codes::SERVICE_HEALTH,
+            severity,
+            "service",
+            format!("health {} under current pressure", s.health),
+        )
+        .with("health", &s.health)
+        .with("queue_depth", s.queue_depth)
+        .with("p95_ms", format!("{:.3}", s.p95_ms))
+        .with("active_jobs", s.active_jobs),
+    );
+
+    if s.journal_truncated {
+        report.push(
+            Diagnostic::new(
+                codes::JOURNAL_TRUNCATED,
+                Severity::Warn,
+                "journal",
+                "the last journal replay discarded a torn tail (crash mid-append); \
+                 every fsync'd acknowledgement was preserved",
+            )
+            .with("recovered_jobs", s.recovered_jobs),
+        );
+    }
+
+    if s.degraded_jobs > 0 || s.shed > 0 {
+        let denom = s.submitted.max(1) as f64;
+        report.push(
+            Diagnostic::new(
+                codes::DEGRADED_SHARE,
+                Severity::Info,
+                "service",
+                "overload handling engaged since boot",
+            )
+            .with("degraded_jobs", s.degraded_jobs)
+            .with("shed", s.shed)
+            .with(
+                "degraded_fraction",
+                format!("{:.4}", s.degraded_jobs as f64 / denom),
+            ),
+        );
+    }
+
+    let accounted = s.completed + s.failed + s.active_jobs;
+    if accounted != s.submitted {
+        report.push(
+            Diagnostic::new(
+                codes::JOB_CONSERVATION,
+                Severity::Error,
+                "service",
+                format!(
+                    "job conservation violated: submitted {} != completed {} + failed {} + active {}",
+                    s.submitted, s.completed, s.failed, s.active_jobs
+                ),
+            )
+            .with("submitted", s.submitted)
+            .with("accounted", accounted),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> ServiceSnapshot {
+        ServiceSnapshot {
+            submitted: 10,
+            completed: 7,
+            failed: 1,
+            active_jobs: 2,
+            queue_depth: 1,
+            p95_ms: 12.5,
+            health: "full".into(),
+            ..ServiceSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn a_healthy_snapshot_is_info_only() {
+        let report = analyze_service(&healthy());
+        assert!(!report.has_errors(), "{}", report.render_text());
+        assert!(report.to_json().contains(codes::SERVICE_HEALTH));
+    }
+
+    #[test]
+    fn conservation_violation_is_an_error() {
+        let mut s = healthy();
+        s.completed = 5; // 5 + 1 + 2 != 10: two jobs vanished
+        let report = analyze_service(&s);
+        assert!(report.has_errors());
+        assert!(report.to_json().contains(codes::JOB_CONSERVATION));
+    }
+
+    #[test]
+    fn degraded_health_and_truncation_warn() {
+        let mut s = healthy();
+        s.health = "degraded".into();
+        s.journal_truncated = true;
+        s.degraded_jobs = 3;
+        s.shed = 2;
+        let report = analyze_service(&s);
+        assert!(!report.has_errors(), "warnings, not errors");
+        let json = report.to_json();
+        assert!(json.contains(codes::SERVICE_HEALTH));
+        assert!(json.contains(codes::JOURNAL_TRUNCATED));
+        assert!(json.contains(codes::DEGRADED_SHARE));
+        assert!(json.contains("\"warn\""));
+    }
+}

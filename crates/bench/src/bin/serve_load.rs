@@ -1,14 +1,25 @@
-//! Load generator for the `locmps serve` daemon.
+//! Load, recovery and overload experiments for the `locmps serve` daemon.
 //!
-//! Boots a real daemon on an OS-assigned port, then hammers it from
-//! concurrent client threads with mixed-tenant submissions drawn from a
-//! small pool of distinct DAGs (so duplicates exercise the schedule
-//! cache). Records per-request latency and writes throughput, p50/p95/p99
-//! and the daemon's own counters to `BENCH_serve.json`.
+//! Three experiments, all against real daemon instances, written together
+//! to `BENCH_serve.json`:
+//!
+//! 1. **Throughput** — hammers an HTTP daemon from concurrent
+//!    mixed-tenant clients drawing from a small pool of distinct DAGs (so
+//!    duplicates exercise the schedule cache); records p50/p95/p99 and
+//!    the daemon's own counters.
+//! 2. **Recovery** — builds a journal by admitting a burst with zero
+//!    workers, drops the service cold (no drain — the crash image), then
+//!    measures replay time and time-to-drain after reopening the journal.
+//! 3. **Overload** — drives a daemon at ~4x worker saturation twice,
+//!    with graceful degradation on and off, and compares the p99
+//!    submit-to-done latency. Degradation must shed tail latency
+//!    (p99 ratio >= 3x) and neither run may produce a 5xx.
 //!
 //! The run **fails** (exit 1) if any invariant breaks: a non-200
-//! submission, a job that does not finish `done`, a lost acknowledgement,
-//! a fingerprint scheduled more than once, or a duplicate-free cache.
+//! submission in the throughput run, a job that does not finish `done`, a
+//! lost acknowledgement, a fingerprint scheduled more than once, a lost
+//! journaled job, a 5xx under overload, or a degradation tail-latency win
+//! below 3x.
 //!
 //! ```sh
 //! cargo run --release -p locmps-bench --bin serve_load [-- --quick] [--out DIR]
@@ -17,10 +28,10 @@
 use std::collections::HashSet;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use locmps_bench::experiments::ExperimentCtx;
-use locmps_serve::{ServeConfig, Server};
+use locmps_serve::{JobSpec, Mode, ServeConfig, Server, Service};
 use locmps_workloads::synthetic::{synthetic_graph, SyntheticConfig};
 use serde::{Serialize, Value};
 
@@ -84,6 +95,8 @@ struct BenchFile {
     latency: LatencyStats,
     cache_hit_rate: f64,
     daemon: DaemonCounters,
+    recovery: RecoveryStats,
+    overload: OverloadStats,
 }
 
 #[derive(Serialize)]
@@ -97,14 +110,66 @@ struct DaemonCounters {
     schedules_computed: u64,
 }
 
+/// Crash-recovery experiment: journal replay + drain after a cold drop.
+#[derive(Serialize)]
+struct RecoveryStats {
+    /// Jobs acknowledged (and journaled) before the simulated crash.
+    jobs_acked: u64,
+    /// Jobs the reopened daemon re-admitted from the journal.
+    recovered_jobs: u64,
+    /// Wall time for open + replay + re-admit, ms.
+    replay_ms: f64,
+    /// Wall time from reopen until every recovered job was terminal, ms.
+    drain_ms: f64,
+    /// Distinct schedules computed after recovery (coalescing dedups the
+    /// burst down to the distinct-fingerprint count).
+    schedules_computed: u64,
+}
+
+/// One overload run (degradation on or off) at ~4x worker saturation.
+#[derive(Serialize)]
+struct OverloadRun {
+    degradation: bool,
+    submissions: usize,
+    accepted: usize,
+    shed: usize,
+    server_errors: usize,
+    degraded_jobs: u64,
+    degraded_fraction: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct OverloadStats {
+    /// Concurrent blocking clients per scheduling worker.
+    saturation: usize,
+    on: OverloadRun,
+    off: OverloadRun,
+    /// `off.p99_ms / on.p99_ms` — how much tail latency degradation sheds.
+    p99_ratio: f64,
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
 }
 
-fn main() {
-    let ctx = ExperimentCtx::from_env();
-    let (threads, per_thread) = if ctx.quick { (4, 30) } else { (8, 50) };
+/// The throughput experiment: mixed-tenant cacheable load, strict
+/// accounting invariants.
+fn throughput_experiment(
+    quick: bool,
+) -> (
+    usize,
+    usize,
+    usize,
+    f64,
+    LatencyStats,
+    f64,
+    DaemonCounters,
+    usize,
+) {
+    let (threads, per_thread) = if quick { (4, 30) } else { (8, 50) };
     const TENANTS: usize = 4;
     const VARIANTS: usize = 12;
     let algos = ["locmps", "cpr", "data"];
@@ -128,12 +193,17 @@ fn main() {
         })
         .collect();
 
+    // Degradation off: the accounting invariants below assume every job
+    // runs its requested scheduler; the overload experiment is where
+    // degradation is probed deliberately.
     let server = Server::bind(
         "127.0.0.1:0",
         ServeConfig {
             workers: 4,
             queue_cap: 256,
             tenant_quota: 256,
+            degradation: false,
+            ..ServeConfig::default()
         },
     )
     .expect("bind daemon");
@@ -238,17 +308,275 @@ fn main() {
         latency.p50_ms, latency.p95_ms, latency.p99_ms, latency.max_ms
     );
 
+    let (status, _) = exchange(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+
+    (
+        threads,
+        total,
+        TENANTS,
+        wall,
+        latency,
+        hit_rate,
+        daemon,
+        fps.len(),
+    )
+}
+
+/// A service-level submission for the recovery burst (`i` picks a variant
+/// from a small pool so coalescing and caching both engage on replay).
+fn recovery_spec(i: usize) -> JobSpec {
+    const VARIANTS: usize = 10;
+    let g = synthetic_graph(&SyntheticConfig {
+        n_tasks: 14 + 2 * (i % VARIANTS),
+        seed: (i % VARIANTS) as u64,
+        ..SyntheticConfig::default()
+    });
+    JobSpec {
+        tenant: format!("tenant-{}", i % 4),
+        graph: g,
+        procs: 16,
+        bandwidth: 125.0,
+        algo: "locmps".into(),
+        mode: Mode::Schedule,
+        deadline_ms: None,
+    }
+}
+
+/// The recovery experiment: admit a burst with zero workers (every ack is
+/// journaled but nothing runs), drop the service cold, reopen and measure
+/// replay + drain.
+fn recovery_experiment(quick: bool, tmp: &std::path::Path) -> RecoveryStats {
+    let jobs = if quick { 40 } else { 100 };
+    let journal = tmp.join("bench-recovery.journal");
+    let _ = std::fs::remove_file(&journal);
+
+    // Phase A: admission only. workers: 0 means acks are durable but no
+    // schedule ever starts — the worst-case crash image.
+    let build = ServeConfig {
+        workers: 0,
+        queue_cap: jobs,
+        tenant_quota: jobs,
+        degradation: false,
+        ..ServeConfig::default()
+    };
+    let svc = Service::start_with_journal(build, &journal).expect("fresh journal");
+    let mut acked = 0u64;
+    for i in 0..jobs {
+        match svc.submit(&build, recovery_spec(i)) {
+            Ok(_) => acked += 1,
+            Err(e) => panic!("admission-only burst refused a job: {e:?}"),
+        }
+    }
+    drop(svc); // no drain: the crash
+
+    // Phase B: reopen, replay, drain.
+    let serve = ServeConfig {
+        workers: 2,
+        queue_cap: jobs,
+        tenant_quota: jobs,
+        degradation: false,
+        ..ServeConfig::default()
+    };
+    let t0 = Instant::now();
+    let svc = Service::start_with_journal(serve, &journal).expect("replay journal");
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let recovered = svc.stats().recovered_jobs;
+    assert_eq!(recovered, acked, "a journaled job was lost in replay");
+
+    let t1 = Instant::now();
+    loop {
+        let s = svc.stats();
+        if s.completed + s.failed >= s.submitted {
+            assert_eq!(s.failed, 0, "recovered jobs must complete");
+            break;
+        }
+        assert!(
+            t1.elapsed() < Duration::from_secs(120),
+            "recovered burst did not drain"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let drain_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let schedules = svc.stats().schedules_computed;
+    svc.shutdown();
+    let _ = std::fs::remove_file(&journal);
+
+    println!(
+        "recovery: {acked} jobs replayed in {replay_ms:.1} ms, drained in {drain_ms:.1} ms \
+         ({schedules} schedules)"
+    );
+    RecoveryStats {
+        jobs_acked: acked,
+        recovered_jobs: recovered,
+        replay_ms,
+        drain_ms,
+        schedules_computed: schedules,
+    }
+}
+
+/// One overload run over HTTP: `threads` blocking (`wait:true`) clients
+/// against 2 workers, every submission a distinct fingerprint.
+fn overload_run(quick: bool, degradation: bool, run_tag: u64) -> OverloadRun {
+    let threads = 8; // 4x the 2 scheduling workers
+    let per_thread = if quick { 4 } else { 8 };
+    // One fixed graph, large enough that a full LoC-MPS pass visibly
+    // saturates two workers. Every submission perturbs the bandwidth by
+    // an epsilon instead of the topology: fingerprints stay distinct (no
+    // cache hits) while per-job compute cost stays uniform, so the
+    // comparison measures queueing policy, not per-seed topology variance.
+    let graph_json = synthetic_graph(&SyntheticConfig {
+        n_tasks: 48,
+        seed: 7,
+        ..SyntheticConfig::default()
+    })
+    .to_json();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            tenant_quota: 64,
+            degradation,
+            // Thresholds scaled to the run: degrade once a worker's worth
+            // of queue builds, shed near the saturation depth.
+            degrade_queue: 2,
+            shed_queue: 6,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind daemon");
+    let addr = server.addr();
+    let handle = server.spawn();
+
+    let clients: Vec<_> = (0..threads)
+        .map(|t| {
+            let graph_json = graph_json.clone();
+            std::thread::spawn(move || {
+                let mut accepted_ms = Vec::new();
+                let mut shed = 0usize;
+                let mut server_errors = 0usize;
+                for i in 0..per_thread {
+                    let n = (t * per_thread + i) as u64;
+                    // Distinct fingerprint per submission: never cached.
+                    let bandwidth = 125.0 + (run_tag * 100_000 + n) as f64 * 1e-3;
+                    let body = format!(
+                        "{{\"tenant\":\"tenant-{t}\",\"procs\":32,\"bandwidth\":{bandwidth},\
+                         \"algo\":\"locmps\",\"wait\":true,\"graph\":{graph_json}}}",
+                    );
+                    let t0 = Instant::now();
+                    let (status, resp) = exchange(addr, "POST", "/v1/jobs", &body);
+                    let millis = t0.elapsed().as_secs_f64() * 1e3;
+                    match status {
+                        200 => {
+                            assert!(resp.contains("\"state\":\"done\""), "not done: {resp}");
+                            accepted_ms.push(millis);
+                        }
+                        429 => shed += 1,
+                        s if s >= 500 => server_errors += 1,
+                        s => panic!("unexpected status {s}: {resp}"),
+                    }
+                }
+                (accepted_ms, shed, server_errors)
+            })
+        })
+        .collect();
+
+    let mut accepted_ms = Vec::new();
+    let mut shed = 0usize;
+    let mut server_errors = 0usize;
+    for c in clients {
+        let (ms, s, e) = c.join().expect("overload client");
+        accepted_ms.extend(ms);
+        shed += s;
+        server_errors += e;
+    }
+    let submissions = threads * per_thread;
+
+    let (status, stats_body) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let degraded_jobs = uint_field(&stats_body, "degraded_jobs");
+    let submitted = uint_field(&stats_body, "submitted").max(1);
+
+    let (status, _) = exchange(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+
+    accepted_ms.sort_by(f64::total_cmp);
+    assert!(!accepted_ms.is_empty(), "overload run accepted nothing");
+    let run = OverloadRun {
+        degradation,
+        submissions,
+        accepted: accepted_ms.len(),
+        shed,
+        server_errors,
+        degraded_jobs,
+        degraded_fraction: degraded_jobs as f64 / submitted as f64,
+        p50_ms: percentile(&accepted_ms, 0.50),
+        p99_ms: percentile(&accepted_ms, 0.99),
+    };
+    println!(
+        "overload (degradation {}): {} accepted, {} shed, {} 5xx, \
+         p50 {:.1} ms, p99 {:.1} ms, degraded {:.0}%",
+        if degradation { "on" } else { "off" },
+        run.accepted,
+        run.shed,
+        run.server_errors,
+        run.p50_ms,
+        run.p99_ms,
+        run.degraded_fraction * 100.0
+    );
+    run
+}
+
+/// The overload experiment: same 4x-saturation load with degradation on
+/// vs off; degradation must shed tail latency without a single 5xx.
+fn overload_experiment(quick: bool) -> OverloadStats {
+    let off = overload_run(quick, false, 1);
+    let on = overload_run(quick, true, 2);
+    assert_eq!(off.server_errors, 0, "5xx with degradation off");
+    assert_eq!(on.server_errors, 0, "5xx with degradation on");
+    assert!(on.degraded_jobs + (on.shed as u64) > 0, "degradation never engaged");
+    let p99_ratio = off.p99_ms / on.p99_ms.max(1e-9);
+    assert!(
+        p99_ratio >= 3.0,
+        "degradation sheds too little tail latency: off p99 {:.1} ms / on p99 {:.1} ms = {:.2}x (need >= 3x)",
+        off.p99_ms,
+        on.p99_ms,
+        p99_ratio
+    );
+    println!("overload p99 ratio (off/on): {p99_ratio:.1}x");
+    OverloadStats {
+        saturation: 4,
+        on,
+        off,
+        p99_ratio,
+    }
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+
+    let (threads, total, tenants, wall, latency, hit_rate, daemon, distinct) =
+        throughput_experiment(ctx.quick);
+    let recovery = recovery_experiment(ctx.quick, &std::env::temp_dir());
+    let overload = overload_experiment(ctx.quick);
+
     let file = BenchFile {
         quick: ctx.quick,
         client_threads: threads,
         submissions: total,
-        tenants: TENANTS,
-        distinct_jobs: fps.len(),
+        tenants,
+        distinct_jobs: distinct,
         wall_seconds: wall,
         throughput_per_sec: total as f64 / wall,
         latency,
         cache_hit_rate: hit_rate,
         daemon,
+        recovery,
+        overload,
     };
     let json = serde_json::to_string_pretty_checked(&file)
         .expect("load statistics are finite and serialize");
@@ -258,8 +586,4 @@ fn main() {
     } else {
         println!("wrote {}", path.display());
     }
-
-    let (status, _) = exchange(addr, "POST", "/v1/shutdown", "");
-    assert_eq!(status, 200);
-    handle.shutdown();
 }

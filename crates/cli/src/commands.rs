@@ -63,12 +63,19 @@ commands:
                                   tripwired crash to self-test the
                                   find-and-shrink loop end to end
   serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
-           [--tenant-quota N]
+           [--tenant-quota N] [--journal PATH] [--max-retries N]
+           [--no-degradation]
                                   run the scheduling daemon: accept task
                                   graphs over HTTP/1.1 + JSON, schedule
                                   them on a worker pool, cache results by
                                   canonical DAG fingerprint, and enforce
-                                  per-tenant quotas (see docs/SERVE.md)
+                                  per-tenant quotas. --journal makes every
+                                  acknowledged job durable across kill -9
+                                  (replayed and re-enqueued on restart);
+                                  under overload the daemon degrades to
+                                  the cheap fallback scheduler and then
+                                  sheds with 429 + Retry-After
+                                  (see docs/SERVE.md)
 ";
 
 /// Dispatches one invocation.
@@ -723,18 +730,27 @@ fn compare(args: &Args) -> Result<(), String> {
 /// `POST /v1/shutdown` drains it.
 fn serve(args: &Args) -> Result<(), String> {
     let addr = args.option("addr").unwrap_or("127.0.0.1:7077");
+    let defaults = locmps_serve::ServeConfig::default();
     let cfg = locmps_serve::ServeConfig {
         workers: args.get_or("workers", 2usize)?.max(1),
         queue_cap: args.get_or("queue-cap", 64usize)?.max(1),
         tenant_quota: args.get_or("tenant-quota", 8usize)?.max(1),
+        max_retries: args.get_or("max-retries", defaults.max_retries)?,
+        degradation: !args.has("no-degradation"),
+        ..defaults
     };
-    let server = locmps_serve::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let journal = args.option("journal").map(std::path::PathBuf::from);
+    let server = locmps_serve::Server::bind_with_journal(addr, cfg, journal.as_deref())?;
     eprintln!(
-        "locmps-serve listening on {} ({} workers, queue cap {}, tenant quota {})",
+        "locmps-serve listening on {} ({} workers, queue cap {}, tenant quota {}{})",
         server.addr(),
         cfg.workers,
         cfg.queue_cap,
-        cfg.tenant_quota
+        cfg.tenant_quota,
+        match &journal {
+            Some(p) => format!(", journal {}", p.display()),
+            None => String::new(),
+        }
     );
     server.run();
     eprintln!("locmps-serve drained and stopped");

@@ -1,0 +1,116 @@
+//! Service-level chaos: seeded fault injection for the daemon's worker
+//! pool, extending the runtime's fault machinery (the `--faults` grammar
+//! injects *processor* failures into a simulated execution; this injects
+//! failures into the *service itself*).
+//!
+//! Two faults are supported, drawn deterministically per scheduling
+//! attempt from an FNV-keyed hash of `(seed, attempt counter)` so a test
+//! that fixes the seed replays the exact same fault sequence:
+//!
+//! * **worker panic** — the attempt panics before computing, exercising
+//!   the retry/backoff path and the poisoned-lock recovery;
+//! * **slow pass** — the attempt sleeps before computing, driving the p95
+//!   schedule latency that the health machine watches. Only expensive
+//!   (locality-aware) schedulers are slowed: the injected latency models
+//!   a slow LoC-MPS search, and the degraded fallback must stay fast for
+//!   degradation to be observable.
+//!
+//! Mid-write journal crashes — the third chaos axis — need no injection
+//! hook: fsync-before-ack makes every crash image a journal prefix, so
+//! the torture tests cut real journals at every byte boundary instead
+//! (see `journal.rs`).
+
+use crate::fingerprint::fnv1a;
+
+/// Seeded fault-injection knobs for the worker pool. All-zero (the
+/// default) injects nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosConfig {
+    /// Seed for the per-attempt draws.
+    pub seed: u64,
+    /// The first `panic_first` attempts panic unconditionally —
+    /// deterministic ordering for retry tests.
+    pub panic_first: u64,
+    /// Per-mille probability that an attempt panics (0..=1000).
+    pub panic_per_mille: u16,
+    /// Per-mille probability that an attempt is slowed (0..=1000).
+    pub slow_per_mille: u16,
+    /// How long a slowed attempt sleeps before computing.
+    pub slow_ms: u64,
+}
+
+/// What one attempt draw decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChaosDraw {
+    pub(crate) panic: bool,
+    pub(crate) slow_ms: u64,
+}
+
+impl ChaosDraw {
+    #[cfg(test)]
+    pub(crate) const NONE: ChaosDraw = ChaosDraw {
+        panic: false,
+        slow_ms: 0,
+    };
+}
+
+/// The deterministic draw for attempt number `n` (a service-wide counter,
+/// incremented per scheduling attempt including retries).
+pub(crate) fn draw(cfg: &ChaosConfig, n: u64) -> ChaosDraw {
+    if n < cfg.panic_first {
+        return ChaosDraw {
+            panic: true,
+            slow_ms: 0,
+        };
+    }
+    let mut key = [0u8; 17];
+    key[..8].copy_from_slice(&cfg.seed.to_le_bytes());
+    key[8..16].copy_from_slice(&n.to_le_bytes());
+    key[16] = b'p';
+    let panic = fnv1a(&key) % 1000 < u64::from(cfg.panic_per_mille);
+    key[16] = b's';
+    let slow = fnv1a(&key) % 1000 < u64::from(cfg.slow_per_mille);
+    ChaosDraw {
+        panic,
+        slow_ms: if slow { cfg.slow_ms } else { 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_respect_the_rates() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            panic_per_mille: 250,
+            slow_per_mille: 500,
+            slow_ms: 7,
+            ..ChaosConfig::default()
+        };
+        let a: Vec<_> = (0..2000).map(|n| draw(&cfg, n)).collect();
+        let b: Vec<_> = (0..2000).map(|n| draw(&cfg, n)).collect();
+        assert_eq!(a, b, "same seed, same sequence");
+        let panics = a.iter().filter(|d| d.panic).count();
+        let slows = a.iter().filter(|d| d.slow_ms == 7).count();
+        assert!((300..700).contains(&panics), "~25% of 2000, got {panics}");
+        assert!((700..1300).contains(&slows), "~50% of 2000, got {slows}");
+    }
+
+    #[test]
+    fn panic_first_overrides_the_draw() {
+        let cfg = ChaosConfig {
+            panic_first: 3,
+            ..ChaosConfig::default()
+        };
+        assert!((0..3).all(|n| draw(&cfg, n).panic));
+        assert!(!draw(&cfg, 3).panic);
+    }
+
+    #[test]
+    fn zero_config_injects_nothing() {
+        let cfg = ChaosConfig::default();
+        assert!((0..100).all(|n| draw(&cfg, n) == ChaosDraw::NONE));
+    }
+}

@@ -141,6 +141,15 @@ pub fn job_fingerprint(
     h.0
 }
 
+/// FNV-1a over a byte slice — the journal's record checksum. Torn or
+/// bit-flipped records are detected, not adversarial tampering (the
+/// journal is a local file owned by the daemon).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,9 @@ pub enum ParseError {
     HeadersTooLarge,
     /// Body exceeds [`MAX_BODY_BYTES`] (413).
     BodyTooLarge,
+    /// The socket read timeout expired mid-request (408) — a stalled
+    /// client must not pin a connection thread forever.
+    Timeout,
 }
 
 impl std::fmt::Display for ParseError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for ParseError {
                 write!(f, "header block exceeds {MAX_HEADER_BYTES} bytes")
             }
             ParseError::BodyTooLarge => write!(f, "body exceeds {MAX_BODY_BYTES} bytes"),
+            ParseError::Timeout => write!(f, "client stalled past the read timeout"),
         }
     }
 }
@@ -70,7 +74,18 @@ impl ParseError {
             ParseError::ConnectionClosed | ParseError::Malformed(_) => 400,
             ParseError::HeadersTooLarge => 431,
             ParseError::BodyTooLarge => 413,
+            ParseError::Timeout => 408,
         }
+    }
+}
+
+/// Classifies a stream read failure: a tripped `set_read_timeout` surfaces
+/// as `WouldBlock`/`TimedOut` and becomes [`ParseError::Timeout`];
+/// anything else is malformed input from this parser's point of view.
+fn read_failure(e: &std::io::Error, what: &str) -> ParseError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ParseError::Timeout,
+        _ => ParseError::Malformed(format!("{what}: {e}")),
     }
 }
 
@@ -133,10 +148,18 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, ParseError> {
         return Err(ParseError::BodyTooLarge);
     }
 
+    // The body must match its declared length exactly: a short read is a
+    // client that lied about (or never finished) its Content-Length, and
+    // a timeout mid-body is a stalled client — each gets its own status
+    // instead of a silently truncated body reaching a handler.
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|_| ParseError::Malformed("body shorter than content-length".into()))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ParseError::Malformed("body shorter than content-length".into())
+        } else {
+            read_failure(&e, "body read")
+        }
+    })?;
 
     Ok(Request { method, path, body })
 }
@@ -151,9 +174,7 @@ fn read_line<R: BufRead>(
     line.clear();
     let mut buf = Vec::new();
     loop {
-        let chunk = reader
-            .fill_buf()
-            .map_err(|e| ParseError::Malformed(format!("read: {e}")))?;
+        let chunk = reader.fill_buf().map_err(|e| read_failure(&e, "read"))?;
         if chunk.is_empty() {
             break; // EOF
         }
@@ -186,6 +207,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -200,12 +222,31 @@ pub fn reason(status: u16) -> &'static str {
 /// # Errors
 /// Propagates the underlying I/O error (the peer may have vanished).
 pub fn write_json<W: Write>(stream: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write_json_with(stream, status, &[], body)
+}
+
+/// [`write_json`] with extra response headers (e.g. `Retry-After` on a
+/// shed 429). Header names/values are caller-controlled constants, not
+/// client input, so no escaping is attempted.
+///
+/// # Errors
+/// Propagates the underlying I/O error (the peer may have vanished).
+pub fn write_json_with<W: Write>(
+    stream: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
         reason(status),
         body.len(),
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
     stream.flush()
 }
 
@@ -292,5 +333,55 @@ mod tests {
     fn error_body_escapes_quotes() {
         let body = error_body("bad \"thing\"");
         assert_eq!(body, "{\"error\":\"bad \\\"thing\\\"\"}");
+    }
+
+    /// Serves `head` then fails every further read like a tripped socket
+    /// read timeout.
+    struct StallingReader {
+        head: std::io::Cursor<Vec<u8>>,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.head.read(buf)?;
+            if n == 0 {
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn a_stalled_client_is_a_timeout_not_a_bad_request() {
+        // Stall mid-headers.
+        let r = StallingReader {
+            head: std::io::Cursor::new(b"POST /v1/jobs HTTP/1.1\r\nContent-".to_vec()),
+        };
+        assert!(matches!(read_request(r), Err(ParseError::Timeout)));
+        // Stall mid-body: the declared Content-Length never arrives.
+        let r = StallingReader {
+            head: std::io::Cursor::new(
+                b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec(),
+            ),
+        };
+        assert!(matches!(read_request(r), Err(ParseError::Timeout)));
+        assert_eq!(ParseError::Timeout.status(), 408);
+        assert_eq!(reason(408), "Request Timeout");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_between_fixed_headers_and_body() {
+        let mut out = Vec::new();
+        write_json_with(
+            &mut out,
+            429,
+            &[("retry-after", "1".to_string())],
+            "{\"error\":\"shed\"}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("\r\nretry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"shed\"}"));
     }
 }

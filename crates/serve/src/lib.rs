@@ -16,25 +16,38 @@
 //! * [`fingerprint`] — canonical task-graph/job fingerprints (cache keys);
 //! * [`svc`] — the I/O-free service core: job table, schedule cache,
 //!   per-tenant admission control and quotas, a bounded work queue with
-//!   backpressure, a worker pool, and graceful drain;
+//!   backpressure, a worker pool with retries/deadlines, and graceful
+//!   drain;
+//! * [`journal`] — the durable job journal: an append-only, fsync'd,
+//!   checksummed record log that makes acknowledgements survive `kill -9`;
+//! * [`health`] — the three-state load monitor behind graceful
+//!   degradation and load shedding;
+//! * [`chaos`] — seeded service-level fault injection (worker panics,
+//!   slow passes) for the crash/overload test harness;
 //! * [`http`] — a minimal HTTP/1.1 request parser / response writer;
 //! * [`server`] — the TCP accept loop, request routing, structured
 //!   per-request logging, and the shutdown endpoint.
 //!
-//! See `docs/SERVE.md` for the wire protocol and README § Service for a
-//! curl-able walkthrough.
+//! See `docs/SERVE.md` for the wire protocol, durability and degradation
+//! semantics, and README § Service for a curl-able walkthrough.
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod fingerprint;
+pub mod health;
 pub mod http;
+pub mod journal;
 pub mod registry;
 pub mod server;
 pub mod svc;
 
+pub use chaos::ChaosConfig;
 pub use fingerprint::{graph_fingerprint, job_fingerprint};
-pub use registry::{scheduler_by_name, scheduler_names};
+pub use health::{HealthMonitor, HealthState};
+pub use journal::{Journal, JournalError, Record, Replay};
+pub use registry::{degraded_fallback, scheduler_by_name, scheduler_names};
 pub use server::{Server, ServerHandle};
 pub use svc::{
-    JobSpec, JobState, JobStatus, Mode, RunParams, ServeConfig, Service, Stats, SubmitAck,
-    SubmitError,
+    JobErrorKind, JobSpec, JobState, JobStatus, Mode, RunParams, ServeConfig, Service, Stats,
+    SubmitAck, SubmitError, MAX_RETRY_DELAY_MS, RETRY_AFTER_SECS,
 };

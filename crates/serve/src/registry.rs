@@ -52,6 +52,20 @@ pub fn locality_aware(name: &str) -> bool {
     !matches!(name, "cpr" | "cpa" | "tsas" | "psonline")
 }
 
+/// The cheap scheduler a degraded daemon substitutes for `name`, or
+/// `None` when `name` is already cheap enough to run under pressure.
+///
+/// The expensive set is the LoC-MPS family — their allocation search is
+/// what a single slow pass can starve the queue with. The fallback is the
+/// online-moldable baseline (Perotin–Sun's PS-ONLINE): bounded quality,
+/// near-constant cost, exactly the trade an overloaded daemon wants.
+pub fn degraded_fallback(name: &str) -> Option<&'static str> {
+    match name {
+        "locmps" | "icaslb" | "nobackfill" => Some("psonline"),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +76,15 @@ mod tests {
             assert!(scheduler_by_name(name).is_ok(), "{name}");
         }
         assert!(scheduler_by_name("does-not-exist").is_err());
+    }
+
+    #[test]
+    fn fallbacks_are_registered_and_never_chain() {
+        for name in scheduler_names() {
+            if let Some(fb) = degraded_fallback(name) {
+                assert!(scheduler_by_name(fb).is_ok(), "{name} -> {fb}");
+                assert_eq!(degraded_fallback(fb), None, "fallback of a fallback");
+            }
+        }
     }
 }

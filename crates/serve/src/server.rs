@@ -5,9 +5,10 @@
 //!
 //! | Method | Path                     | Meaning                               |
 //! |--------|--------------------------|---------------------------------------|
-//! | GET    | `/healthz`               | liveness probe                        |
+//! | GET    | `/healthz`               | liveness probe + health-machine state |
 //! | GET    | `/v1/schedulers`         | registered algorithm names            |
-//! | GET    | `/v1/stats`              | service counters                      |
+//! | GET    | `/v1/stats`              | service counters + health pressure    |
+//! | GET    | `/v1/diagnostics`        | the LM34x service audit               |
 //! | POST   | `/v1/jobs`               | submit a task graph (returns job id)  |
 //! | GET    | `/v1/jobs/<id>`          | job status                            |
 //! | GET    | `/v1/jobs/<id>/schedule` | the computed schedule (once done)     |
@@ -16,15 +17,18 @@
 //! | POST   | `/v1/shutdown`           | drain in-flight jobs, then exit       |
 //!
 //! Every connection carries one exchange and is handled on its own
-//! thread; the scheduling work itself happens on the service's worker
-//! pool, so a slow client cannot stall a computation (or vice versa).
+//! thread under a socket read timeout (a stalled client gets 408 and
+//! frees its thread); the scheduling work itself happens on the
+//! service's worker pool, so a slow client cannot stall a computation
+//! (or vice versa).
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use locmps_analysis::{analyze_schedule, lint_input};
 use locmps_core::CommModel;
@@ -32,9 +36,27 @@ use locmps_platform::Cluster;
 use locmps_taskgraph::TaskGraph;
 use serde::{field, Value};
 
-use crate::http::{self, read_request, write_json, ParseError, Request};
+use crate::http::{self, read_request, write_json_with, ParseError, Request};
 use crate::registry::{scheduler_by_name, scheduler_names};
 use crate::svc::{JobSpec, Mode, RunParams, ServeConfig, Service, SubmitError};
+
+/// A routed response: status, JSON body, and any extra headers
+/// (`Retry-After` on a shed 429 is the only current use).
+struct Resp {
+    status: u16,
+    body: String,
+    headers: Vec<(&'static str, String)>,
+}
+
+impl Resp {
+    fn new(status: u16, body: impl Into<String>) -> Resp {
+        Resp {
+            status,
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+}
 
 /// A bound, serving daemon. Construct with [`Server::bind`], run with
 /// [`Server::spawn`] (background thread) or [`Server::run`] (current
@@ -83,20 +105,39 @@ impl Server {
     /// # Errors
     /// The `bind`/`local_addr` I/O error.
     pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
+        Self::bind_with_journal(addr, cfg, None)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    /// [`Server::bind`] with an optional durable job journal: the file is
+    /// replayed (re-enqueueing every acknowledged, unfinished job) and
+    /// compacted before the listener accepts its first connection.
+    ///
+    /// # Errors
+    /// The `bind`/`local_addr` I/O error, or a journal that cannot be
+    /// opened/replayed — both rendered to the message the CLI prints.
+    pub fn bind_with_journal(
+        addr: &str,
+        cfg: ServeConfig,
+        journal: Option<&Path>,
+    ) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
         // `workers: 0` is an admission-only test mode of the service
         // core; a network-facing daemon always computes.
         let cfg = ServeConfig {
             workers: cfg.workers.max(1),
             ..cfg
         };
-        let svc = Arc::new(Service::start(cfg));
+        let svc = match journal {
+            None => Service::start(cfg),
+            Some(path) => Service::start_with_journal(cfg, path).map_err(|e| e.to_string())?,
+        };
         Ok(Server {
             cfg,
             listener,
             addr,
-            svc,
+            svc: Arc::new(svc),
         })
     }
 
@@ -170,16 +211,24 @@ fn handle_connection(mut stream: TcpStream, svc: &Service, cfg: &ServeConfig, st
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "?".into());
-    let (status, body, line) = match read_request(&stream) {
+    // A stalled client must not pin this thread: reads past the timeout
+    // fail with `WouldBlock`, which the parser maps to a 408.
+    if cfg.read_timeout_ms > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms)));
+    }
+    let (resp, line) = match read_request(&stream) {
         Ok(req) => {
-            let (status, body) = route(&req, svc, cfg, stop);
-            (status, body, format!("{} {}", req.method, req.path))
+            let line = format!("{} {}", req.method, req.path);
+            (route(&req, svc, cfg, stop), line)
         }
         Err(ParseError::ConnectionClosed) => return,
-        Err(e) => (e.status(), http::error_body(&e.to_string()), "-".into()),
+        Err(e) => (
+            Resp::new(e.status(), http::error_body(&e.to_string())),
+            "-".into(),
+        ),
     };
-    let _ = write_json(&mut stream, status, &body);
-    log_request(&peer, &line, status, started);
+    let _ = write_json_with(&mut stream, resp.status, &resp.headers, &resp.body);
+    log_request(&peer, &line, resp.status, started);
     // If this exchange requested shutdown, wake the accept loop *after*
     // the response went out, so the client sees its 200.
     if stop.load(Ordering::SeqCst) {
@@ -206,9 +255,17 @@ fn log_request(peer: &str, line: &str, status: u16, started: Instant) {
     let _ = writeln!(std::io::stderr(), "{rendered}");
 }
 
-fn route(req: &Request, svc: &Service, cfg: &ServeConfig, stop: &AtomicBool) -> (u16, String) {
+fn route(req: &Request, svc: &Service, cfg: &ServeConfig, stop: &AtomicBool) -> Resp {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, "{\"ok\":true}".into()),
+        ("GET", "/healthz") => {
+            // Liveness plus the health-machine state; assessed on read so
+            // an idle daemon steps back toward `full`.
+            let health = svc.health();
+            Resp::new(
+                200,
+                format!("{{\"ok\":true,\"health\":\"{}\"}}", health.as_str()),
+            )
+        }
         ("GET", "/v1/schedulers") => {
             let names = Value::Array(
                 scheduler_names()
@@ -217,47 +274,53 @@ fn route(req: &Request, svc: &Service, cfg: &ServeConfig, stop: &AtomicBool) -> 
                     .collect(),
             );
             let body = Value::Object(vec![("schedulers".into(), names)]);
-            (
+            Resp::new(
                 200,
                 serde_json::to_string(&body).expect("names are strings"),
             )
         }
         ("GET", "/v1/stats") => {
             let stats = svc.stats();
+            let (health, queue_depth, p95_ms) = svc.health_snapshot();
             let mut entries = match serde::Serialize::to_value(&stats) {
                 Value::Object(entries) => entries,
                 _ => unreachable!("Stats serializes to an object"),
             };
             entries.push(("active_jobs".into(), Value::UInt(svc.active_jobs() as u64)));
-            (
+            entries.push(("health".into(), Value::Str(health.as_str().into())));
+            entries.push(("queue_depth".into(), Value::UInt(queue_depth as u64)));
+            entries.push(("p95_ms".into(), Value::Float(p95_ms)));
+            Resp::new(
                 200,
-                serde_json::to_string(&Value::Object(entries)).expect("counters are integers"),
+                serde_json::to_string_checked(&Value::Object(entries))
+                    .expect("p95 over finite samples is finite"),
             )
         }
+        ("GET", "/v1/diagnostics") => Resp::new(200, svc.service_report().to_json()),
         ("POST", "/v1/jobs") => submit(req, svc, cfg),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_get(path, svc),
         ("POST", "/v1/analyze") => analyze(req),
         ("POST", "/v1/shutdown") => {
             stop.store(true, Ordering::SeqCst);
-            (200, "{\"draining\":true}".into())
+            Resp::new(200, "{\"draining\":true}")
         }
-        ("GET" | "POST", _) => (404, http::error_body("no such route")),
-        _ => (405, http::error_body("method not allowed")),
+        ("GET" | "POST", _) => Resp::new(404, http::error_body("no such route")),
+        _ => Resp::new(405, http::error_body("method not allowed")),
     }
 }
 
 /// `GET /v1/jobs/<id>[/schedule|/trace]`.
-fn job_get(path: &str, svc: &Service) -> (u16, String) {
+fn job_get(path: &str, svc: &Service) -> Resp {
     let rest = &path["/v1/jobs/".len()..];
     let (id_str, sub) = match rest.split_once('/') {
         Some((id, sub)) => (id, Some(sub)),
         None => (rest, None),
     };
     let Ok(id) = id_str.parse::<u64>() else {
-        return (400, http::error_body("job id must be an integer"));
+        return Resp::new(400, http::error_body("job id must be an integer"));
     };
     let Some(status) = svc.status(id) else {
-        return (404, http::error_body("no such job"));
+        return Resp::new(404, http::error_body("no such job"));
     };
     match sub {
         None => {
@@ -270,44 +333,51 @@ fn job_get(path: &str, svc: &Service) -> (u16, String) {
                 ),
                 ("state".into(), Value::Str(status.state.as_str().into())),
                 ("cached".into(), Value::Bool(status.cached)),
+                ("degraded".into(), Value::Bool(status.degraded)),
                 ("error".into(), status.error.map_or(Value::Null, Value::Str)),
+                (
+                    "error_kind".into(),
+                    status
+                        .error_kind
+                        .map_or(Value::Null, |k| Value::Str(k.as_str().into())),
+                ),
                 (
                     "makespan".into(),
                     status.makespan.map_or(Value::Null, Value::Float),
                 ),
             ]);
-            (
+            Resp::new(
                 200,
                 serde_json::to_string_checked(&body).expect("makespans are finite"),
             )
         }
         Some("schedule") => match svc.result_json(id) {
-            Some(json) => (200, json.as_ref().clone()),
-            None => (
+            Some(json) => Resp::new(200, json.as_ref().clone()),
+            None => Resp::new(
                 409,
                 http::error_body(&format!("job is {}", status.state.as_str())),
             ),
         },
         Some("trace") => match svc.trace_json(id) {
-            Some(json) => (200, json.as_ref().clone()),
-            None if status.state == crate::svc::JobState::Done => (
+            Some(json) => Resp::new(200, json.as_ref().clone()),
+            None if status.state == crate::svc::JobState::Done => Resp::new(
                 404,
                 http::error_body("job has no trace (submitted without \"run\")"),
             ),
-            None => (
+            None => Resp::new(
                 409,
                 http::error_body(&format!("job is {}", status.state.as_str())),
             ),
         },
-        Some(_) => (404, http::error_body("no such route")),
+        Some(_) => Resp::new(404, http::error_body("no such route")),
     }
 }
 
 /// `POST /v1/jobs`: parse, submit, map [`SubmitError`] to a status.
-fn submit(req: &Request, svc: &Service, cfg: &ServeConfig) -> (u16, String) {
+fn submit(req: &Request, svc: &Service, cfg: &ServeConfig) -> Resp {
     let (spec, wait) = match parse_submit(req) {
         Ok(parsed) => parsed,
-        Err(msg) => return (400, http::error_body(&msg)),
+        Err(msg) => return Resp::new(400, http::error_body(&msg)),
     };
     match svc.submit(cfg, spec) {
         Ok(ack) => {
@@ -325,9 +395,10 @@ fn submit(req: &Request, svc: &Service, cfg: &ServeConfig) -> (u16, String) {
                 ),
                 ("cached".into(), Value::Bool(ack.cached)),
                 ("coalesced".into(), Value::Bool(ack.coalesced)),
+                ("degraded".into(), Value::Bool(ack.degraded)),
                 ("state".into(), Value::Str(state.into())),
             ]);
-            (
+            Resp::new(
                 200,
                 serde_json::to_string(&body).expect("ack has no floats"),
             )
@@ -335,16 +406,23 @@ fn submit(req: &Request, svc: &Service, cfg: &ServeConfig) -> (u16, String) {
         Err(e) => {
             let status = match &e {
                 SubmitError::Invalid(_) => 400,
-                SubmitError::QuotaExceeded { .. } | SubmitError::QueueFull { .. } => 429,
-                SubmitError::Draining => 503,
+                SubmitError::QuotaExceeded { .. }
+                | SubmitError::QueueFull { .. }
+                | SubmitError::Overloaded { .. } => 429,
+                SubmitError::Journal(_) | SubmitError::Draining => 503,
             };
-            (status, http::error_body(&e.to_string()))
+            let mut resp = Resp::new(status, http::error_body(&e.to_string()));
+            if let SubmitError::Overloaded { retry_after_secs } = &e {
+                resp.headers
+                    .push(("retry-after", retry_after_secs.to_string()));
+            }
+            resp
         }
     }
 }
 
 /// `POST /v1/analyze`: synchronous lint + schedule + LM2xx audit.
-fn analyze(req: &Request) -> (u16, String) {
+fn analyze(req: &Request) -> Resp {
     let parsed = (|| -> Result<String, String> {
         let body = req.body_utf8()?;
         let value: Value = serde_json::from_str(body).map_err(|e| e.to_string())?;
@@ -372,8 +450,8 @@ fn analyze(req: &Request) -> (u16, String) {
         Ok(report.to_json())
     })();
     match parsed {
-        Ok(json) => (200, json),
-        Err(msg) => (400, http::error_body(&msg)),
+        Ok(json) => Resp::new(200, json),
+        Err(msg) => Resp::new(400, http::error_body(&msg)),
     }
 }
 
@@ -390,6 +468,14 @@ fn parse_submit(req: &Request) -> Result<(JobSpec, bool), String> {
     let tenant = get_str_or(obj, "tenant", "default")?;
     let algo = get_str_or(obj, "algo", "locmps")?;
     let wait = get_bool_or(obj, "wait", false)?;
+    let deadline_ms = match find(obj, "deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(Value::UInt(n)) => Some(*n),
+        Some(Value::Int(n)) => {
+            Some(u64::try_from(*n).map_err(|_| "`deadline_ms` must be >= 0".to_string())?)
+        }
+        Some(_) => return Err("`deadline_ms` must be an integer".into()),
+    };
 
     let mode = match find(obj, "run") {
         None | Some(Value::Null) => Mode::Schedule,
@@ -417,6 +503,7 @@ fn parse_submit(req: &Request) -> Result<(JobSpec, bool), String> {
             bandwidth,
             algo,
             mode,
+            deadline_ms,
         },
         wait,
     ))

@@ -13,7 +13,9 @@
 //! * `LX011` exact float `==`/`!=`, `LX012` narrowing `as` casts —
 //!   numeric safety;
 //! * `LX020` guard across a blocking call, `LX021` lock-acquisition
-//!   cycle — lock discipline over `crates/serve` + `crates/core`.
+//!   cycle — lock discipline over `crates/serve` + `crates/core`;
+//! * `LX030` fsync-free file write in `crates/serve` — the daemon's
+//!   fsync-before-ack durability contract.
 //!
 //! Deliberate findings go in `crates/xtask/lint-allow.txt` with a `#`
 //! comment explaining why they are safe; `--write-allowlist` *appends*

@@ -1,0 +1,171 @@
+//! LX030 — fsync-free file writes in `crates/serve`.
+//!
+//! The serve daemon's durability contract is fsync-before-ack: a crash
+//! image of the journal is always a prefix of what clients were told was
+//! saved. That contract dies silently if any serve-side persistence path
+//! writes without reaching `sync_data`/`sync_all`. Two shapes are
+//! flagged, both only in non-test serve code:
+//!
+//! * `std::fs::write(...)` — the handle is closed before the caller
+//!   could ever fsync it, so durability is impossible by construction;
+//! * a function that opens a file for writing (`File::create` or an
+//!   `OpenOptions` chain) and calls `write_all`, but never calls
+//!   `sync_data` or `sync_all` anywhere in its body.
+//!
+//! The scope is one function body (token-level brace matching): a
+//! helper that writes and a different function that syncs would be
+//! flagged, which is the conservative direction — an allowlist entry
+//! with a justification beats an unflagged torn-write path.
+
+use super::FileCtx;
+use crate::report::Violation;
+
+/// LX030 — see the module docs.
+pub fn lx030_fsync_free_write(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if ctx.crate_name() != "serve" {
+        return;
+    }
+    // Shape 1: `fs::write(...)` anywhere in non-test code.
+    for k in 0..ctx.len() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        if ctx.text(k) == "fs"
+            && ctx.text(k + 1) == "::"
+            && ctx.text(k + 2) == "write"
+            && ctx.text(k + 3) == "("
+        {
+            out.push(ctx.violation("LX030", "fsync-free-write", k + 2));
+        }
+    }
+    // Shape 2: per-function create+write_all without a sync.
+    for (open, close) in function_bodies(ctx) {
+        if ctx.is_test(open) {
+            continue;
+        }
+        let mut create_at = None;
+        let mut writes = false;
+        let mut syncs = false;
+        for k in open..close {
+            match ctx.text(k) {
+                "create" if ctx.text(k.wrapping_sub(1)) == "::" => {
+                    create_at.get_or_insert(k);
+                }
+                "OpenOptions" => {
+                    create_at.get_or_insert(k);
+                }
+                "write_all" if ctx.text(k + 1) == "(" => writes = true,
+                "sync_data" | "sync_all" if ctx.text(k + 1) == "(" => syncs = true,
+                _ => {}
+            }
+        }
+        if let Some(at) = create_at {
+            if writes && !syncs {
+                out.push(ctx.violation("LX030", "fsync-free-write", at));
+            }
+        }
+    }
+}
+
+/// `(body_open, body_close)` significant-token index pairs for every
+/// `fn` with a body: `open` is the index of the `{`, `close` the index
+/// of its matching `}`. Trait method declarations (`fn f();`) have no
+/// body and are skipped.
+fn function_bodies(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < ctx.len() {
+        if ctx.text(k) != "fn" {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        while j < ctx.len() && ctx.text(j) != "{" && ctx.text(j) != ";" {
+            j += 1;
+        }
+        if ctx.text(j) != "{" {
+            k = j;
+            continue;
+        }
+        let open = j;
+        let mut depth = 0usize;
+        while j < ctx.len() {
+            match ctx.text(j) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((open, j));
+        // Nested fns are scanned on their own pass too: resume just past
+        // the outer header so inner `fn` tokens are still visited.
+        k = open + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn findings(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileCtx::new(path, src, false);
+        let mut out = Vec::new();
+        lx030_fsync_free_write(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn fs_write_is_always_flagged() {
+        let src = "fn save(p: &std::path::Path) -> std::io::Result<()> {\n    std::fs::write(p, b\"state\")\n}\n";
+        let v = findings("crates/serve/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "LX030");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn create_and_write_all_without_sync_is_flagged() {
+        let src = "use std::io::Write;\nfn save(p: &std::path::Path) -> std::io::Result<()> {\n    let mut f = std::fs::File::create(p)?;\n    f.write_all(b\"state\")\n}\n";
+        let v = findings("crates/serve/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3, "flagged at the create site");
+    }
+
+    #[test]
+    fn syncing_after_the_write_passes() {
+        let src = "use std::io::Write;\nfn save(p: &std::path::Path) -> std::io::Result<()> {\n    let mut f = std::fs::File::create(p)?;\n    f.write_all(b\"state\")?;\n    f.sync_data()\n}\n";
+        assert!(findings("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn open_options_chains_are_audited_too() {
+        let src = "use std::io::Write;\nfn log(p: &std::path::Path) -> std::io::Result<()> {\n    let mut f = std::fs::OpenOptions::new().append(true).open(p)?;\n    f.write_all(b\"line\")\n}\n";
+        let v = findings("crates/serve/src/a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let synced = "use std::io::Write;\nfn log(p: &std::path::Path) -> std::io::Result<()> {\n    let mut f = std::fs::OpenOptions::new().append(true).open(p)?;\n    f.write_all(b\"line\")?;\n    f.sync_all()\n}\n";
+        assert!(findings("crates/serve/src/a.rs", synced).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_exempt() {
+        let src = "fn save(p: &std::path::Path) {\n    std::fs::write(p, b\"x\").unwrap();\n}\n";
+        assert!(findings("crates/serve/tests/a.rs", src).is_empty());
+        assert!(findings("crates/core/src/a.rs", src).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests {\n    fn save(p: &std::path::Path) {\n        std::fs::write(p, b\"x\").unwrap();\n    }\n}\n";
+        assert!(findings("crates/serve/src/a.rs", in_mod).is_empty());
+    }
+
+    #[test]
+    fn reading_without_writing_passes() {
+        let src = "fn load(p: &std::path::Path) -> std::io::Result<Vec<u8>> {\n    let f = std::fs::File::open(p)?;\n    let _ = &f;\n    std::fs::read(p)\n}\n";
+        assert!(findings("crates/serve/src/a.rs", src).is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod casts;
 pub mod floatcmp;
+pub mod fsync;
 pub mod locks;
 pub mod order;
 pub mod panics;
@@ -265,6 +266,7 @@ pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Violation> {
     floatcmp::lx011_float_eq(ctx, &mut out);
     casts::lx012_narrowing_cast(ctx, &mut out);
     locks::lx020_guard_across_blocking(ctx, &mut out);
+    fsync::lx030_fsync_free_write(ctx, &mut out);
     out
 }
 
